@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the computational engines themselves.
+
+These are not paper figures; they document the cost of the building blocks a
+downstream user composes: the exact anonymity-degree computation, the
+Bayesian posterior for one observation, the optimizer, a single end-to-end
+protocol transmission, and the Monte-Carlo estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.inference import BayesianPathInference
+from repro.adversary.observation import observation_from_path
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.model import SystemModel
+from repro.core.optimizer import best_uniform_for_mean
+from repro.distributions import FixedLength, UniformLength
+from repro.protocols import OnionRoutingI
+from repro.routing.strategies import deployed_system_strategies
+from repro.simulation import AnonymousCommunicationSystem, StrategyMonteCarlo
+
+
+def test_exact_degree_uniform_strategy(benchmark):
+    """Exact H* for a wide uniform strategy in the paper-sized system."""
+    analyzer = AnonymityAnalyzer(SystemModel(n_nodes=100))
+    distribution = UniformLength(0, 99)
+    value = benchmark(analyzer.anonymity_degree, distribution)
+    assert 6.4 < value < 6.65
+
+
+def test_posterior_inference_single_observation(benchmark):
+    """Exact Bayesian posterior for one observation with three compromised nodes."""
+    model = SystemModel(n_nodes=100, n_compromised=3)
+    inference = BayesianPathInference(model, UniformLength(1, 20))
+    observation = observation_from_path(
+        50, (7, 0, 23, 1, 64, 31), model.compromised_nodes()
+    )
+    posterior = benchmark(inference.posterior, observation)
+    assert abs(sum(posterior.probabilities.values()) - 1.0) < 1e-9
+
+
+def test_uniform_family_optimization(benchmark):
+    """Width optimization of the uniform family for one target expectation."""
+    model = SystemModel(n_nodes=100)
+    scan = benchmark(best_uniform_for_mean, model, 20)
+    assert scan.best_degree >= scan.degrees[0]
+
+
+def test_end_to_end_protocol_send(benchmark):
+    """One Onion Routing I transmission through the discrete-event engine."""
+    model = SystemModel(n_nodes=50, n_compromised=2)
+    system = AnonymousCommunicationSystem(model=model, protocol=OnionRoutingI(50))
+    rng = np.random.default_rng(0)
+
+    def send_one():
+        sender = int(rng.integers(0, 50))
+        return system.send(sender, payload="bench", rng=rng)
+
+    outcome = benchmark(send_one)
+    assert outcome.delivery.path_length == 5
+
+
+def test_monte_carlo_batch(benchmark):
+    """A 200-trial Monte-Carlo estimate for the Onion Routing I strategy."""
+    model = SystemModel(n_nodes=60, n_compromised=1)
+    strategy = deployed_system_strategies()["onion-routing-1"]
+    experiment = StrategyMonteCarlo(model, strategy)
+
+    report = benchmark.pedantic(
+        lambda: experiment.run(200, rng=5), rounds=1, iterations=1
+    )
+    exact = AnonymityAnalyzer(model).anonymity_degree(FixedLength(5))
+    assert report.estimate.contains(exact, slack=0.05)

@@ -1,0 +1,36 @@
+"""Benchmark harness for Figure 4: uniform strategies, effect of the expectation.
+
+Each panel fixes the lower bound ``a`` of ``U(a, a+L)`` and sweeps the range
+width ``L`` for ``N = 100``, ``C = 1``.  The paper's qualitative findings per
+panel (growth for small lower bounds, near-flat behaviour for intermediate
+ones, decline for large ones — the long-path effect — and the short-path
+penalty when length 0 is included) are asserted by the experiment checks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import figure4a, figure4b, figure4c, figure4d
+
+
+def test_fig4a(benchmark, run_and_report):
+    """Panel (a): lower bounds 4, 6, 10 — widening the range helps."""
+    run_and_report(benchmark, figure4a)
+
+
+def test_fig4b(benchmark, run_and_report):
+    """Panel (b): lower bounds 25, 40 — the intermediate, nearly flat regime."""
+    run_and_report(benchmark, figure4b)
+
+
+def test_fig4c(benchmark, run_and_report):
+    """Panel (c): lower bounds 51, 60, 70 — the long-path effect dominates."""
+    run_and_report(benchmark, figure4c)
+
+
+def test_fig4d(benchmark, run_and_report):
+    """Panel (d): lower bounds 0, 1, 6 — the short-path penalty of length 0."""
+    data = run_and_report(benchmark, figure4d)
+    u0 = data.sweep.series_by_label("U(0, 0+L)").values
+    u6 = data.sweep.series_by_label("U(6, 6+L)").values
+    # Narrow ranges that include a direct (length-0) path are clearly worse.
+    assert u0[0] < u6[0]

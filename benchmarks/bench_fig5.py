@@ -1,0 +1,36 @@
+"""Benchmark harness for Figure 5: fixed vs uniform strategies at equal expectation.
+
+Each panel compares ``F(L)`` against ``U(a, 2L - a)`` (same mean ``L``) for
+``N = 100``, ``C = 1``.  The paper's finding: once the lower bound is at least
+a few hops the curves coincide — the anonymity degree is governed by the
+expectation of the path length — while for small expectations the variance
+matters.  The coincidence is asserted to within 0.02 bits; the direction of
+the small-expectation variance effect differs from the paper under our
+re-derived posterior model and is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import figure5a, figure5b, figure5c, figure5d
+
+
+def test_fig5a(benchmark, run_and_report):
+    """Panel (a): lower bounds 4, 6, 10 overlay the fixed-length curve."""
+    data = run_and_report(benchmark, figure5a)
+    for name, gap in data.key_points.items():
+        assert gap < 0.02, f"{name} = {gap}"
+
+
+def test_fig5b(benchmark, run_and_report):
+    """Panel (b): lower bounds 25, 40 overlay the fixed-length curve."""
+    run_and_report(benchmark, figure5b)
+
+
+def test_fig5c(benchmark, run_and_report):
+    """Panel (c): lower bounds 51, 70 overlay the fixed-length curve."""
+    run_and_report(benchmark, figure5c)
+
+
+def test_fig5d(benchmark, run_and_report):
+    """Panel (d): at small expectations the variance of the length matters."""
+    run_and_report(benchmark, figure5d)

@@ -1,0 +1,61 @@
+"""Benchmark: the anonymity-versus-overhead trade-off (designer's view).
+
+Not a figure of the paper, but the decision its Section 1 motivates: rerouting
+buys anonymity with latency and traffic, so the useful output for a system
+designer is the Pareto frontier of (expected overhead, anonymity degree) and
+the marginal value of each additional hop.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.overhead import anonymity_per_hop, evaluate_tradeoff, pareto_frontier
+from repro.core.model import SystemModel
+from repro.distributions import FixedLength, UniformLength
+from repro.utils.tables import format_table
+
+
+def test_pareto_frontier(benchmark):
+    """Efficient strategies among the fixed and uniform families (N=100, C=1)."""
+    model = SystemModel(n_nodes=100, n_compromised=1)
+    strategies = {f"F({l})": FixedLength(l) for l in (1, 2, 3, 5, 8, 13, 21, 34, 55, 80)}
+    strategies.update(
+        {f"U(1, {2 * mean - 1})": UniformLength(1, 2 * mean - 1) for mean in (3, 6, 12, 24)}
+    )
+
+    def compute():
+        points = evaluate_tradeoff(model, strategies)
+        return points, pareto_frontier(points)
+
+    points, frontier = benchmark(compute)
+    print()
+    print(
+        format_table(
+            ("strategy", "E[L] (overhead)", "H*(S) bits", "normalized", "efficient"),
+            [
+                (
+                    p.name,
+                    p.expected_overhead,
+                    p.degree_bits,
+                    p.normalized,
+                    "yes" if p in frontier else "",
+                )
+                for p in points
+            ],
+            title="Anonymity vs overhead, N=100, C=1",
+        )
+    )
+    assert frontier
+    assert all(not other.dominates(point) for point in frontier for other in points)
+
+
+def test_marginal_anonymity_per_hop(benchmark):
+    """Marginal anonymity of each additional hop; hops beyond the optimum cost anonymity."""
+    model = SystemModel(n_nodes=100, n_compromised=1)
+    rows = benchmark(anonymity_per_hop, model)
+    last_useful_hop = max(length for length, _, gain in rows if gain > 1e-9)
+    print(f"\nthe last hop that still buys anonymity is hop {last_useful_hop}")
+    # The optimum is interior: beyond it every additional hop strictly costs
+    # anonymity (the paper's long-path effect).
+    assert 4 < last_useful_hop < model.max_simple_path_length
+    beyond = [gain for length, _, gain in rows if length > last_useful_hop]
+    assert all(gain <= 1e-9 for gain in beyond)

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the data behind one figure (or theorem, or
+extension study) of the paper, prints it as a text table — so the benchmark
+log is itself the reproduction record — and asserts the paper's qualitative
+claims on the regenerated data.  Timing comes from ``pytest-benchmark``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(data) -> None:
+    """Print one experiment's rendered tables, fenced for readability."""
+    print()
+    print("=" * 78)
+    print(data.render())
+    print("=" * 78)
+
+
+@pytest.fixture
+def run_and_report():
+    """Benchmark an experiment generator once and print its rendered output."""
+
+    def runner(benchmark, generator, *args, **kwargs):
+        data = benchmark.pedantic(
+            lambda: generator(*args, **kwargs), rounds=1, iterations=1
+        )
+        report(data)
+        failed = [name for name, ok in data.checks.items() if not ok]
+        assert not failed, f"qualitative checks failed: {failed}"
+        return data
+
+    return runner

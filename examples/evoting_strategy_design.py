@@ -1,0 +1,132 @@
+"""Scenario: designing the rerouting strategy of an anonymous e-voting collector.
+
+The paper motivates sender anonymity with applications such as e-voting: a
+cast ballot must not be traceable back to the voter, even by the collection
+server (the receiver, which is therefore treated as compromised).  This
+example plays the role of the system designer:
+
+* 150 precinct relays participate in the rerouting overlay;
+* a risk assessment says up to one relay may be compromised without detection
+  (we also check how the design degrades if that estimate is wrong);
+* ballots must arrive within a latency budget that allows an *expected* path
+  length of at most 12 relays.
+
+The script compares off-the-shelf strategies against the optimized
+distribution from Section 5.4 of the paper, then stress-tests the chosen
+design with Monte-Carlo simulation under a larger number of compromised
+relays.
+
+Run with::
+
+    python examples/evoting_strategy_design.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AnonymityAnalyzer,
+    FixedLength,
+    SystemModel,
+    UniformLength,
+    best_uniform_for_mean,
+    optimize_distribution,
+)
+from repro.metrics import normalized_degree
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation import StrategyMonteCarlo
+from repro.utils.tables import format_table
+
+N_RELAYS = 150
+LATENCY_BUDGET_HOPS = 12  # maximum acceptable expected path length
+
+
+def design_phase() -> PathSelectionStrategy:
+    """Pick the ballot-rerouting strategy analytically."""
+    model = SystemModel(n_nodes=N_RELAYS, n_compromised=1)
+    analyzer = AnonymityAnalyzer(model)
+
+    candidates: dict[str, object] = {
+        "single collector proxy": FixedLength(1),
+        "Freedom-style (3 hops)": FixedLength(3),
+        "Onion-Routing-style (5 hops)": FixedLength(5),
+        f"fixed at the budget F({LATENCY_BUDGET_HOPS})": FixedLength(LATENCY_BUDGET_HOPS),
+        "uniform 2..22 (mean 12)": UniformLength(2, 22),
+    }
+
+    # The paper's optimization, restricted to the latency budget.
+    uniform_scan = best_uniform_for_mean(model, mean=LATENCY_BUDGET_HOPS)
+    candidates[f"optimized uniform {uniform_scan.best_distribution.name}"] = (
+        uniform_scan.best_distribution
+    )
+    simplex = optimize_distribution(
+        model,
+        min_length=0,
+        max_length=2 * LATENCY_BUDGET_HOPS,
+        mean=float(LATENCY_BUDGET_HOPS),
+    )
+    candidates["optimized distribution (full simplex)"] = simplex.distribution
+
+    rows = []
+    best_label, best_distribution, best_degree = None, None, -1.0
+    for label, distribution in candidates.items():
+        degree = analyzer.anonymity_degree(distribution)
+        rows.append(
+            (
+                label,
+                round(distribution.mean(), 2),
+                degree,
+                normalized_degree(degree, N_RELAYS),
+            )
+        )
+        if degree > best_degree and distribution.mean() <= LATENCY_BUDGET_HOPS + 1e-9:
+            best_label, best_distribution, best_degree = label, distribution, degree
+
+    print(
+        format_table(
+            ("candidate strategy", "E[L]", "H*(S) bits", "normalized"),
+            rows,
+            title=(
+                f"Ballot-rerouting candidates for {N_RELAYS} relays, 1 compromised, "
+                f"expected length <= {LATENCY_BUDGET_HOPS}"
+            ),
+        )
+    )
+    print(f"\nchosen design: {best_label}  (H* = {best_degree:.4f} bits)\n")
+    return PathSelectionStrategy("ballot-rerouting", best_distribution)
+
+
+def stress_phase(strategy: PathSelectionStrategy) -> None:
+    """What if the compromise estimate was wrong?  Monte-Carlo under C = 3, 7, 15."""
+    rows = []
+    for n_compromised in (1, 3, 7, 15):
+        model = SystemModel(n_nodes=N_RELAYS, n_compromised=n_compromised)
+        report = StrategyMonteCarlo(model, strategy).run(1500, rng=2026)
+        rows.append(
+            (
+                n_compromised,
+                f"{report.estimate.mean:.3f} ± {1.96 * report.estimate.std_error:.3f}",
+                round(report.identification_rate, 4),
+                round(report.mean_path_length, 2),
+            )
+        )
+    print(
+        format_table(
+            ("compromised relays", "estimated H* (95% CI)", "identification rate", "mean hops"),
+            rows,
+            title="Stress test of the chosen design (Monte-Carlo, 1500 ballots each)",
+        )
+    )
+    print(
+        "\nEven a handful of additional compromised relays costs measurable anonymity;\n"
+        "the identification-rate column shows how often a ballot's sender is exposed\n"
+        "outright, which is the number an election authority actually has to report."
+    )
+
+
+def main() -> None:
+    strategy = design_phase()
+    stress_phase(strategy)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Scenario: ranking deployed anonymity systems (and a DC-Net baseline).
+
+Section 2 of the paper surveys the anonymous communication systems deployed at
+the time — Anonymizer, LPWA, remailers, Onion Routing I/II, Crowds, Hordes,
+Freedom, PipeNet, mix networks — and its conclusion is that "several existing
+anonymous communication systems are not using the best path selection
+strategy".  This example makes that statement quantitative:
+
+* rank every surveyed system's path-length strategy by the anonymity degree it
+  achieves against the paper's passive adversary;
+* show how the ranking shifts under a stronger (position-aware) and a weaker
+  (predecessor-only) adversary;
+* compare everything against the optimal fixed-length strategy and against the
+  non-rerouting DC-Net baseline, which achieves the information-theoretic
+  maximum at a prohibitive broadcast cost;
+* validate one representative number end to end with the discrete-event
+  simulator.
+
+Run with::
+
+    python examples/protocol_shootout.py
+"""
+
+from __future__ import annotations
+
+from repro import AnonymityAnalyzer, FixedLength, SystemModel, best_fixed_length
+from repro.analysis import compare_deployed_systems, render_comparison
+from repro.core.model import AdversaryModel
+from repro.protocols import DCNet, OnionRoutingI
+from repro.routing.strategies import deployed_system_strategies
+from repro.simulation import ProtocolMonteCarlo
+from repro.utils.tables import format_table
+
+N_NODES = 100
+N_COMPROMISED = 1
+
+
+def ranking() -> None:
+    model = SystemModel(n_nodes=N_NODES, n_compromised=N_COMPROMISED)
+    rows = compare_deployed_systems(model)
+    print(render_comparison(rows, title=f"Deployed systems, N={N_NODES}, C={N_COMPROMISED}"))
+
+    scan = best_fixed_length(model)
+    dcnet = DCNet(N_NODES)
+    print(
+        f"\noptimal fixed-length strategy : F({scan.best_length}) with "
+        f"H* = {scan.best_degree:.4f} bits"
+    )
+    print(
+        f"DC-Net baseline (non-rerouting): H* = {dcnet.anonymity_degree(N_COMPROMISED):.4f} "
+        f"bits, but requires an O(N^2) broadcast per message"
+    )
+    print(
+        f"information-theoretic bound    : log2(N) = {model.max_entropy:.4f} bits\n"
+    )
+
+
+def adversary_sensitivity() -> None:
+    strategies = deployed_system_strategies()
+    rows = []
+    for key in ("anonymizer", "freedom", "pipenet", "onion-routing-1", "crowds"):
+        strategy = strategies[key]
+        row = [strategy.name]
+        for adversary in (
+            AdversaryModel.PREDECESSOR_ONLY,
+            AdversaryModel.FULL_BAYES,
+            AdversaryModel.POSITION_AWARE,
+        ):
+            model = SystemModel(
+                n_nodes=N_NODES, n_compromised=N_COMPROMISED, adversary=adversary
+            )
+            degree = AnonymityAnalyzer(model).anonymity_degree(
+                strategy.effective_distribution(N_NODES)
+            )
+            row.append(degree)
+        rows.append(tuple(row))
+    print(
+        format_table(
+            ("system", "predecessor-only", "full Bayes (paper)", "position-aware"),
+            rows,
+            title="Sensitivity of the ranking to the adversary model (H* in bits)",
+        )
+    )
+    print()
+
+
+def simulator_spot_check() -> None:
+    model = SystemModel(n_nodes=40, n_compromised=1)
+    report = ProtocolMonteCarlo(model, lambda: OnionRoutingI(40)).run(600, rng=5)
+    exact = AnonymityAnalyzer(model).anonymity_degree(FixedLength(5))
+    print(
+        "Spot check with the discrete-event simulator (Onion Routing I, N=40):\n"
+        f"  simulated H* = {report.estimate}\n"
+        f"  closed form  = {exact:.4f} bits  "
+        f"({'inside' if report.estimate.contains(exact, slack=0.02) else 'OUTSIDE'} the 95% CI)"
+    )
+
+
+def main() -> None:
+    ranking()
+    adversary_sensitivity()
+    simulator_spot_check()
+
+
+if __name__ == "__main__":
+    main()

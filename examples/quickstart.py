@@ -1,0 +1,95 @@
+"""Quickstart: compute and optimize the anonymity degree of a rerouting system.
+
+This walks through the library's main objects in a few lines each:
+
+1. describe a system (how many nodes, how many the adversary controls);
+2. compute the anonymity degree ``H*(S)`` of a few path-length strategies;
+3. look inside one computation (the per-observation-class breakdown);
+4. find the optimal fixed length and the optimal length distribution for a
+   given latency budget (expected path length).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AnonymityAnalyzer,
+    FixedLength,
+    GeometricLength,
+    SystemModel,
+    UniformLength,
+    best_fixed_length,
+    best_uniform_for_mean,
+)
+from repro.analysis import render_event_breakdown
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # A system of 100 participating nodes, one of which the passive adversary
+    # controls (the receiver is always assumed compromised) — the setting of
+    # the paper's numerical section.
+    model = SystemModel(n_nodes=100, n_compromised=1)
+    analyzer = AnonymityAnalyzer(model)
+
+    # ----------------------------------------------------------------- #
+    # 1. Anonymity degree of a few strategies                            #
+    # ----------------------------------------------------------------- #
+    strategies = {
+        "direct send (no rerouting)": FixedLength(0),
+        "one proxy hop (Anonymizer)": FixedLength(1),
+        "Freedom (3 fixed hops)": FixedLength(3),
+        "Onion Routing I (5 fixed hops)": FixedLength(5),
+        "uniform 2..20 hops": UniformLength(2, 20),
+        "Crowds coin flip (p_f = 0.75)": GeometricLength(0.75, minimum=1, max_length=99),
+    }
+    rows = []
+    for label, distribution in strategies.items():
+        degree = analyzer.anonymity_degree(distribution)
+        rows.append((label, distribution.name, distribution.mean(), degree))
+    print(
+        format_table(
+            ("strategy", "length distribution", "E[L]", "H*(S) bits"),
+            rows,
+            title=f"Anonymity degree for {model.describe()}",
+        )
+    )
+    print(f"\nupper bound log2(N) = {model.max_entropy:.4f} bits\n")
+
+    # ----------------------------------------------------------------- #
+    # 2. Why is a 5-hop route good but not great?  Look at the events.   #
+    # ----------------------------------------------------------------- #
+    print(render_event_breakdown(analyzer.analyze(FixedLength(5)), title="Breakdown of F(5)"))
+    print()
+
+    # ----------------------------------------------------------------- #
+    # 3. Optimal strategies                                              #
+    # ----------------------------------------------------------------- #
+    scan = best_fixed_length(model)
+    print(
+        f"Best fixed length: l = {scan.best_length} "
+        f"with H* = {scan.best_degree:.4f} bits"
+    )
+
+    # Suppose latency constraints allow an *expected* path length of 10 hops:
+    # what is the best distribution with that mean?
+    budget = 10
+    uniform_scan = best_uniform_for_mean(model, mean=budget)
+    fixed_at_budget = analyzer.anonymity_degree(FixedLength(budget))
+    print(
+        f"With an expected-length budget of {budget} hops:\n"
+        f"  fixed F({budget})            : H* = {fixed_at_budget:.4f} bits\n"
+        f"  best uniform {uniform_scan.best_distribution.name:<10}: "
+        f"H* = {uniform_scan.best_degree:.4f} bits"
+    )
+    print(
+        "\nThe optimized variable-length strategy beats the fixed-length strategy "
+        "at the same cost — the paper's headline recommendation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Scenario: anonymous web browsing with a Crowds-style jondo overlay.
+
+Crowds was designed for exactly the web-browsing use case the paper's
+introduction motivates: a user does not want the web server (or a few
+corrupted crowd members) to learn who is fetching a page.  This example runs
+the *actual protocol machinery* — hop-by-hop coin flipping, real message
+passing, adversary agents at the corrupted jondos — and looks at three
+questions a deployment engineer would ask:
+
+1. How long do request paths actually get for a given forwarding probability,
+   and what does that cost in relayed traffic?
+2. How much single-request sender anonymity does the crowd provide, measured
+   both analytically (on the induced geometric length distribution) and from
+   the simulated observations?
+3. How quickly does that anonymity erode across *repeated* requests, with and
+   without Crowds' static-path rule, under the predecessor attack?
+
+Run with::
+
+    python examples/web_browsing_crowds.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AnonymityAnalyzer, SystemModel
+from repro.adversary.attacks import PredecessorAttack
+from repro.protocols import CrowdsProtocol
+from repro.simulation import AnonymousCommunicationSystem
+from repro.utils.tables import format_table
+
+N_JONDOS = 50
+N_CORRUPT = 5
+P_FORWARD = 0.75
+N_REQUESTS = 400
+
+
+def path_length_and_overhead() -> None:
+    model = SystemModel(n_nodes=N_JONDOS, n_compromised=N_CORRUPT)
+    rows = []
+    for p_forward in (0.5, 0.66, 0.75, 0.9):
+        protocol = CrowdsProtocol(N_JONDOS, p_forward=p_forward)
+        system = AnonymousCommunicationSystem(model=model, protocol=protocol)
+        rng = np.random.default_rng(7)
+        lengths = [
+            system.send(int(rng.integers(0, N_JONDOS)), rng=rng).delivery.path_length
+            for _ in range(300)
+        ]
+        rows.append(
+            (
+                p_forward,
+                round(float(np.mean(lengths)), 2),
+                int(np.max(lengths)),
+                system.total_transmissions,
+                protocol.probable_innocence_holds(N_CORRUPT),
+            )
+        )
+    print(
+        format_table(
+            ("p_forward", "mean hops", "max hops", "transmissions (300 req)", "probable innocence"),
+            rows,
+            title=f"Crowd of {N_JONDOS} jondos, {N_CORRUPT} corrupt: path length vs overhead",
+        )
+    )
+    print()
+
+
+def single_request_anonymity() -> None:
+    # Analytical view: the coin flip induces a geometric path-length
+    # distribution; evaluate it with one corrupt jondo (the paper's closed
+    # form) and, for the crowd's actual corruption level, with Monte Carlo
+    # over simulated observations scored by the weaker Crowds-style adversary.
+    protocol = CrowdsProtocol(N_JONDOS, p_forward=P_FORWARD)
+    # Crowds allows cycles, so its geometric length distribution is unbounded;
+    # the closed-form engine works on simple paths, so condition the
+    # distribution on the feasible range (the tail mass involved is tiny).
+    length_distribution = protocol.strategy().distribution.truncated(N_JONDOS - 1)
+
+    single = SystemModel(n_nodes=N_JONDOS, n_compromised=1)
+    analytic = AnonymityAnalyzer(single).anonymity_degree(length_distribution)
+    print(
+        f"Single-request anonymity degree (one corrupt jondo, analytical): "
+        f"{analytic:.4f} bits of log2({N_JONDOS}) = {single.max_entropy:.4f}"
+    )
+
+    model = SystemModel(n_nodes=N_JONDOS, n_compromised=N_CORRUPT)
+    system = AnonymousCommunicationSystem(model=model, protocol=protocol)
+    rng = np.random.default_rng(11)
+    exposed = 0
+    first_hop_corrupt = 0
+    for _ in range(N_REQUESTS):
+        sender = int(rng.integers(0, N_JONDOS))
+        outcome = system.send(sender, rng=rng)
+        observation = outcome.observation
+        if observation.origin_node is not None:
+            exposed += 1
+        elif observation.hop_reports and observation.hop_reports[0].predecessor == sender:
+            first_hop_corrupt += 1
+    print(
+        f"Simulated with {N_CORRUPT} corrupt jondos over {N_REQUESTS} requests: "
+        f"{exposed} requests came from corrupt jondos themselves, "
+        f"{first_hop_corrupt} immediately exposed the sender to a corrupt first hop "
+        f"({100 * (exposed + first_hop_corrupt) / N_REQUESTS:.1f}% directly observed).\n"
+    )
+
+
+def repeated_request_erosion() -> None:
+    rows = []
+    for static_paths in (False, True):
+        protocol = CrowdsProtocol(N_JONDOS, p_forward=P_FORWARD, static_paths=static_paths)
+        model = SystemModel(n_nodes=N_JONDOS, n_compromised=N_CORRUPT)
+        system = AnonymousCommunicationSystem(model=model, protocol=protocol)
+        attack = PredecessorAttack()
+        rng = np.random.default_rng(3)
+        victim = N_CORRUPT + 2  # an honest jondo issuing all the requests
+        identified_after = None
+        for round_index in range(1, N_REQUESTS + 1):
+            outcome = system.send(victim, rng=rng)
+            attack.ingest(outcome.observation)
+            if identified_after is None and attack.suspect() == victim and round_index >= 5:
+                identified_after = round_index
+        rows.append(
+            (
+                "static (24h paths)" if static_paths else "fresh path per request",
+                attack.suspect() == victim,
+                identified_after if identified_after is not None else "never",
+                round(attack.score(victim), 3),
+            )
+        )
+    print(
+        format_table(
+            ("path policy", "victim identified", "stable after round", "victim score"),
+            rows,
+            title=f"Predecessor attack on {N_REQUESTS} repeated requests by one user",
+        )
+    )
+    print(
+        "\nA fresh path per request leaks a little information every time and the\n"
+        "predecessor attack eventually wins; Crowds' static-path rule limits the\n"
+        "exposure to the one path formation (unless the path itself starts at a\n"
+        "corrupt jondo).  This is the degradation studied in the paper's reference\n"
+        "[23] (Wright et al., NDSS 2002) and why the single-message anonymity\n"
+        "degree of the reproduced paper is only the starting point of a design."
+    )
+
+
+def main() -> None:
+    path_length_and_overhead()
+    single_request_anonymity()
+    repeated_request_erosion()
+
+
+if __name__ == "__main__":
+    main()

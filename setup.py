@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that fully offline environments without the ``wheel`` package can
+still perform an editable install via the legacy code path
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro — reproduction of "An Optimal Strategy for Anonymous Communication Protocols".
+
+The package implements the system model, threat model, anonymity-degree metric
+(``H*(S)``), closed-form special cases, optimal path-length-distribution
+search, protocol simulators, and experiment harnesses of Guan, Fu, Bettati and
+Zhao (ICDCS 2002).
+
+Quickstart::
+
+    from repro import SystemModel, AnonymityAnalyzer, FixedLength, UniformLength
+
+    model = SystemModel(n_nodes=100, n_compromised=1)
+    analyzer = AnonymityAnalyzer(model)
+    print(analyzer.anonymity_degree(FixedLength(5)))
+    print(analyzer.anonymity_degree(UniformLength(2, 8)))
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+harnesses that regenerate every figure of the paper.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AdversaryModel,
+    AnonymityAnalyzer,
+    AnonymityResult,
+    EventClass,
+    EventSummary,
+    ExhaustiveAnalyzer,
+    PathModel,
+    SystemModel,
+    anonymity_degree,
+    best_fixed_length,
+    best_uniform_for_mean,
+    enumerate_anonymity_degree,
+    fixed_length_degree,
+    optimize_distribution,
+    two_point_degree,
+    uniform_degree,
+)
+from repro.distributions import (
+    BinomialLength,
+    CategoricalLength,
+    FixedLength,
+    GeometricLength,
+    PathLengthDistribution,
+    PoissonLength,
+    TwoPointLength,
+    UniformLength,
+    ZipfLength,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    DistributionError,
+    InferenceError,
+    ObservationError,
+    OptimizationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    # Core model and metric
+    "SystemModel",
+    "PathModel",
+    "AdversaryModel",
+    "AnonymityAnalyzer",
+    "AnonymityResult",
+    "anonymity_degree",
+    "EventClass",
+    "EventSummary",
+    "ExhaustiveAnalyzer",
+    "enumerate_anonymity_degree",
+    "fixed_length_degree",
+    "two_point_degree",
+    "uniform_degree",
+    "best_fixed_length",
+    "best_uniform_for_mean",
+    "optimize_distribution",
+    # Distributions
+    "PathLengthDistribution",
+    "FixedLength",
+    "UniformLength",
+    "TwoPointLength",
+    "GeometricLength",
+    "CategoricalLength",
+    "PoissonLength",
+    "BinomialLength",
+    "ZipfLength",
+    # Exceptions
+    "ReproError",
+    "ConfigurationError",
+    "DistributionError",
+    "ObservationError",
+    "InferenceError",
+    "SimulationError",
+    "ProtocolError",
+    "OptimizationError",
+]

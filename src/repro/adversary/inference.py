@@ -1,0 +1,379 @@
+"""Bayesian sender inference from adversary observations.
+
+This is the general-purpose counterpart of the closed-form engine in
+:mod:`repro.core.anonymity`: given a concrete :class:`Observation` (from any
+number of compromised nodes), the known path-length distribution, and the
+system size, compute the exact posterior probability that each node is the
+sender of the observed message.
+
+The computation follows the paper's formulas (7)–(8): for every candidate
+sender ``i`` and every possible path length ``l``,
+
+    Pr[observation | sender = i] =
+        sum over l of  Pr[L = l] * (#consistent paths) / (#all paths of length l)
+
+where the consistent-path count comes from the block-arrangement counter in
+:mod:`repro.combinatorics.arrangements`.  Bayes' rule with a uniform prior
+over senders then yields the posterior.  Two policy details mirror the threat
+model:
+
+* a compromised sender betrays itself (the "local eavesdropper" case), so a
+  compromised node that did *not* file an origin report has posterior zero;
+* the adversary knows which nodes it has compromised, so silence of those
+  nodes is used as negative evidence (they are not on the path).
+
+The engine supports the ``FULL_BAYES`` and ``POSITION_AWARE`` adversaries of
+:class:`repro.core.model.AdversaryModel` on simple paths, plus the weaker
+``PREDECESSOR_ONLY`` (Crowds-style) posterior.  It is exact, not sampled; the
+Monte-Carlo machinery only samples *observations*, never posteriors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.observation import Observation, RECEIVER
+from repro.combinatorics.arrangements import count_arrangements, total_paths
+from repro.combinatorics.fragments import FragmentSet
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError, InferenceError
+from repro.utils.mathx import entropy_bits, falling_factorial
+
+__all__ = ["SenderPosterior", "BayesianPathInference"]
+
+
+@dataclass(frozen=True)
+class SenderPosterior:
+    """Posterior distribution over candidate senders for one observation."""
+
+    probabilities: dict[int, float]
+
+    def probability(self, node: int) -> float:
+        """Posterior probability that ``node`` is the sender."""
+        return self.probabilities.get(node, 0.0)
+
+    @property
+    def entropy_bits(self) -> float:
+        """Shannon entropy of the posterior, in bits."""
+        return entropy_bits(list(self.probabilities.values()))
+
+    @property
+    def support_size(self) -> int:
+        """Number of candidates with non-zero posterior probability."""
+        return sum(1 for p in self.probabilities.values() if p > 0.0)
+
+    @property
+    def most_likely(self) -> int:
+        """Candidate with the highest posterior probability."""
+        return max(self.probabilities, key=self.probabilities.__getitem__)
+
+    @property
+    def max_probability(self) -> float:
+        """Largest posterior probability (the adversary's best single guess)."""
+        return max(self.probabilities.values())
+
+    def as_sorted_items(self) -> list[tuple[int, float]]:
+        """Candidates sorted by decreasing posterior probability."""
+        return sorted(self.probabilities.items(), key=lambda item: (-item[1], item[0]))
+
+
+class BayesianPathInference:
+    """Exact sender inference for one system model and path-length distribution."""
+
+    def __init__(
+        self,
+        model: SystemModel,
+        distribution: PathLengthDistribution,
+        compromised: frozenset[int] | set[int] | None = None,
+    ) -> None:
+        if model.path_model is not PathModel.SIMPLE:
+            raise ConfigurationError(
+                "BayesianPathInference counts simple paths; use the exhaustive "
+                "enumeration engine for cycle-allowed paths."
+            )
+        if distribution.max_length > model.max_simple_path_length:
+            raise ConfigurationError(
+                f"distribution {distribution.name} exceeds the maximum simple-path "
+                f"length for N={model.n_nodes}; truncate it first"
+            )
+        self._model = model
+        self._distribution = distribution
+        if compromised is None:
+            compromised = model.compromised_nodes()
+        self._compromised = frozenset(compromised)
+        if len(self._compromised) != model.n_compromised:
+            raise ConfigurationError(
+                f"expected {model.n_compromised} compromised nodes, got "
+                f"{len(self._compromised)}"
+            )
+        if any(not 0 <= node < model.n_nodes for node in self._compromised):
+            raise ConfigurationError("compromised node identities must lie in [0, N)")
+
+    # ------------------------------------------------------------------ #
+    # Public API                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def model(self) -> SystemModel:
+        """The system model used for inference."""
+        return self._model
+
+    @property
+    def distribution(self) -> PathLengthDistribution:
+        """The path-length distribution assumed known to the adversary."""
+        return self._distribution
+
+    @property
+    def compromised(self) -> frozenset[int]:
+        """The adversary's compromised node identities."""
+        return self._compromised
+
+    def posterior(self, observation: Observation) -> SenderPosterior:
+        """Exact posterior over senders given one observation."""
+        adversary = self._model.adversary
+        if adversary is AdversaryModel.FULL_BAYES:
+            return self._posterior_full_bayes(observation.without_positions())
+        if adversary is AdversaryModel.POSITION_AWARE:
+            return self._posterior_position_aware(observation)
+        if adversary is AdversaryModel.PREDECESSOR_ONLY:
+            return self._posterior_predecessor_only(observation)
+        raise ConfigurationError(f"unsupported adversary model {adversary!r}")
+
+    # ------------------------------------------------------------------ #
+    # FULL_BAYES                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _posterior_full_bayes(self, observation: Observation) -> SenderPosterior:
+        n = self._model.n_nodes
+        if observation.origin_node is not None:
+            return self._delta_posterior(observation.origin_node)
+
+        fragments = observation.to_fragments()
+        weights: dict[int, float] = {}
+        for candidate in range(n):
+            if candidate in self._compromised:
+                # A compromised sender would have filed an origin report.
+                weights[candidate] = 0.0
+                continue
+            weights[candidate] = self._candidate_likelihood(candidate, fragments)
+        return self._normalise(weights)
+
+    def _candidate_likelihood(self, candidate: int, fragments: FragmentSet) -> float:
+        likelihood = 0.0
+        for length, prob in self._distribution.items():
+            denominator = total_paths(self._model.n_nodes, length)
+            if denominator == 0:
+                continue
+            count = count_arrangements(
+                self._model.n_nodes, candidate, length, fragments
+            )
+            if count:
+                likelihood += prob * count / denominator
+        return likelihood
+
+    # ------------------------------------------------------------------ #
+    # POSITION_AWARE                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _posterior_position_aware(self, observation: Observation) -> SenderPosterior:
+        n = self._model.n_nodes
+        if observation.origin_node is not None:
+            return self._delta_posterior(observation.origin_node)
+        for report in observation.hop_reports:
+            if report.position is None:
+                raise InferenceError(
+                    "the position-aware adversary requires hop positions in every report"
+                )
+
+        # Pin every node whose absolute position is revealed by some report.
+        pinned: dict[int, int] = {}  # position (1-based) -> node
+        sender_seen: int | None = None
+        for report in observation.hop_reports:
+            position = report.position
+            assert position is not None
+            self._pin(pinned, position, report.node)
+            if position == 1:
+                sender_seen = report.predecessor
+            else:
+                self._pin(pinned, position - 1, report.predecessor)
+            if report.successor != RECEIVER:
+                self._pin(pinned, position + 1, report.successor)
+
+        if sender_seen is not None:
+            return self._delta_posterior(sender_seen)
+
+        last_intermediate = (
+            observation.receiver_report.predecessor
+            if observation.receiver_report is not None
+            else None
+        )
+        ends_at_receiver_positions = [
+            report.position
+            for report in observation.hop_reports
+            if report.successor == RECEIVER and report.position is not None
+        ]
+        known_length = ends_at_receiver_positions[0] if ends_at_receiver_positions else None
+
+        weights: dict[int, float] = {}
+        pinned_nodes = set(pinned.values())
+        for candidate in range(n):
+            if candidate in self._compromised or candidate in pinned_nodes:
+                weights[candidate] = 0.0
+                continue
+            weights[candidate] = self._position_aware_likelihood(
+                candidate, pinned, last_intermediate, known_length
+            )
+        if all(weight == 0.0 for weight in weights.values()):
+            # No intermediate evidence at all (e.g. a direct path with only the
+            # receiver's report): fall back to the full-Bayes computation,
+            # which handles the length-zero ambiguity.
+            return self._posterior_full_bayes(observation.without_positions())
+        return self._normalise(weights)
+
+    @staticmethod
+    def _pin(pinned: dict[int, int], position: int, node: int) -> None:
+        existing = pinned.get(position)
+        if existing is not None and existing != node:
+            raise InferenceError(
+                f"conflicting reports pin both node {existing} and node {node} "
+                f"at path position {position}"
+            )
+        pinned[position] = node
+
+    def _position_aware_likelihood(
+        self,
+        candidate: int,
+        pinned: dict[int, int],
+        last_intermediate: int | None,
+        known_length: int | None,
+    ) -> float:
+        n = self._model.n_nodes
+        likelihood = 0.0
+        max_pinned = max(pinned) if pinned else 0
+        for length, prob in self._distribution.items():
+            if known_length is not None and length != known_length:
+                continue
+            if length < max_pinned:
+                continue
+            pinned_here = dict(pinned)
+            if last_intermediate is not None:
+                if length == 0:
+                    if last_intermediate != candidate:
+                        continue
+                else:
+                    existing = pinned_here.get(length)
+                    if existing is not None and existing != last_intermediate:
+                        continue
+                    if (
+                        last_intermediate in pinned_here.values()
+                        and pinned_here.get(length) != last_intermediate
+                    ):
+                        continue
+                    pinned_here[length] = last_intermediate
+            if candidate in pinned_here.values():
+                continue
+            distinct_pinned = set(pinned_here.values())
+            if length > 0 and candidate == last_intermediate:
+                continue
+            free = length - len(distinct_pinned)
+            if free < 0:
+                continue
+            pool = n - 1 - len(distinct_pinned) - len(
+                self._compromised.difference(distinct_pinned).difference({candidate})
+            )
+            if candidate in self._compromised:
+                pool += 1  # candidate already excluded via the N-1 term
+            count = falling_factorial(pool, free)
+            denominator = total_paths(n, length)
+            if denominator and count:
+                likelihood += prob * count / denominator
+        return likelihood
+
+    # ------------------------------------------------------------------ #
+    # PREDECESSOR_ONLY (Crowds-style)                                     #
+    # ------------------------------------------------------------------ #
+
+    def _posterior_predecessor_only(self, observation: Observation) -> SenderPosterior:
+        n = self._model.n_nodes
+        if observation.origin_node is not None:
+            return self._delta_posterior(observation.origin_node)
+
+        if not observation.hop_reports:
+            # The weak adversary ignores the receiver's report entirely; it
+            # only learns that none of its own nodes originated the message.
+            weights = {
+                node: 0.0 if node in self._compromised else 1.0 for node in range(n)
+            }
+            return self._normalise(weights)
+
+        first = observation.hop_reports[0]
+        predecessor = first.predecessor
+
+        # Likelihood that the first compromised node on the path has the
+        # observed predecessor, marginalised over the path length and the
+        # (unknown) position of that node.
+        special = 0.0  # candidate == predecessor (the node was at position 1)
+        other = 0.0  # any other honest candidate
+        honest_others = n - 1 - len(self._compromised)
+        for length, prob in self._distribution.items():
+            if length < 1:
+                continue
+            # Position of the *first* compromised node on the path.
+            for position in range(1, length + 1):
+                p_first_here = self._first_compromised_at(position, length)
+                if p_first_here == 0.0:
+                    continue
+                if position == 1:
+                    special += prob * p_first_here
+                elif honest_others > 0:
+                    # The predecessor of the first compromised node is, by
+                    # definition of "first", an honest node; given the sender
+                    # it is uniform over the honest nodes other than the sender.
+                    other += prob * p_first_here / honest_others
+        weights = {}
+        for candidate in range(n):
+            if candidate in self._compromised:
+                weights[candidate] = 0.0
+            elif candidate == predecessor:
+                weights[candidate] = special
+            else:
+                weights[candidate] = other
+        return self._normalise(weights)
+
+    def _first_compromised_at(self, position: int, length: int) -> float:
+        """Probability that the first compromised node on a length-``length`` path sits at ``position``."""
+        n = self._model.n_nodes
+        c = len(self._compromised)
+        honest_pool = n - 1 - c  # honest nodes other than the sender
+        probability = 1.0
+        available_honest = honest_pool
+        available_total = n - 1
+        for _ in range(position - 1):
+            if available_honest <= 0 or available_total <= 0:
+                return 0.0
+            probability *= available_honest / available_total
+            available_honest -= 1
+            available_total -= 1
+        if available_total <= 0:
+            return 0.0
+        probability *= c / available_total
+        return probability
+
+    # ------------------------------------------------------------------ #
+    # Helpers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _delta_posterior(self, node: int) -> SenderPosterior:
+        probabilities = {i: 0.0 for i in range(self._model.n_nodes)}
+        probabilities[node] = 1.0
+        return SenderPosterior(probabilities)
+
+    def _normalise(self, weights: dict[int, float]) -> SenderPosterior:
+        total = sum(weights.values())
+        if total <= 0.0:
+            raise InferenceError(
+                "the observation is inconsistent with every candidate sender; "
+                "check that the observation matches the system model"
+            )
+        return SenderPosterior({node: w / total for node, w in weights.items()})

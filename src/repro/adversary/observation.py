@@ -1,0 +1,247 @@
+"""Adversary observations: what compromised nodes report about one message.
+
+Section 4 of the paper defines the adversary's dynamic information: every
+compromised node on the rerouting path reports the tuple
+``(timestamp, predecessor, successor)`` for the message, compromised nodes off
+the path implicitly report that they saw nothing, and the compromised receiver
+reports its predecessor.  The adversary sorts the tuples by timestamp and uses
+them — together with its static knowledge of the path-selection algorithm — to
+infer the sender.
+
+This module provides the data types for those reports and the logic that
+assembles them into the :class:`~repro.combinatorics.fragments.FragmentSet`
+consumed by the Bayesian inference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.combinatorics.fragments import Fragment, FragmentSet
+from repro.exceptions import ObservationError
+
+__all__ = ["RECEIVER", "HopReport", "ReceiverReport", "Observation"]
+
+#: Sentinel used as the "successor" of the last intermediate node.  The
+#: receiver is outside the set of ``N`` nodes, so it cannot be confused with a
+#: node identity.
+RECEIVER = "RECEIVER"
+
+
+@dataclass(frozen=True, order=True)
+class HopReport:
+    """Report filed by one compromised node that forwarded the message.
+
+    Sorting is by timestamp (then by the remaining fields), matching the
+    paper's description of the adversary ordering the collected tuples by the
+    time at which the message traversed each compromised node.
+    """
+
+    timestamp: float
+    node: int
+    predecessor: int
+    successor: int | str
+    #: Hop position (1-based) of the reporting node on the path.  Only a
+    #: position-aware adversary may use this field; the standard passive
+    #: adversary of the paper must ignore it.
+    position: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.node == self.predecessor:
+            raise ObservationError(
+                f"node {self.node} cannot be its own predecessor"
+            )
+        if self.successor != RECEIVER and self.node == self.successor:
+            raise ObservationError(f"node {self.node} cannot be its own successor")
+
+
+@dataclass(frozen=True)
+class ReceiverReport:
+    """Report filed by the compromised receiver: who delivered the message."""
+
+    timestamp: float
+    predecessor: int
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Everything the adversary collected about one message.
+
+    Attributes
+    ----------
+    hop_reports:
+        Reports from compromised nodes that forwarded the message, in
+        timestamp order.  A node appears more than once only when the path
+        model allows cycles.
+    receiver_report:
+        The receiver's report, or ``None`` when the receiver is not
+        compromised.
+    silent_compromised:
+        Compromised nodes that did not see the message (negative evidence).
+    origin_node:
+        Set when the sender itself is compromised: the adversary directly
+        observes the origination and the sender is exposed.
+    """
+
+    hop_reports: tuple[HopReport, ...] = ()
+    receiver_report: ReceiverReport | None = None
+    silent_compromised: frozenset[int] = frozenset()
+    origin_node: int | None = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.hop_reports, key=lambda r: r.timestamp))
+        object.__setattr__(self, "hop_reports", ordered)
+        reporting = {report.node for report in ordered}
+        overlap = reporting.intersection(self.silent_compromised)
+        if overlap:
+            raise ObservationError(
+                f"nodes {sorted(overlap)} both reported a hop and reported silence"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def reporting_nodes(self) -> frozenset[int]:
+        """Compromised nodes that saw the message on its way."""
+        return frozenset(report.node for report in self.hop_reports)
+
+    @property
+    def observed_nodes(self) -> frozenset[int]:
+        """Every node identity mentioned anywhere in the observation."""
+        nodes: set[int] = set()
+        for report in self.hop_reports:
+            nodes.add(report.node)
+            nodes.add(report.predecessor)
+            if report.successor != RECEIVER:
+                nodes.add(report.successor)
+        if self.receiver_report is not None:
+            nodes.add(self.receiver_report.predecessor)
+        if self.origin_node is not None:
+            nodes.add(self.origin_node)
+        return frozenset(nodes)
+
+    def is_empty(self) -> bool:
+        """True when the adversary learned nothing beyond its static knowledge."""
+        return (
+            not self.hop_reports
+            and self.receiver_report is None
+            and self.origin_node is None
+        )
+
+    def without_positions(self) -> "Observation":
+        """Copy of the observation with hop positions stripped.
+
+        Useful for feeding a position-annotated observation (as produced by
+        the simulator, which of course knows where each node sat) to the
+        standard passive adversary that must not exploit positions.
+        """
+        stripped = tuple(replace(report, position=None) for report in self.hop_reports)
+        return replace(self, hop_reports=stripped)
+
+    # ------------------------------------------------------------------ #
+    # Fragment assembly                                                   #
+    # ------------------------------------------------------------------ #
+
+    def to_fragments(self) -> FragmentSet:
+        """Assemble the reports into path fragments for the counting engine.
+
+        Adjacent reports are merged when one report's successor is the next
+        report's node (the two compromised nodes sit next to each other on the
+        path); the receiver's report contributes the identity of the last
+        intermediate node.  Raises :class:`ObservationError` when the reports
+        are mutually inconsistent for a simple path.
+        """
+        fragments: list[Fragment] = []
+        current: list[int] = []
+        current_ends_at_receiver = False
+
+        for report in self.hop_reports:
+            if current and current[-1] == report.node:
+                # This report's node was already pinned as the successor of
+                # the previous compromised node: extend the current fragment.
+                pass
+            elif current and current[-1] == report.predecessor:
+                current.append(report.node)
+            else:
+                if current:
+                    fragments.append(
+                        Fragment(tuple(current), ends_at_receiver=current_ends_at_receiver)
+                    )
+                current = [report.predecessor, report.node]
+                current_ends_at_receiver = False
+            if report.successor == RECEIVER:
+                current_ends_at_receiver = True
+            else:
+                current.append(report.successor)
+
+        if current:
+            fragments.append(
+                Fragment(tuple(current), ends_at_receiver=current_ends_at_receiver)
+            )
+
+        last_intermediate = None
+        if self.receiver_report is not None:
+            last_intermediate = self.receiver_report.predecessor
+
+        return FragmentSet(
+            fragments=fragments,
+            last_intermediate=last_intermediate,
+            absent_nodes=frozenset(self.silent_compromised),
+            observed_sender=self.origin_node,
+        )
+
+
+def observation_from_path(
+    sender: int,
+    path: tuple[int, ...] | list[int],
+    compromised: frozenset[int] | set[int],
+    receiver_compromised: bool = True,
+    hop_duration: float = 1.0,
+) -> Observation:
+    """Derive the adversary observation produced by one concrete rerouting path.
+
+    This is the reference implementation of the threat model: given the true
+    sender and the true sequence of intermediate nodes, produce exactly the
+    reports the paper's adversary would collect.  The discrete-event simulator
+    produces the same observations through actual message passing; tests
+    compare the two.
+    """
+    compromised = frozenset(compromised)
+    if sender in compromised:
+        return Observation(
+            origin_node=sender,
+            silent_compromised=frozenset(),
+        )
+
+    reports: list[HopReport] = []
+    for index, node in enumerate(path):
+        if node not in compromised:
+            continue
+        predecessor = path[index - 1] if index > 0 else sender
+        successor: int | str = path[index + 1] if index + 1 < len(path) else RECEIVER
+        reports.append(
+            HopReport(
+                timestamp=(index + 1) * hop_duration,
+                node=node,
+                predecessor=predecessor,
+                successor=successor,
+                position=index + 1,
+            )
+        )
+
+    receiver_report = None
+    if receiver_compromised:
+        predecessor = path[-1] if path else sender
+        receiver_report = ReceiverReport(
+            timestamp=(len(path) + 1) * hop_duration, predecessor=predecessor
+        )
+
+    silent = compromised.difference(path)
+    return Observation(
+        hop_reports=tuple(reports),
+        receiver_report=receiver_report,
+        silent_compromised=frozenset(silent),
+        origin_node=None,
+    )

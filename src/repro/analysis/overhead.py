@@ -1,0 +1,117 @@
+"""Anonymity-versus-overhead trade-off analysis.
+
+Rerouting buys anonymity with latency and traffic: every extra intermediate
+node adds one store-and-forward delay and one more link-level transmission
+(Section 1 of the paper calls these the "extra overhead in terms of longer
+rerouting delays and extra amount of rerouting traffic").  A system designer
+therefore does not ask "which strategy maximises ``H*``" in isolation but
+"which strategies are *efficient*": not dominated by another strategy that is
+both cheaper and more anonymous.
+
+This module quantifies that trade-off:
+
+* :func:`evaluate_tradeoff` computes, for a set of candidate strategies, the
+  expected overhead (expected path length = expected extra transmissions and
+  expected extra hops of delay) and the anonymity degree;
+* :func:`pareto_frontier` extracts the efficient (non-dominated) strategies;
+* :func:`anonymity_per_hop` summarises the marginal value of each additional
+  expected hop along the fixed-length family — the curve a designer consults
+  to decide where more latency stops buying meaningful anonymity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.model import SystemModel
+from repro.distributions import FixedLength, PathLengthDistribution
+from repro.metrics import normalized_degree
+
+__all__ = [
+    "TradeoffPoint",
+    "evaluate_tradeoff",
+    "pareto_frontier",
+    "anonymity_per_hop",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One strategy's position in the overhead/anonymity plane."""
+
+    name: str
+    #: Expected number of intermediate nodes = expected extra transmissions
+    #: per message = expected extra store-and-forward delays.
+    expected_overhead: float
+    degree_bits: float
+    normalized: float
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """True when this point is at least as cheap *and* at least as anonymous,
+        and strictly better on at least one of the two axes."""
+        no_worse = (
+            self.expected_overhead <= other.expected_overhead + 1e-12
+            and self.degree_bits >= other.degree_bits - 1e-12
+        )
+        strictly_better = (
+            self.expected_overhead < other.expected_overhead - 1e-12
+            or self.degree_bits > other.degree_bits + 1e-12
+        )
+        return no_worse and strictly_better
+
+
+def evaluate_tradeoff(
+    model: SystemModel,
+    strategies: Mapping[str, PathLengthDistribution],
+) -> list[TradeoffPoint]:
+    """Evaluate every candidate strategy's overhead and anonymity degree.
+
+    Returns the points sorted by increasing expected overhead (ties broken by
+    decreasing anonymity), which is the order a designer reads the table in.
+    """
+    analyzer = AnonymityAnalyzer(model)
+    points = []
+    for name, distribution in strategies.items():
+        degree = analyzer.anonymity_degree(distribution)
+        points.append(
+            TradeoffPoint(
+                name=name,
+                expected_overhead=distribution.mean(),
+                degree_bits=degree,
+                normalized=normalized_degree(degree, model.n_nodes),
+            )
+        )
+    return sorted(points, key=lambda p: (p.expected_overhead, -p.degree_bits))
+
+
+def pareto_frontier(points: Sequence[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Return the non-dominated subset of ``points`` (the efficient strategies)."""
+    frontier = []
+    for candidate in points:
+        if not any(other.dominates(candidate) for other in points if other is not candidate):
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda p: p.expected_overhead)
+
+
+def anonymity_per_hop(
+    model: SystemModel,
+    max_length: int | None = None,
+) -> list[tuple[int, float, float]]:
+    """Marginal anonymity gained by each additional hop of the fixed-length family.
+
+    Returns ``(length, degree_bits, marginal_gain_bits)`` triples, where the
+    marginal gain is ``F(l) - F(l-1)``.  The point at which the marginal gain
+    turns negative is exactly the paper's long-path-effect threshold.
+    """
+    analyzer = AnonymityAnalyzer(model)
+    if max_length is None:
+        max_length = model.max_simple_path_length
+    rows = []
+    previous = analyzer.anonymity_degree(FixedLength(0))
+    for length in range(1, max_length + 1):
+        degree = analyzer.anonymity_degree(FixedLength(length))
+        rows.append((length, degree, degree - previous))
+        previous = degree
+    return rows

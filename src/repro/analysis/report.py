@@ -1,0 +1,67 @@
+"""Plain-text report rendering for sweeps, comparisons, and experiments.
+
+Every benchmark prints its regenerated data series through these helpers so
+that the benchmark log itself is the reproduction artefact (EXPERIMENTS.md is
+assembled from it).  The renderers work on the plain data containers produced
+by :mod:`repro.analysis.sweep` and :mod:`repro.analysis.compare`; nothing here
+depends on a plotting library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.compare import StrategyComparison
+from repro.analysis.sweep import SweepResult
+from repro.core.anonymity import AnonymityResult
+from repro.utils.tables import format_series, format_table
+
+__all__ = ["render_sweep", "render_comparison", "render_event_breakdown", "render_key_points"]
+
+
+def render_sweep(result: SweepResult, title: str | None = None, precision: int = 4) -> str:
+    """Render a sweep as an aligned text table (one column per curve)."""
+    return format_series(
+        x_label=result.x_label,
+        x_values=[f"{x:g}" for x in result.x_values],
+        series=result.as_dict(),
+        precision=precision,
+        title=title,
+    )
+
+
+def render_comparison(
+    rows: Sequence[StrategyComparison], title: str | None = None
+) -> str:
+    """Render a strategy comparison as a ranked table."""
+    headers = ("strategy", "length distribution", "E[L]", "H*(S) bits", "normalized")
+    return format_table(headers, [row.as_row() for row in rows], precision=4, title=title)
+
+
+def render_event_breakdown(result: AnonymityResult, title: str | None = None) -> str:
+    """Render the per-observation-class breakdown of one anonymity computation."""
+    headers = ("event class", "probability", "H(S|E) bits", "support", "max posterior", "contribution")
+    rows = [
+        (
+            summary.event.value,
+            summary.probability,
+            summary.entropy_bits,
+            summary.posterior_support,
+            summary.top_posterior,
+            summary.contribution_bits,
+        )
+        for summary in result.events
+    ]
+    body = format_table(headers, rows, precision=5, title=title)
+    footer = (
+        f"anonymity degree H*(S) = {result.degree_bits:.5f} bits "
+        f"({result.normalized_degree:.4f} of the log2(N) = {result.model.max_entropy:.4f} bound)"
+    )
+    return body + "\n" + footer
+
+
+def render_key_points(points: dict[str, object], title: str | None = None) -> str:
+    """Render a dictionary of headline numbers as a two-column table."""
+    headers = ("quantity", "value")
+    rows = [(key, value) for key, value in points.items()]
+    return format_table(headers, rows, precision=4, title=title)

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Installed as ``repro-anon`` (or runnable as ``python -m repro.cli``).  The CLI
+exposes the library's main entry points without writing any Python:
+
+* ``repro-anon list`` — list every reproducible experiment;
+* ``repro-anon figure fig3a`` — regenerate the data behind one paper figure
+  (or theorem, or extension study) and print it as a table;
+* ``repro-anon degree --n 100 --strategy fixed --length 5`` — compute the
+  anonymity degree of one strategy;
+* ``repro-anon optimize --n 100 --mean 10`` — run the Section 5.4 optimization
+  for a target expected path length;
+* ``repro-anon compare --n 100`` — rank the deployed systems of Section 2;
+* ``repro-anon simulate --n 40 --protocol freedom --trials 500`` — run the
+  discrete-event simulator and compare with the closed form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.compare import compare_deployed_systems
+from repro.analysis.report import render_comparison, render_event_breakdown, render_key_points
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.model import AdversaryModel, SystemModel
+from repro.core.optimizer import best_fixed_length, best_uniform_for_mean, optimize_distribution
+from repro.distributions import (
+    FixedLength,
+    GeometricLength,
+    PathLengthDistribution,
+    UniformLength,
+)
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.protocols import (
+    AnonymizerProtocol,
+    FreedomProtocol,
+    OnionRoutingI,
+    PipeNetProtocol,
+    RemailerChainProtocol,
+)
+from repro.simulation.experiment import ProtocolMonteCarlo
+
+__all__ = ["main", "build_parser"]
+
+_PROTOCOL_FACTORIES = {
+    "freedom": FreedomProtocol,
+    "onion-routing-1": OnionRoutingI,
+    "pipenet": PipeNetProtocol,
+    "anonymizer": AnonymizerProtocol,
+    "remailer": RemailerChainProtocol,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-anon",
+        description=(
+            "Reproduction of 'An Optimal Strategy for Anonymous Communication "
+            "Protocols' (Guan et al., ICDCS 2002)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list every reproducible experiment")
+
+    figure = subparsers.add_parser("figure", help="regenerate one experiment's data")
+    figure.add_argument("experiment_id", help="experiment identifier, e.g. fig3a")
+
+    degree = subparsers.add_parser("degree", help="anonymity degree of one strategy")
+    degree.add_argument("--n", type=int, default=100, help="number of nodes")
+    degree.add_argument(
+        "--adversary",
+        choices=[a.value for a in AdversaryModel],
+        default=AdversaryModel.FULL_BAYES.value,
+    )
+    degree.add_argument(
+        "--strategy", choices=["fixed", "uniform", "geometric"], default="fixed"
+    )
+    degree.add_argument("--length", type=int, default=5, help="fixed path length")
+    degree.add_argument("--low", type=int, default=2, help="uniform lower bound")
+    degree.add_argument("--high", type=int, default=8, help="uniform upper bound")
+    degree.add_argument(
+        "--p-forward", type=float, default=0.75, help="geometric forwarding probability"
+    )
+
+    optimize = subparsers.add_parser("optimize", help="optimal path-length distribution")
+    optimize.add_argument("--n", type=int, default=100)
+    optimize.add_argument(
+        "--mean", type=int, default=None, help="constrain the expected path length"
+    )
+    optimize.add_argument(
+        "--full-simplex",
+        action="store_true",
+        help="search all distributions (SLSQP) instead of the uniform family",
+    )
+
+    compare = subparsers.add_parser("compare", help="rank deployed systems")
+    compare.add_argument("--n", type=int, default=100)
+
+    simulate = subparsers.add_parser("simulate", help="discrete-event simulation")
+    simulate.add_argument("--n", type=int, default=40)
+    simulate.add_argument("--compromised", type=int, default=1)
+    simulate.add_argument(
+        "--protocol", choices=sorted(_PROTOCOL_FACTORIES), default="freedom"
+    )
+    simulate.add_argument("--trials", type=int, default=500)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _strategy_distribution(args: argparse.Namespace) -> PathLengthDistribution:
+    if args.strategy == "fixed":
+        return FixedLength(args.length)
+    if args.strategy == "uniform":
+        return UniformLength(args.low, args.high)
+    return GeometricLength(p_forward=args.p_forward, minimum=1, max_length=args.n - 1)
+
+
+def _command_list() -> int:
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    data = run_experiment(args.experiment_id)
+    print(data.render())
+    return 0 if data.all_checks_pass else 1
+
+
+def _command_degree(args: argparse.Namespace) -> int:
+    model = SystemModel(
+        n_nodes=args.n,
+        n_compromised=1,
+        adversary=AdversaryModel(args.adversary),
+    )
+    distribution = _strategy_distribution(args)
+    result = AnonymityAnalyzer(model).analyze(distribution)
+    print(render_event_breakdown(result, title=f"{distribution.name} under {model.describe()}"))
+    return 0
+
+
+def _command_optimize(args: argparse.Namespace) -> int:
+    model = SystemModel(n_nodes=args.n, n_compromised=1)
+    report: dict[str, object] = {}
+    if args.mean is None:
+        scan = best_fixed_length(model)
+        report["best fixed length"] = scan.best_length
+        report["H* at best fixed length"] = round(scan.best_degree, 5)
+        if args.full_simplex:
+            outcome = optimize_distribution(model, min_length=0)
+            report["H* of unconstrained optimum"] = round(outcome.degree_bits, 5)
+            report["optimal distribution"] = outcome.distribution.name
+    else:
+        scan = best_uniform_for_mean(model, args.mean)
+        report["target expected length"] = args.mean
+        report["best uniform distribution"] = scan.best_distribution.name
+        report["H* of best uniform"] = round(scan.best_degree, 5)
+        if args.full_simplex:
+            outcome = optimize_distribution(
+                model, min_length=0, max_length=min(args.n - 1, 2 * args.mean), mean=args.mean
+            )
+            report["H* of simplex optimum"] = round(outcome.degree_bits, 5)
+    print(render_key_points(report, title=f"Optimization for N={args.n}"))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    model = SystemModel(n_nodes=args.n, n_compromised=1)
+    rows = compare_deployed_systems(model)
+    print(render_comparison(rows, title=f"Deployed systems ranked for N={args.n}, C=1"))
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    model = SystemModel(n_nodes=args.n, n_compromised=args.compromised)
+    factory_cls = _PROTOCOL_FACTORIES[args.protocol]
+    experiment = ProtocolMonteCarlo(model, lambda: factory_cls(args.n))
+    report = experiment.run(args.trials, rng=args.seed)
+    lines = {
+        "protocol": args.protocol,
+        "trials": args.trials,
+        "estimated H*": str(report.estimate),
+        "mean path length": round(report.mean_path_length, 3),
+        "identification rate": round(report.identification_rate, 4),
+    }
+    if args.compromised == 1:
+        exact = AnonymityAnalyzer(model).anonymity_degree(
+            factory_cls(args.n).strategy().effective_distribution(args.n)
+        )
+        lines["closed-form H*"] = round(exact, 5)
+        lines["closed form inside the 95% CI"] = report.estimate.contains(exact, slack=0.02)
+    print(render_key_points(lines, title=f"Simulation of {args.protocol} ({model.describe()})"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "figure":
+        return _command_figure(args)
+    if args.command == "degree":
+        return _command_degree(args)
+    if args.command == "optimize":
+        return _command_optimize(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Counting substrate for exact Bayesian inference over rerouting paths.
+
+The adversary of the paper observes *fragments* of the rerouting path: every
+compromised node on the path reports its predecessor and successor, and the
+(compromised) receiver reports the last intermediate node.  Computing the
+posterior probability that a given node is the sender requires counting, for
+every candidate sender and every possible path length, how many rerouting
+paths are consistent with the observed fragments.  This subpackage provides
+that counting machinery:
+
+* :mod:`repro.combinatorics.fragments` assembles raw per-node reports into
+  ordered path fragments (maximal known contiguous runs of the path);
+* :mod:`repro.combinatorics.arrangements` counts the simple paths of a given
+  length that embed those fragments as blocks, which is exactly the likelihood
+  numerator needed by :class:`repro.adversary.inference.BayesianPathInference`.
+"""
+
+from repro.combinatorics.arrangements import ArrangementProblem, count_arrangements
+from repro.combinatorics.fragments import Fragment, FragmentSet
+
+__all__ = [
+    "Fragment",
+    "FragmentSet",
+    "ArrangementProblem",
+    "count_arrangements",
+]

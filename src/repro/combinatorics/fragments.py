@@ -1,0 +1,160 @@
+"""Path fragments: the contiguous pieces of a rerouting path an adversary knows.
+
+A compromised node ``c`` at position ``j`` of the rerouting path
+
+    sender = i0 -> i1 -> ... -> il -> receiver
+
+reports the triple ``(predecessor, c, successor) = (i_{j-1}, i_j, i_{j+1})``.
+When several compromised nodes sit at adjacent positions their triples overlap
+and merge into longer known runs.  The receiver's report pins the identity of
+the last intermediate node ``i_l``.  A :class:`FragmentSet` captures exactly
+this knowledge:
+
+* an ordered list of :class:`Fragment` objects — maximal known contiguous runs
+  of the path, in path order (the adversary can order them because reports are
+  timestamped);
+* whether the first fragment is known to start at the sender (its leading
+  element *is* the sender — this happens when the first intermediate node is
+  compromised, although the adversary generally cannot tell);
+* whether the last fragment is known to end at the receiver;
+* the identity of the last intermediate node (from the receiver's report), if
+  the receiver is compromised;
+* the set of compromised nodes that saw nothing (negative evidence: they are
+  *not* on the path).
+
+Fragments deal purely in node identities (integers); they are produced from
+raw observations by :mod:`repro.adversary.observation` and consumed by the
+arrangement counter in :mod:`repro.combinatorics.arrangements`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ObservationError
+
+__all__ = ["Fragment", "FragmentSet"]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A maximal known contiguous run of intermediate-path nodes.
+
+    Attributes
+    ----------
+    nodes:
+        The known nodes of the run, in path order.  The first element is the
+        predecessor observed by the first compromised node of the run — it may
+        be the sender itself (the adversary cannot tell without further
+        evidence).  The last element is the successor observed by the last
+        compromised node of the run; it may be the receiver, in which case
+        :attr:`ends_at_receiver` is set and the receiver is *not* included in
+        ``nodes``.
+    ends_at_receiver:
+        True when the run's final successor was the receiver, i.e. the run is
+        anchored at the end of the path.
+    """
+
+    nodes: tuple[int, ...]
+    ends_at_receiver: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ObservationError("a fragment must contain at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ObservationError(
+                f"a fragment of a simple path cannot repeat nodes: {self.nodes}"
+            )
+
+    @property
+    def leading(self) -> int:
+        """First known node of the run (possibly the sender)."""
+        return self.nodes[0]
+
+    @property
+    def trailing(self) -> int:
+        """Last known node of the run."""
+        return self.nodes[-1]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class FragmentSet:
+    """Everything the adversary knows about one rerouting path.
+
+    Instances are plain data: the Bayesian engine never mutates them.
+    """
+
+    #: Known contiguous runs in path order (possibly empty when no compromised
+    #: node was on the path).
+    fragments: list[Fragment] = field(default_factory=list)
+    #: Identity of the last intermediate node, from the receiver's report, or
+    #: ``None`` when the receiver is not compromised.  For a direct path
+    #: (length zero) the receiver's predecessor is the sender itself; callers
+    #: represent that case with ``last_intermediate`` set to the reported node
+    #: and ``fragments`` empty — the counting engine handles the ambiguity.
+    last_intermediate: int | None = None
+    #: Compromised nodes that reported seeing nothing: they are not on the path.
+    absent_nodes: frozenset[int] = frozenset()
+    #: Set when the sender itself is compromised and therefore exposed.
+    observed_sender: int | None = None
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        seen: set[int] = set()
+        for fragment in self.fragments:
+            overlap = seen.intersection(fragment.nodes)
+            if overlap:
+                raise ObservationError(
+                    "fragments of a simple path must not share nodes; "
+                    f"shared: {sorted(overlap)}"
+                )
+            seen.update(fragment.nodes)
+        for fragment in self.fragments[:-1]:
+            if fragment.ends_at_receiver:
+                raise ObservationError(
+                    "only the final fragment may be anchored at the receiver"
+                )
+        if self.absent_nodes.intersection(seen):
+            raise ObservationError(
+                "a node cannot both appear in a fragment and be reported absent"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the counting engine                                 #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def observed_on_path(self) -> frozenset[int]:
+        """All node identities known to lie on the path (fragments + receiver report)."""
+        nodes: set[int] = set()
+        for fragment in self.fragments:
+            nodes.update(fragment.nodes)
+        if self.last_intermediate is not None:
+            nodes.add(self.last_intermediate)
+        return frozenset(nodes)
+
+    @property
+    def known_intermediate_count(self) -> int:
+        """Minimum number of path positions already pinned by the observation."""
+        count = sum(len(fragment) for fragment in self.fragments)
+        if self.last_intermediate is not None and not self._last_in_fragments():
+            count += 1
+        return count
+
+    def _last_in_fragments(self) -> bool:
+        if self.last_intermediate is None:
+            return False
+        return any(self.last_intermediate in f.nodes for f in self.fragments)
+
+    def is_empty(self) -> bool:
+        """True when the adversary saw nothing at all (no fragments, no receiver report)."""
+        return (
+            not self.fragments
+            and self.last_intermediate is None
+            and self.observed_sender is None
+        )

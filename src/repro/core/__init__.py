@@ -1,0 +1,56 @@
+"""Core analytical engine: the paper's anonymity-degree metric and optimizers.
+
+This subpackage contains the primary contribution of the reproduced paper:
+
+* :class:`repro.core.model.SystemModel` — the system and threat model;
+* :class:`repro.core.anonymity.AnonymityAnalyzer` — exact anonymity degree
+  ``H*(S)`` for one compromised node and any path-length distribution;
+* :mod:`repro.core.closed_form` — re-derived closed forms for the paper's
+  Theorems 1–3;
+* :class:`repro.core.enumeration.ExhaustiveAnalyzer` — brute-force ground
+  truth for small systems (any number of compromised nodes, cycles allowed);
+* :mod:`repro.core.optimizer` — the optimal path-length-distribution search of
+  Section 5.4.
+"""
+
+from repro.core.anonymity import AnonymityAnalyzer, AnonymityResult, anonymity_degree
+from repro.core.closed_form import (
+    fixed_length_degree,
+    interior_event_entropy,
+    two_point_degree,
+    uniform_degree,
+)
+from repro.core.enumeration import ExhaustiveAnalyzer, enumerate_anonymity_degree
+from repro.core.events import EventClass, EventSummary
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.core.optimizer import (
+    FixedLengthScan,
+    OptimizationOutcome,
+    UniformWidthScan,
+    best_fixed_length,
+    best_uniform_for_mean,
+    optimize_distribution,
+)
+
+__all__ = [
+    "AnonymityAnalyzer",
+    "AnonymityResult",
+    "anonymity_degree",
+    "fixed_length_degree",
+    "two_point_degree",
+    "uniform_degree",
+    "interior_event_entropy",
+    "ExhaustiveAnalyzer",
+    "enumerate_anonymity_degree",
+    "EventClass",
+    "EventSummary",
+    "AdversaryModel",
+    "PathModel",
+    "SystemModel",
+    "FixedLengthScan",
+    "OptimizationOutcome",
+    "UniformWidthScan",
+    "best_fixed_length",
+    "best_uniform_for_mean",
+    "optimize_distribution",
+]

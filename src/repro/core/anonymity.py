@@ -1,0 +1,348 @@
+"""Exact computation of the anonymity degree ``H*(S)`` (paper, Section 5).
+
+The anonymity degree of a system is the expected Shannon entropy of the
+adversary's posterior distribution over senders:
+
+    H*(S) = sum over observations E of  Pr[E] * H(sender | E)
+
+This module computes ``H*(S)`` *exactly* for the setting the paper analyses
+numerically: one compromised node (plus the compromised receiver), simple
+rerouting paths on a clique of ``N`` nodes, and an arbitrary path-length
+distribution.  The computation exploits the symmetric observation classes
+described in :mod:`repro.core.events`: within a class every concrete
+observation yields the same posterior entropy, so the anonymity degree is a
+short weighted sum whose terms are ratios of falling factorials.
+
+Three adversary strengths are supported (see
+:class:`repro.core.model.AdversaryModel`):
+
+* ``FULL_BAYES`` — the paper's worst-case passive adversary, which combines
+  the compromised node's report, the receiver's report, its negative evidence
+  (silence of compromised nodes), and the known path-length distribution into
+  an exact posterior;
+* ``POSITION_AWARE`` — additionally knows the hop position of the compromised
+  node (an upper bound on passive adversaries, e.g. perfect timing analysis);
+* ``PREDECESSOR_ONLY`` — the weaker Crowds-style adversary that only uses the
+  predecessor observed by the compromised node.
+
+For more than one compromised node use the exhaustive engine in
+:mod:`repro.core.enumeration` (exact, small systems) or the Monte-Carlo
+machinery in :mod:`repro.simulation` (estimates with confidence intervals,
+arbitrary systems); both share the same threat-model semantics and are tested
+against this module on their common domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.events import EventClass, EventSummary
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError
+from repro.utils.mathx import entropy_bits, falling_factorial
+
+__all__ = ["AnonymityAnalyzer", "AnonymityResult", "anonymity_degree"]
+
+
+@dataclass(frozen=True)
+class AnonymityResult:
+    """Result of one exact anonymity-degree computation."""
+
+    #: The anonymity degree ``H*(S)`` in bits.
+    degree_bits: float
+    #: The system model the computation was performed for.
+    model: SystemModel
+    #: Name of the path-length distribution analysed.
+    distribution: str
+    #: Per-observation-class breakdown (probability, entropy, contribution).
+    events: tuple[EventSummary, ...]
+
+    @property
+    def normalized_degree(self) -> float:
+        """Anonymity degree normalised by its upper bound ``log2 N`` (in [0, 1])."""
+        upper = self.model.max_entropy
+        if upper <= 0.0:
+            return 0.0
+        return self.degree_bits / upper
+
+    def event(self, event_class: EventClass) -> EventSummary:
+        """Return the summary row for one observation class."""
+        for summary in self.events:
+            if summary.event is event_class:
+                return summary
+        raise KeyError(f"no summary for event class {event_class!r}")
+
+
+class AnonymityAnalyzer:
+    """Exact anonymity-degree computations for a single-compromised-node system."""
+
+    def __init__(self, model: SystemModel) -> None:
+        if model.n_compromised != 1:
+            raise ConfigurationError(
+                "AnonymityAnalyzer computes the exact closed form for exactly one "
+                f"compromised node; got n_compromised={model.n_compromised}. "
+                "Use repro.core.enumeration (exact, small N) or "
+                "repro.simulation.MonteCarloAnonymityExperiment (estimates) for other cases."
+            )
+        if model.path_model is not PathModel.SIMPLE:
+            raise ConfigurationError(
+                "AnonymityAnalyzer covers simple rerouting paths; cycle-allowed paths "
+                "are handled by the enumeration and simulation engines."
+            )
+        if not model.receiver_compromised:
+            raise ConfigurationError(
+                "The paper's model assumes the receiver is compromised; set "
+                "receiver_compromised=True or use the enumeration engine."
+            )
+        self._model = model
+
+    # ------------------------------------------------------------------ #
+    # Public API                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def model(self) -> SystemModel:
+        """The system model this analyzer was built for."""
+        return self._model
+
+    def anonymity_degree(self, distribution: PathLengthDistribution) -> float:
+        """Return ``H*(S)`` in bits for the given path-length distribution."""
+        return self.analyze(distribution).degree_bits
+
+    def analyze(self, distribution: PathLengthDistribution) -> AnonymityResult:
+        """Return the anonymity degree together with the per-event breakdown."""
+        self._check_distribution(distribution)
+        adversary = self._model.adversary
+        if adversary is AdversaryModel.FULL_BAYES:
+            events = self._events_full_bayes(distribution)
+        elif adversary is AdversaryModel.POSITION_AWARE:
+            events = self._events_position_aware(distribution)
+        elif adversary is AdversaryModel.PREDECESSOR_ONLY:
+            events = self._events_predecessor_only(distribution)
+        else:  # pragma: no cover - exhaustiveness guard
+            raise ConfigurationError(f"unsupported adversary model {adversary!r}")
+        degree = sum(summary.contribution_bits for summary in events)
+        return AnonymityResult(
+            degree_bits=degree,
+            model=self._model,
+            distribution=distribution.name,
+            events=tuple(events),
+        )
+
+    def degree_for_fixed_length(self, length: int) -> float:
+        """Convenience wrapper: anonymity degree of the fixed-length strategy ``F(length)``."""
+        from repro.distributions.fixed import FixedLength
+
+        return self.anonymity_degree(FixedLength(length))
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _check_distribution(self, distribution: PathLengthDistribution) -> None:
+        max_len = self._model.max_simple_path_length
+        if distribution.max_length > max_len:
+            raise ConfigurationError(
+                f"distribution {distribution.name} assigns probability to path length "
+                f"{distribution.max_length}, but a simple path in a system of "
+                f"{self._model.n_nodes} nodes has at most {max_len} intermediate nodes. "
+                "Truncate the distribution first (PathLengthDistribution.truncated)."
+            )
+
+    @staticmethod
+    def _class_entropy(special_weight: float, other_weight: float, n_others: int) -> tuple[float, int, float]:
+        """Entropy of a posterior with one special candidate and ``n_others`` symmetric ones.
+
+        Returns ``(entropy_bits, support_size, top_probability)``.  The weight
+        arguments are unnormalised likelihood values; zero-weight candidates
+        drop out of the support.
+        """
+        weights = []
+        if special_weight > 0.0:
+            weights.append(special_weight)
+        weights.extend(other_weight for _ in range(n_others) if other_weight > 0.0)
+        if not weights:
+            return 0.0, 0, 0.0
+        total = sum(weights)
+        probabilities = [w / total for w in weights]
+        return entropy_bits(probabilities), len(probabilities), max(probabilities)
+
+    # ------------------------------------------------------------------ #
+    # FULL_BAYES event table                                              #
+    # ------------------------------------------------------------------ #
+
+    def _events_full_bayes(self, dist: PathLengthDistribution) -> list[EventSummary]:
+        n = self._model.n_nodes
+
+        def ff(a: int, b: int) -> int:
+            return falling_factorial(a, b)
+
+        # --- Event probabilities -------------------------------------- #
+        p_origin = 1.0 / n
+        p_silent = sum(prob * (n - 1 - length) for length, prob in dist.items()) / n
+        p_last = sum(prob for length, prob in dist.items() if length >= 1) / n
+        p_penultimate = sum(prob for length, prob in dist.items() if length >= 2) / n
+        p_interior = sum(prob * max(length - 2, 0) for length, prob in dist.items()) / n
+
+        # --- Posterior likelihood weights per class -------------------- #
+        # SILENT: receiver reports w; the compromised node saw nothing.
+        silent_special = dist.pmf(0)  # the reported node itself, via a direct path
+        silent_other = sum(
+            prob * ff(n - 3, length - 1) / ff(n - 1, length)
+            for length, prob in dist.items()
+            if length >= 1 and ff(n - 1, length) > 0
+        )
+        silent_entropy, silent_support, silent_top = self._class_entropy(
+            silent_special, silent_other, n - 2
+        )
+
+        # LAST: the compromised node reports (p, R); the receiver reports m.
+        last_special = dist.pmf(1) / ff(n - 1, 1) if n >= 2 else 0.0
+        last_other = sum(
+            prob * ff(n - 3, length - 2) / ff(n - 1, length)
+            for length, prob in dist.items()
+            if length >= 2 and ff(n - 1, length) > 0
+        )
+        last_entropy, last_support, last_top = self._class_entropy(
+            last_special, last_other, n - 2
+        )
+
+        # PENULTIMATE: the compromised node's successor is the receiver's
+        # reported predecessor.
+        pen_special = dist.pmf(2) / ff(n - 1, 2) if n >= 3 else 0.0
+        pen_other = sum(
+            prob * ff(n - 4, length - 3) / ff(n - 1, length)
+            for length, prob in dist.items()
+            if length >= 3 and ff(n - 1, length) > 0
+        )
+        pen_entropy, pen_support, pen_top = self._class_entropy(
+            pen_special, pen_other, n - 3
+        )
+
+        # INTERIOR: the compromised node's successor matches neither the
+        # receiver nor the receiver's reported predecessor.
+        interior_special = sum(
+            prob * ff(n - 4, length - 3) / ff(n - 1, length)
+            for length, prob in dist.items()
+            if length >= 3 and ff(n - 1, length) > 0
+        )
+        interior_other = sum(
+            prob * (length - 3) * ff(n - 5, length - 4) / ff(n - 1, length)
+            for length, prob in dist.items()
+            if length >= 4 and ff(n - 1, length) > 0
+        )
+        interior_entropy, interior_support, interior_top = self._class_entropy(
+            interior_special, interior_other, n - 4
+        )
+
+        return [
+            EventSummary(EventClass.ORIGIN, p_origin, 0.0, 1, 1.0),
+            EventSummary(EventClass.SILENT, p_silent, silent_entropy, silent_support, silent_top),
+            EventSummary(EventClass.LAST, p_last, last_entropy, last_support, last_top),
+            EventSummary(
+                EventClass.PENULTIMATE, p_penultimate, pen_entropy, pen_support, pen_top
+            ),
+            EventSummary(
+                EventClass.INTERIOR, p_interior, interior_entropy, interior_support, interior_top
+            ),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # POSITION_AWARE event table                                          #
+    # ------------------------------------------------------------------ #
+
+    def _events_position_aware(self, dist: PathLengthDistribution) -> list[EventSummary]:
+        n = self._model.n_nodes
+
+        p_origin = 1.0 / n
+        p_silent = sum(prob * (n - 1 - length) for length, prob in dist.items()) / n
+        # The compromised node at position 1 sees the sender directly and the
+        # adversary knows the position, so the sender is identified.
+        p_identified = sum(prob for length, prob in dist.items() if length >= 1) / n
+        p_last = sum(prob for length, prob in dist.items() if length >= 2) / n
+        p_penultimate = sum(prob for length, prob in dist.items() if length >= 3) / n
+        p_interior = sum(prob * max(length - 3, 0) for length, prob in dist.items()) / n
+
+        # SILENT is identical to the FULL_BAYES case: position knowledge adds
+        # nothing when the compromised node is off the path.
+        silent_special = dist.pmf(0)
+        silent_other = sum(
+            prob * falling_factorial(n - 3, length - 1) / falling_factorial(n - 1, length)
+            for length, prob in dist.items()
+            if length >= 1 and falling_factorial(n - 1, length) > 0
+        )
+        silent_entropy, silent_support, silent_top = self._class_entropy(
+            silent_special, silent_other, n - 2
+        )
+
+        def uniform_event(excluded: int) -> tuple[float, int, float]:
+            candidates = max(n - excluded, 0)
+            if candidates <= 0:
+                return 0.0, 0, 0.0
+            return math.log2(candidates), candidates, 1.0 / candidates
+
+        last_entropy, last_support, last_top = uniform_event(2)
+        pen_entropy, pen_support, pen_top = uniform_event(3)
+        interior_entropy, interior_support, interior_top = uniform_event(4)
+
+        return [
+            EventSummary(EventClass.ORIGIN, p_origin + p_identified, 0.0, 1, 1.0),
+            EventSummary(EventClass.SILENT, p_silent, silent_entropy, silent_support, silent_top),
+            EventSummary(EventClass.LAST, p_last, last_entropy, last_support, last_top),
+            EventSummary(EventClass.PENULTIMATE, p_penultimate, pen_entropy, pen_support, pen_top),
+            EventSummary(
+                EventClass.INTERIOR, p_interior, interior_entropy, interior_support, interior_top
+            ),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # PREDECESSOR_ONLY event table                                        #
+    # ------------------------------------------------------------------ #
+
+    def _events_predecessor_only(self, dist: PathLengthDistribution) -> list[EventSummary]:
+        n = self._model.n_nodes
+
+        p_origin = 1.0 / n
+        p_on_path = sum(prob * length for length, prob in dist.items()) / n
+        p_silent = 1.0 - p_origin - p_on_path
+
+        # Posterior when the compromised node is on the path: its predecessor
+        # is the sender exactly when the node sits at position 1.
+        special = sum(prob / (n - 1) for length, prob in dist.items() if length >= 1)
+        other = sum(
+            prob * (length - 1) / ((n - 1) * (n - 2))
+            for length, prob in dist.items()
+            if length >= 2
+        )
+        on_entropy, on_support, on_top = self._class_entropy(special, other, n - 2)
+
+        # When the compromised node saw nothing this weak adversary learns only
+        # that the compromised node is not the sender (it would have observed
+        # its own origination), so the posterior is uniform over the others.
+        silent_entropy = math.log2(n - 1) if n > 1 else 0.0
+
+        return [
+            EventSummary(EventClass.ORIGIN, p_origin, 0.0, 1, 1.0),
+            EventSummary(
+                EventClass.SILENT, p_silent, silent_entropy, n - 1, 1.0 / (n - 1)
+            ),
+            EventSummary(EventClass.INTERIOR, p_on_path, on_entropy, on_support, on_top),
+            EventSummary(EventClass.LAST, 0.0, 0.0, 0, 0.0),
+            EventSummary(EventClass.PENULTIMATE, 0.0, 0.0, 0, 0.0),
+        ]
+
+
+def anonymity_degree(
+    n_nodes: int,
+    distribution: PathLengthDistribution,
+    adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
+) -> float:
+    """Functional shorthand for the common case of one compromised node.
+
+    Equivalent to building a :class:`SystemModel` with ``n_compromised=1`` and
+    calling :meth:`AnonymityAnalyzer.anonymity_degree`.
+    """
+    model = SystemModel(n_nodes=n_nodes, n_compromised=1, adversary=adversary)
+    return AnonymityAnalyzer(model).anonymity_degree(distribution)

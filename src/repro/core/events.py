@@ -1,0 +1,88 @@
+"""Observation-event structure for the single-compromised-node analysis.
+
+With exactly one compromised node ``m`` (plus the compromised receiver), every
+possible adversary observation of a single message falls into one of five
+symmetric classes.  Which class occurs, together with the path-length
+distribution, fully determines the adversary's posterior entropy, so the
+anonymity degree can be computed exactly as a weighted sum over the classes —
+this is what :class:`repro.core.anonymity.AnonymityAnalyzer` does.
+
+The five classes (``m`` is the compromised node, ``R`` the receiver):
+
+``ORIGIN``
+    The sender itself is the compromised node; the adversary observes the
+    message being originated and identifies the sender outright (the paper's
+    "local eavesdropper" case).
+
+``SILENT``
+    ``m`` is not on the rerouting path.  The adversary only sees the
+    receiver's report of its predecessor ``w`` and the silence of ``m``.
+
+``LAST``
+    ``m`` is the last intermediate node: it reports ``(p, R)`` and the
+    receiver reports ``m``.
+
+``PENULTIMATE``
+    ``m`` is the next-to-last intermediate node: its reported successor
+    coincides with the receiver's reported predecessor.
+
+``INTERIOR``
+    ``m`` sits anywhere else on the path (positions ``1 .. l-2``): its
+    reported successor matches neither the receiver nor the receiver's
+    reported predecessor.  Crucially the adversary cannot tell *which* of
+    those positions ``m`` occupies, which is the source of the paper's
+    "short path effect": for short paths there are few interior positions and
+    the predecessor is revealed almost surely, while for longer paths the
+    observed predecessor hides among many possible positions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["EventClass", "EventSummary"]
+
+
+class EventClass(enum.Enum):
+    """The five observation classes of the single-compromised-node analysis."""
+
+    ORIGIN = "origin"
+    SILENT = "silent"
+    LAST = "last"
+    PENULTIMATE = "penultimate"
+    INTERIOR = "interior"
+
+
+@dataclass(frozen=True)
+class EventSummary:
+    """Probability and posterior entropy of one observation class.
+
+    Attributes
+    ----------
+    event:
+        Which observation class this row describes.
+    probability:
+        Probability that an observation of this class occurs (marginalised
+        over senders, path lengths, and concrete node identities).
+    entropy_bits:
+        Shannon entropy (bits) of the adversary's posterior over senders given
+        an observation of this class.  By symmetry the entropy is identical
+        for every concrete observation within a class.
+    posterior_support:
+        Number of candidate senders with non-zero posterior probability.
+    top_posterior:
+        Largest single posterior probability assigned to any candidate; useful
+        for min-entropy style metrics.
+    """
+
+    event: EventClass
+    probability: float
+    entropy_bits: float
+    posterior_support: int
+    top_posterior: float
+
+    @property
+    def contribution_bits(self) -> float:
+        """Contribution ``probability * entropy`` of this class to the anonymity degree."""
+        return self.probability * self.entropy_bits

@@ -1,0 +1,261 @@
+"""Optimal path-length selection (paper, Section 5.4 and Figure 6).
+
+The paper casts path selection as an optimization problem: among all
+path-length distributions ``Pr[L = l]`` supported on an interval, find the one
+that maximises the anonymity degree ``H*(S)``, optionally subject to a
+constraint on the expected path length (longer paths cost latency and
+bandwidth, so designers typically fix the expected overhead first and then ask
+for the most anonymity available at that cost).
+
+Three optimizers are provided, in increasing generality:
+
+* :func:`best_fixed_length` — scan the fixed-length strategies ``F(l)``;
+* :func:`best_uniform_for_mean` — within the uniform family ``U(L-w, L+w)`` of
+  a given expected length ``L``, pick the width ``w`` maximising ``H*``
+  (this is the restricted optimization the paper plots in Figure 6);
+* :func:`optimize_distribution` — search the full probability simplex over an
+  integer support with ``scipy.optimize`` (SLSQP), optionally constraining the
+  mean.  The result is returned as a
+  :class:`repro.distributions.CategoricalLength`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize as scipy_optimize
+
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.model import SystemModel
+from repro.distributions import (
+    CategoricalLength,
+    FixedLength,
+    PathLengthDistribution,
+    UniformLength,
+)
+from repro.exceptions import ConfigurationError, OptimizationError
+
+__all__ = [
+    "FixedLengthScan",
+    "UniformWidthScan",
+    "OptimizationOutcome",
+    "best_fixed_length",
+    "best_uniform_for_mean",
+    "optimize_distribution",
+]
+
+
+@dataclass(frozen=True)
+class FixedLengthScan:
+    """Result of scanning fixed-length strategies."""
+
+    best_length: int
+    best_degree: float
+    degrees: dict[int, float]
+
+
+@dataclass(frozen=True)
+class UniformWidthScan:
+    """Result of scanning widths of mean-constrained uniform strategies."""
+
+    mean: int
+    best_width: int
+    best_degree: float
+    degrees: dict[int, float]
+
+    @property
+    def best_distribution(self) -> UniformLength:
+        """The optimal uniform distribution found by the scan."""
+        return UniformLength(self.mean - self.best_width, self.mean + self.best_width)
+
+
+@dataclass(frozen=True)
+class OptimizationOutcome:
+    """Result of the full-simplex optimization of Section 5.4."""
+
+    distribution: CategoricalLength
+    degree_bits: float
+    iterations: int
+    converged: bool
+    message: str
+
+
+def best_fixed_length(
+    model: SystemModel,
+    min_length: int = 1,
+    max_length: int | None = None,
+) -> FixedLengthScan:
+    """Scan ``F(l)`` for ``l`` in ``[min_length, max_length]`` and return the best.
+
+    ``max_length`` defaults to the longest feasible simple path, ``N - 1``.
+    """
+    analyzer = AnonymityAnalyzer(model)
+    if max_length is None:
+        max_length = model.max_simple_path_length
+    if max_length > model.max_simple_path_length:
+        raise ConfigurationError(
+            f"max_length ({max_length}) exceeds the longest simple path "
+            f"({model.max_simple_path_length})"
+        )
+    degrees = {
+        length: analyzer.anonymity_degree(FixedLength(length))
+        for length in range(min_length, max_length + 1)
+    }
+    best_length = max(degrees, key=degrees.__getitem__)
+    return FixedLengthScan(
+        best_length=best_length, best_degree=degrees[best_length], degrees=degrees
+    )
+
+
+def best_uniform_for_mean(model: SystemModel, mean: int) -> UniformWidthScan:
+    """Find the half-width maximising ``H*`` among ``U(mean - w, mean + w)``.
+
+    This is the optimization the paper performs for Figure 6: for a given
+    expected path length, choose the variance of the uniform strategy.  The
+    width is constrained so the bounds stay within ``[0, N - 1]``.
+    """
+    analyzer = AnonymityAnalyzer(model)
+    if not 0 <= mean <= model.max_simple_path_length:
+        raise ConfigurationError(
+            f"mean ({mean}) must lie within [0, {model.max_simple_path_length}]"
+        )
+    max_width = min(mean, model.max_simple_path_length - mean)
+    degrees: dict[int, float] = {}
+    for width in range(max_width + 1):
+        distribution = UniformLength(mean - width, mean + width)
+        degrees[width] = analyzer.anonymity_degree(distribution)
+    best_width = max(degrees, key=degrees.__getitem__)
+    return UniformWidthScan(
+        mean=mean,
+        best_width=best_width,
+        best_degree=degrees[best_width],
+        degrees=degrees,
+    )
+
+
+def optimize_distribution(
+    model: SystemModel,
+    min_length: int = 0,
+    max_length: int | None = None,
+    mean: float | None = None,
+    initial: PathLengthDistribution | None = None,
+    max_iterations: int = 300,
+) -> OptimizationOutcome:
+    """Maximise ``H*(S)`` over all distributions on ``[min_length, max_length]``.
+
+    Implements the optimization problem (15)–(17) of the paper: the decision
+    variable is the probability vector ``Pr[L = l]`` itself, constrained to be
+    non-negative and to sum to one, with an optional constraint pinning the
+    expected path length (pass ``mean``).  Returns the best distribution found
+    and the anonymity degree it achieves.
+    """
+    analyzer = AnonymityAnalyzer(model)
+    if max_length is None:
+        max_length = model.max_simple_path_length
+    if max_length > model.max_simple_path_length:
+        raise ConfigurationError(
+            f"max_length ({max_length}) exceeds the longest simple path "
+            f"({model.max_simple_path_length})"
+        )
+    if min_length > max_length:
+        raise ConfigurationError("min_length must not exceed max_length")
+    lengths = np.arange(min_length, max_length + 1)
+    dimension = len(lengths)
+    if mean is not None and not (min_length <= mean <= max_length):
+        raise ConfigurationError(
+            f"the target mean ({mean}) must lie within [{min_length}, {max_length}]"
+        )
+
+    def degree_of_vector(vector: np.ndarray) -> float:
+        vector = np.clip(vector, 0.0, None)
+        total = vector.sum()
+        if total <= 0.0:
+            return 0.0
+        pmf = {
+            int(length): float(p / total)
+            for length, p in zip(lengths, vector)
+            if p / total > 0.0
+        }
+        distribution = CategoricalLength(pmf, name="candidate")
+        return analyzer.anonymity_degree(distribution)
+
+    def objective(vector: np.ndarray) -> float:
+        return -degree_of_vector(vector)
+
+    # Starting point: the caller's initial distribution, or uniform over the
+    # support (respecting the mean constraint via a simple two-point warm start
+    # when one is requested).
+    if initial is not None:
+        start = np.array([initial.pmf(int(length)) for length in lengths], dtype=float)
+        if start.sum() <= 0.0:
+            raise ConfigurationError(
+                "the initial distribution has no mass on the optimization support"
+            )
+        start = start / start.sum()
+    elif mean is None:
+        start = np.full(dimension, 1.0 / dimension)
+    else:
+        start = _mean_matching_start(lengths, mean)
+
+    constraints = [
+        {"type": "eq", "fun": lambda vector: float(np.sum(vector) - 1.0)},
+    ]
+    if mean is not None:
+        constraints.append(
+            {
+                "type": "eq",
+                "fun": lambda vector: float(np.dot(vector, lengths) - mean),
+            }
+        )
+    bounds = [(0.0, 1.0)] * dimension
+
+    result = scipy_optimize.minimize(
+        objective,
+        start,
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        options={"maxiter": max_iterations, "ftol": 1e-12},
+    )
+
+    best_vector = np.clip(result.x, 0.0, None)
+    if best_vector.sum() <= 0.0:
+        raise OptimizationError("optimizer produced an all-zero probability vector")
+    best_degree = degree_of_vector(best_vector)
+
+    # SLSQP occasionally terminates at a point worse than its starting point on
+    # flat regions of the objective; keep whichever is better.
+    start_degree = degree_of_vector(start)
+    if start_degree > best_degree:
+        best_vector, best_degree = start, start_degree
+
+    distribution = CategoricalLength.from_vector(
+        best_vector, offset=int(lengths[0]), name="optimized"
+    )
+    return OptimizationOutcome(
+        distribution=distribution,
+        degree_bits=best_degree,
+        iterations=int(result.get("nit", 0)) if hasattr(result, "get") else result.nit,
+        converged=bool(result.success),
+        message=str(result.message),
+    )
+
+
+def _mean_matching_start(lengths: np.ndarray, mean: float) -> np.ndarray:
+    """A feasible starting vector with the requested expected value.
+
+    Uses a two-point distribution on the integers bracketing the mean, which
+    always satisfies both simplex constraints exactly.
+    """
+    lower = int(np.floor(mean))
+    upper = int(np.ceil(mean))
+    start = np.zeros(len(lengths))
+    offset = int(lengths[0])
+    if lower == upper:
+        start[lower - offset] = 1.0
+        return start
+    weight_upper = mean - lower
+    start[lower - offset] = 1.0 - weight_upper
+    start[upper - offset] = weight_upper
+    return start

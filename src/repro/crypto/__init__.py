@@ -1,0 +1,32 @@
+"""Simulated cryptographic substrate (toy cipher, key directory, onion envelopes).
+
+Nothing in this package is cryptographically secure; it exists so the protocol
+simulations exercise realistic message structures (per-hop keys, layered
+envelopes, fixed-size cells) while the paper's traffic-analysis results remain
+purely information-theoretic.
+"""
+
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.onion import Onion, OnionLayer, build_onion, peel_layer
+from repro.crypto.toy_cipher import (
+    authenticate,
+    decrypt,
+    derive_key,
+    encrypt,
+    keystream,
+    verify,
+)
+
+__all__ = [
+    "KeyDirectory",
+    "Onion",
+    "OnionLayer",
+    "build_onion",
+    "peel_layer",
+    "encrypt",
+    "decrypt",
+    "keystream",
+    "derive_key",
+    "authenticate",
+    "verify",
+]

@@ -1,0 +1,48 @@
+"""Key management for the simulated onion / mix message formats.
+
+Every node in the simulated system owns a long-term symmetric key.  Senders
+building onion envelopes look the keys up in a :class:`KeyDirectory` — the
+stand-in for the public-key directory that Onion Routing, Freedom, and mix
+networks publish.  Compromise of a node hands its key to the adversary, but
+note that the paper's traffic-analysis adversary never needs keys: everything
+it uses is routing metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.toy_cipher import derive_key
+from repro.exceptions import ConfigurationError
+
+__all__ = ["KeyDirectory"]
+
+
+@dataclass
+class KeyDirectory:
+    """Directory mapping node identities to their long-term symmetric keys."""
+
+    keys: dict[int, bytes] = field(default_factory=dict)
+
+    @classmethod
+    def generate(cls, n_nodes: int, seed: bytes = b"repro-key-directory") -> "KeyDirectory":
+        """Deterministically derive one key per node (reproducible test fixtures)."""
+        return cls(
+            keys={node: derive_key(seed, f"node-{node}") for node in range(n_nodes)}
+        )
+
+    def key_for(self, node: int) -> bytes:
+        """Return the key of ``node``; unknown nodes are a configuration error."""
+        try:
+            return self.keys[node]
+        except KeyError as exc:
+            raise ConfigurationError(f"no key registered for node {node}") from exc
+
+    def register(self, node: int, key: bytes) -> None:
+        """Register (or replace) the key of one node."""
+        if len(key) < 16:
+            raise ConfigurationError("node keys must be at least 16 bytes")
+        self.keys[node] = key
+
+    def __len__(self) -> int:
+        return len(self.keys)

@@ -1,0 +1,67 @@
+"""Toy symmetric cipher used by the simulated onion message format.
+
+The paper's analysis is information-theoretic: it assumes the cryptographic
+transformations of mixes and onion routers are perfect and concentrates on
+traffic analysis.  The simulator nevertheless builds real (nested) message
+envelopes so the protocol implementations exercise the same code paths as the
+deployed systems — construct layers at the sender, peel one layer per hop —
+and so tests can assert that honest nodes never see more than their own layer.
+
+The cipher itself is a keystream XOR driven by Python's SHA-256; it is
+**deliberately not cryptographically secure** and must never be used outside
+this simulation.  What matters for the reproduction is the *structure*
+(per-hop keys, nested envelopes, length padding), not the cryptographic
+strength.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.exceptions import ProtocolError
+
+__all__ = ["keystream", "encrypt", "decrypt", "derive_key", "authenticate", "verify"]
+
+_BLOCK = 32  # SHA-256 digest size
+
+
+def derive_key(seed: bytes, label: str) -> bytes:
+    """Derive a per-purpose key from a seed (e.g. per-node keys from a test seed)."""
+    return hashlib.sha256(seed + b"|" + label.encode("utf-8")).digest()
+
+
+def keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Deterministic keystream of ``length`` bytes from ``(key, nonce)``."""
+    if length < 0:
+        raise ProtocolError("keystream length must be non-negative")
+    blocks = []
+    counter = 0
+    produced = 0
+    while produced < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """XOR the plaintext with the keystream (symmetric: encrypt == decrypt)."""
+    stream = keystream(key, nonce, len(plaintext))
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+def decrypt(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`encrypt` (the cipher is an involution)."""
+    return encrypt(key, nonce, ciphertext)
+
+
+def authenticate(key: bytes, data: bytes) -> bytes:
+    """Compute a MAC over ``data`` (HMAC-SHA256, truncated to 16 bytes)."""
+    return hmac.new(key, data, hashlib.sha256).digest()[:16]
+
+
+def verify(key: bytes, data: bytes, tag: bytes) -> bool:
+    """Constant-time verification of a MAC produced by :func:`authenticate`."""
+    return hmac.compare_digest(authenticate(key, data), tag)

@@ -1,0 +1,34 @@
+"""Path-length distributions: the parameter space of the paper's analysis.
+
+The strategy used by a rerouting-based anonymous communication system is, for
+the purposes of the paper, characterised by the probability distribution of
+its path length (the number of intermediate nodes).  This subpackage provides
+the distributions analysed in the paper (fixed, uniform, two-point) alongside
+the distributions induced by deployed protocols (geometric coin flipping for
+Crowds / Onion Routing II) and additional parametric families used by the
+extension experiments.
+"""
+
+from repro.distributions.base import PathLengthDistribution
+from repro.distributions.custom import CategoricalLength
+from repro.distributions.discrete_families import (
+    BinomialLength,
+    PoissonLength,
+    ZipfLength,
+)
+from repro.distributions.fixed import FixedLength
+from repro.distributions.geometric import GeometricLength
+from repro.distributions.two_point import TwoPointLength
+from repro.distributions.uniform import UniformLength
+
+__all__ = [
+    "PathLengthDistribution",
+    "FixedLength",
+    "UniformLength",
+    "TwoPointLength",
+    "GeometricLength",
+    "CategoricalLength",
+    "PoissonLength",
+    "BinomialLength",
+    "ZipfLength",
+]

@@ -1,0 +1,108 @@
+"""Arbitrary (categorical) path-length distributions.
+
+The optimization problem of Section 5.4 searches over *all* probability
+distributions supported on an integer interval, so the optimizer needs a
+distribution type that can represent an arbitrary pmf vector.  The same class
+backs truncation and mixture operations on the other distribution types.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import DistributionError
+from repro.utils.mathx import kahan_sum
+
+__all__ = ["CategoricalLength"]
+
+
+class CategoricalLength(PathLengthDistribution):
+    """Explicit pmf over a finite set of non-negative integer lengths."""
+
+    def __init__(self, pmf: Mapping[int, float], name: str | None = None) -> None:
+        super().__init__()
+        if not pmf:
+            raise DistributionError("CategoricalLength requires a non-empty pmf")
+        cleaned: dict[int, float] = {}
+        for length, prob in pmf.items():
+            length = int(length)
+            prob = float(prob)
+            if prob < -1e-12:
+                raise DistributionError(
+                    f"probability of length {length} is negative: {prob}"
+                )
+            if prob > 0.0:
+                cleaned[length] = cleaned.get(length, 0.0) + prob
+        if not cleaned:
+            raise DistributionError("CategoricalLength pmf has no positive mass")
+        total = kahan_sum(cleaned.values())
+        if abs(total - 1.0) > 1e-6:
+            raise DistributionError(
+                f"CategoricalLength pmf must sum to 1 (within 1e-6), got {total}"
+            )
+        # Renormalise exactly so downstream sums-to-one assertions hold tightly.
+        self._pmf_dict = {length: prob / total for length, prob in sorted(cleaned.items())}
+        self._name = name or "Categorical(" + ", ".join(
+            f"{length}:{prob:.3g}" for length, prob in self._pmf_dict.items()
+        ) + ")"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def _pmf_map(self) -> Mapping[int, float]:
+        return self._pmf_dict
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors                                            #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_vector(
+        cls,
+        probabilities: Sequence[float],
+        offset: int = 0,
+        name: str | None = None,
+    ) -> "CategoricalLength":
+        """Build a distribution from a dense vector starting at length ``offset``.
+
+        Tiny negative entries produced by numerical optimizers are clipped to
+        zero before normalisation; this is the entry point used by
+        :mod:`repro.core.optimizer`.
+        """
+        vector = np.asarray(probabilities, dtype=float)
+        vector = np.clip(vector, 0.0, None)
+        total = vector.sum()
+        if total <= 0.0:
+            raise DistributionError("probability vector has no positive mass")
+        vector = vector / total
+        pmf = {offset + i: float(p) for i, p in enumerate(vector) if p > 0.0}
+        return cls(pmf, name=name)
+
+    @classmethod
+    def mixture(
+        cls,
+        components: Sequence[tuple[PathLengthDistribution, float]],
+        name: str | None = None,
+    ) -> "CategoricalLength":
+        """Finite mixture of path-length distributions with the given weights."""
+        if not components:
+            raise DistributionError("mixture requires at least one component")
+        weights = [float(w) for _, w in components]
+        if any(w < 0.0 for w in weights):
+            raise DistributionError("mixture weights must be non-negative")
+        total = sum(weights)
+        if total <= 0.0:
+            raise DistributionError("mixture weights must not all be zero")
+        pmf: dict[int, float] = {}
+        for (component, weight) in components:
+            for length, prob in component.items():
+                pmf[length] = pmf.get(length, 0.0) + (weight / total) * prob
+        if name is None:
+            name = "Mixture(" + " + ".join(
+                f"{w / total:.3g}*{c.name}" for c, w in components
+            ) + ")"
+        return cls(pmf, name=name)

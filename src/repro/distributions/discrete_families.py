@@ -1,0 +1,137 @@
+"""Additional parametric path-length families (Poisson, binomial, Zipf).
+
+These families are not analysed in the paper, but they are natural candidates
+for a system designer exploring the optimization problem of Section 5.4: the
+Poisson and binomial families interpolate smoothly between "almost fixed" and
+"widely spread" lengths, and the (truncated) Zipf family models heavy-tailed
+strategies.  They are exercised by the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import DistributionError
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = ["PoissonLength", "BinomialLength", "ZipfLength"]
+
+
+class PoissonLength(PathLengthDistribution):
+    """Poisson-distributed extra hops on top of a guaranteed minimum.
+
+    ``L = minimum + K`` with ``K ~ Poisson(rate)``, truncated at
+    ``max_length`` and renormalised.  ``max_length`` defaults to a point where
+    the discarded tail mass is below 1e-12.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        minimum: int = 1,
+        max_length: int | None = None,
+    ) -> None:
+        super().__init__()
+        rate = float(rate)
+        if rate < 0.0:
+            raise DistributionError(f"rate must be >= 0, got {rate}")
+        self._rate = rate
+        self._minimum = check_non_negative_int(minimum, "minimum")
+        if max_length is not None:
+            max_length = check_non_negative_int(max_length, "max_length")
+            if max_length < minimum:
+                raise DistributionError("max_length must be >= minimum")
+        self._max_length = max_length
+
+    @property
+    def rate(self) -> float:
+        """Mean number of extra hops beyond the guaranteed minimum."""
+        return self._rate
+
+    @property
+    def minimum(self) -> int:
+        """Guaranteed minimum number of intermediate hops."""
+        return self._minimum
+
+    @property
+    def name(self) -> str:
+        return f"Poisson(rate={self._rate:g}, min={self._minimum})"
+
+    def _pmf_map(self) -> Mapping[int, float]:
+        if self._rate == 0.0:
+            return {self._minimum: 1.0}
+        if self._max_length is not None:
+            horizon = self._max_length - self._minimum
+        else:
+            horizon = max(10, int(self._rate + 12.0 * math.sqrt(self._rate) + 12))
+        pmf: dict[int, float] = {}
+        total = 0.0
+        log_rate = math.log(self._rate)
+        for k in range(horizon + 1):
+            log_p = -self._rate + k * log_rate - math.lgamma(k + 1)
+            prob = math.exp(log_p)
+            pmf[self._minimum + k] = prob
+            total += prob
+        return {length: prob / total for length, prob in pmf.items()}
+
+
+class BinomialLength(PathLengthDistribution):
+    """``L = minimum + K`` with ``K ~ Binomial(trials, success)``."""
+
+    def __init__(self, trials: int, success: float, minimum: int = 1) -> None:
+        super().__init__()
+        self._trials = check_positive_int(trials, "trials")
+        self._success = check_probability(success, "success")
+        self._minimum = check_non_negative_int(minimum, "minimum")
+
+    @property
+    def name(self) -> str:
+        return f"Binom(n={self._trials}, p={self._success:g}, min={self._minimum})"
+
+    def _pmf_map(self) -> Mapping[int, float]:
+        pmf: dict[int, float] = {}
+        for k in range(self._trials + 1):
+            prob = (
+                math.comb(self._trials, k)
+                * (self._success**k)
+                * ((1.0 - self._success) ** (self._trials - k))
+            )
+            if prob > 0.0:
+                pmf[self._minimum + k] = prob
+        return pmf
+
+
+class ZipfLength(PathLengthDistribution):
+    """Truncated Zipf (power-law) path lengths: ``Pr[L = l] ∝ l ** -exponent``.
+
+    Supported on ``[minimum, max_length]`` with ``minimum >= 1``.
+    """
+
+    def __init__(self, exponent: float, minimum: int, max_length: int) -> None:
+        super().__init__()
+        exponent = float(exponent)
+        if exponent <= 0.0:
+            raise DistributionError(f"exponent must be > 0, got {exponent}")
+        self._exponent = exponent
+        self._minimum = check_positive_int(minimum, "minimum")
+        self._max_length = check_positive_int(max_length, "max_length")
+        if self._max_length < self._minimum:
+            raise DistributionError("max_length must be >= minimum")
+
+    @property
+    def name(self) -> str:
+        return f"Zipf(s={self._exponent:g}, [{self._minimum}, {self._max_length}])"
+
+    def _pmf_map(self) -> Mapping[int, float]:
+        weights = {
+            length: length ** (-self._exponent)
+            for length in range(self._minimum, self._max_length + 1)
+        }
+        total = sum(weights.values())
+        return {length: weight / total for length, weight in weights.items()}

@@ -1,0 +1,42 @@
+"""Fixed path-length strategy ``F(l)``.
+
+Onion Routing I (five hops), Freedom (three hops), and PipeNet (three or four
+hops) all use fixed-length rerouting paths.  In the paper's notation this is
+the strategy ``F(l)``: every message traverses exactly ``l`` intermediate
+nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.distributions.base import PathLengthDistribution
+from repro.utils.validation import check_non_negative_int
+
+__all__ = ["FixedLength"]
+
+
+class FixedLength(PathLengthDistribution):
+    """Degenerate distribution: ``Pr[L = length] = 1``."""
+
+    def __init__(self, length: int) -> None:
+        super().__init__()
+        self._length = check_non_negative_int(length, "length")
+
+    @property
+    def length(self) -> int:
+        """The single path length used by this strategy."""
+        return self._length
+
+    @property
+    def name(self) -> str:
+        return f"F({self._length})"
+
+    def _pmf_map(self) -> Mapping[int, float]:
+        return {self._length: 1.0}
+
+    def mean(self) -> float:
+        return float(self._length)
+
+    def variance(self) -> float:
+        return 0.0

@@ -1,0 +1,99 @@
+"""Geometric ("coin-flip") path-length distribution.
+
+Crowds and Onion Routing II extend the rerouting path hop by hop: each
+intermediate node forwards the message to the receiver with probability
+``1 - p_forward`` and to another randomly chosen node with probability
+``p_forward``.  The number of intermediate nodes is therefore geometrically
+distributed.  Two conventions are supported:
+
+* ``minimum`` hops are always taken before coin flipping starts (Crowds uses
+  ``minimum = 1``: the initiator always forwards to at least one jondo);
+* the distribution can be truncated to a maximum length, which is required
+  when analysing simple paths in a finite system (at most ``N - 1``
+  intermediate nodes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import DistributionError
+from repro.utils.validation import check_non_negative_int, check_probability
+
+__all__ = ["GeometricLength"]
+
+
+class GeometricLength(PathLengthDistribution):
+    """Geometric number of hops on top of a guaranteed minimum.
+
+    ``Pr[L = minimum + k] = (1 - p_forward) * p_forward**k`` for ``k >= 0``,
+    truncated (and renormalised) at ``max_length`` when one is supplied.
+    """
+
+    #: When no explicit truncation point is given, the support is cut where
+    #: the tail mass drops below this value; the pmf is then renormalised.
+    _TAIL_MASS = 1e-12
+
+    def __init__(
+        self,
+        p_forward: float,
+        minimum: int = 1,
+        max_length: int | None = None,
+    ) -> None:
+        super().__init__()
+        self._p_forward = check_probability(p_forward, "p_forward")
+        if self._p_forward >= 1.0:
+            raise DistributionError("p_forward must be < 1 for the path to terminate")
+        self._minimum = check_non_negative_int(minimum, "minimum")
+        if max_length is not None:
+            max_length = check_non_negative_int(max_length, "max_length")
+            if max_length < self._minimum:
+                raise DistributionError(
+                    f"max_length ({max_length}) must be >= minimum ({minimum})"
+                )
+        self._max_length = max_length
+
+    @property
+    def p_forward(self) -> float:
+        """Probability that an intermediate node forwards to another node."""
+        return self._p_forward
+
+    @property
+    def minimum(self) -> int:
+        """Number of intermediate hops always taken before coin flipping."""
+        return self._minimum
+
+    @property
+    def name(self) -> str:
+        suffix = "" if self._max_length is None else f", max={self._max_length}"
+        return f"Geom(pf={self._p_forward:g}, min={self._minimum}{suffix})"
+
+    def _pmf_map(self) -> Mapping[int, float]:
+        stop = 1.0 - self._p_forward
+        pmf: dict[int, float] = {}
+        if self._max_length is not None:
+            horizon = self._max_length
+        else:
+            # Find the point where the remaining tail is negligible.
+            horizon = self._minimum
+            tail = 1.0
+            while tail > self._TAIL_MASS:
+                tail *= self._p_forward
+                horizon += 1
+        total = 0.0
+        for k in range(0, horizon - self._minimum + 1):
+            prob = stop * (self._p_forward**k)
+            pmf[self._minimum + k] = prob
+            total += prob
+        # Renormalise the truncated distribution.
+        return {length: prob / total for length, prob in pmf.items()}
+
+    def untruncated_mean(self) -> float:
+        """Mean of the un-truncated geometric distribution.
+
+        Matches the paper's remark that for Crowds-style strategies "the
+        expected route length is completely determined by the weight of
+        flipping a coin": ``minimum + p_forward / (1 - p_forward)``.
+        """
+        return self._minimum + self._p_forward / (1.0 - self._p_forward)

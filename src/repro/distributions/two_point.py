@@ -1,0 +1,68 @@
+"""Two-point path-length distribution.
+
+Theorem 2 of the paper analyses the simplest non-degenerate variable-length
+strategy: the path length takes one of two values, ``short`` with probability
+``p`` and ``long`` with probability ``1 - p``.  It is the minimal setting in
+which the trade-off between expectation and variance of the path length can be
+studied in closed form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import DistributionError
+from repro.utils.validation import check_non_negative_int, check_probability
+
+__all__ = ["TwoPointLength"]
+
+
+class TwoPointLength(PathLengthDistribution):
+    """``Pr[L = short] = p`` and ``Pr[L = long] = 1 - p``."""
+
+    def __init__(self, short: int, long: int, p_short: float) -> None:
+        super().__init__()
+        self._short = check_non_negative_int(short, "short")
+        self._long = check_non_negative_int(long, "long")
+        if self._short >= self._long:
+            raise DistributionError(
+                f"short length ({short}) must be strictly less than long length ({long})"
+            )
+        self._p_short = check_probability(p_short, "p_short")
+
+    @property
+    def short(self) -> int:
+        """The smaller of the two possible path lengths."""
+        return self._short
+
+    @property
+    def long(self) -> int:
+        """The larger of the two possible path lengths."""
+        return self._long
+
+    @property
+    def p_short(self) -> float:
+        """Probability assigned to the smaller path length."""
+        return self._p_short
+
+    @property
+    def name(self) -> str:
+        return f"TwoPoint({self._short}:{self._p_short:g}, {self._long}:{1 - self._p_short:g})"
+
+    def _pmf_map(self) -> Mapping[int, float]:
+        if self._p_short == 1.0:
+            return {self._short: 1.0}
+        if self._p_short == 0.0:
+            return {self._long: 1.0}
+        return {self._short: self._p_short, self._long: 1.0 - self._p_short}
+
+    def mean(self) -> float:
+        return self._p_short * self._short + (1.0 - self._p_short) * self._long
+
+    def variance(self) -> float:
+        mu = self.mean()
+        return (
+            self._p_short * (self._short - mu) ** 2
+            + (1.0 - self._p_short) * (self._long - mu) ** 2
+        )

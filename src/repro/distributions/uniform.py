@@ -1,0 +1,72 @@
+"""Uniform path-length strategy ``U(a, b)``.
+
+The paper's variable-length analysis (Sections 5.3 and 6.2–6.4) concentrates
+on path lengths drawn uniformly from an integer interval ``[a, b]``: every
+length in the interval is equally likely.  ``U(a, a)`` degenerates to the
+fixed-length strategy ``F(a)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.distributions.base import PathLengthDistribution
+from repro.utils.validation import check_range
+
+__all__ = ["UniformLength"]
+
+
+class UniformLength(PathLengthDistribution):
+    """Uniform distribution over the integer interval ``[low, high]``."""
+
+    def __init__(self, low: int, high: int) -> None:
+        super().__init__()
+        self._low, self._high = check_range(low, high, "low", "high")
+
+    @property
+    def low(self) -> int:
+        """Smallest possible path length (inclusive)."""
+        return self._low
+
+    @property
+    def high(self) -> int:
+        """Largest possible path length (inclusive)."""
+        return self._high
+
+    @property
+    def width(self) -> int:
+        """Difference between the longest and the shortest path length."""
+        return self._high - self._low
+
+    @property
+    def name(self) -> str:
+        return f"U({self._low}, {self._high})"
+
+    def _pmf_map(self) -> Mapping[int, float]:
+        count = self._high - self._low + 1
+        probability = 1.0 / count
+        return {length: probability for length in range(self._low, self._high + 1)}
+
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    def variance(self) -> float:
+        count = self._high - self._low + 1
+        return (count * count - 1) / 12.0
+
+    @classmethod
+    def from_mean_and_width(cls, mean: float, width: int) -> "UniformLength":
+        """Build ``U(mean - width/2, mean + width/2)`` from its centre and width.
+
+        Figure 5 and Figure 6 of the paper parameterise uniform strategies by
+        their expected length; this constructor mirrors that usage.  The
+        resulting bounds must be non-negative integers.
+        """
+        low = mean - width / 2.0
+        high = mean + width / 2.0
+        if abs(low - round(low)) > 1e-9 or abs(high - round(high)) > 1e-9:
+            raise ValueError(
+                "mean and width must produce integer bounds; "
+                f"got low={low}, high={high}"
+            )
+        return cls(int(round(low)), int(round(high)))

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting genuine programming errors (``TypeError`` from bad call signatures and
+the like) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A system model, strategy, or experiment was configured inconsistently.
+
+    Examples include asking for more compromised nodes than there are nodes,
+    a path length larger than the number of available intermediate nodes for
+    a simple path, or a distribution whose support is empty.
+    """
+
+
+class DistributionError(ConfigurationError):
+    """A path-length distribution was constructed with invalid parameters."""
+
+
+class ObservationError(ReproError):
+    """An adversary observation is internally inconsistent.
+
+    The inference engine raises this when asked to explain an observation that
+    could not have been produced by the system model it was given (for
+    example, a compromised node reporting a successor that another compromised
+    node contradicts).
+    """
+
+
+class InferenceError(ReproError):
+    """The Bayesian inference engine could not compute a posterior."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation was driven outside its valid state machine."""
+
+
+class OptimizationError(ReproError):
+    """The path-length-distribution optimizer failed to converge."""

@@ -1,0 +1,44 @@
+"""Experiment harnesses: one module per paper figure, plus extension studies."""
+
+from repro.experiments.base import ExperimentData, PAPER_N_COMPROMISED, PAPER_N_NODES
+from repro.experiments.extensions import (
+    adversary_ablation,
+    compromised_sweep,
+    predecessor_attack_rounds,
+    protocol_comparison,
+    simulation_validation,
+)
+from repro.experiments.fig3 import figure3a, figure3b
+from repro.experiments.fig4 import figure4a, figure4b, figure4c, figure4d
+from repro.experiments.fig5 import figure5a, figure5b, figure5c, figure5d
+from repro.experiments.fig6 import figure6
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments.theorems import theorem1, theorem2, theorem3
+
+__all__ = [
+    "ExperimentData",
+    "PAPER_N_NODES",
+    "PAPER_N_COMPROMISED",
+    "figure3a",
+    "figure3b",
+    "figure4a",
+    "figure4b",
+    "figure4c",
+    "figure4d",
+    "figure5a",
+    "figure5b",
+    "figure5c",
+    "figure5d",
+    "figure6",
+    "theorem1",
+    "theorem2",
+    "theorem3",
+    "compromised_sweep",
+    "adversary_ablation",
+    "protocol_comparison",
+    "simulation_validation",
+    "predecessor_attack_rounds",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,167 @@
+"""Figure 4: effect of the path-length *expectation* for uniform strategies.
+
+The paper fixes the lower bound ``a`` of a uniform strategy ``U(a, a + L)``
+and sweeps the range width ``L`` (which, for a fixed lower bound, moves the
+expectation while widening the variance).  The four panels use different
+lower-bound regimes:
+
+* (a) small lower bounds (4, 6, 10): the degree grows with the expectation,
+  and for the same width the strategy with the larger lower bound does better;
+* (b) intermediate lower bounds (25, 40): the curves develop an interior
+  extreme point;
+* (c) large lower bounds (51, 60, 70): the long-path effect dominates and the
+  degree decreases with the expectation;
+* (d) tiny lower bounds (0, 1, 6): the short-path effect — including length 0
+  in the support hurts badly until the range is wide enough to dilute it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.sweep import uniform_width_sweep
+from repro.core.model import SystemModel
+from repro.experiments.base import PAPER_N_COMPROMISED, PAPER_N_NODES, ExperimentData
+
+__all__ = ["figure4a", "figure4b", "figure4c", "figure4d"]
+
+
+def _finite(values) -> list[float]:
+    return [value for value in values if not math.isnan(value)]
+
+
+def _build(
+    experiment_id: str,
+    title: str,
+    lower_bounds: list[int],
+    widths: list[int],
+    n_nodes: int,
+    n_compromised: int,
+) -> tuple[ExperimentData, SystemModel]:
+    model = SystemModel(n_nodes=n_nodes, n_compromised=n_compromised)
+    sweep = uniform_width_sweep(model, lower_bounds, widths)
+    return (
+        ExperimentData(
+            experiment_id=experiment_id,
+            title=title,
+            sweep=sweep,
+        ),
+        model,
+    )
+
+
+def figure4a(
+    n_nodes: int = PAPER_N_NODES, n_compromised: int = PAPER_N_COMPROMISED
+) -> ExperimentData:
+    """Panel (a): small lower bounds — degree grows with the expectation."""
+    lower_bounds = [4, 6, 10]
+    widths = list(range(0, 90, 5))
+    data, _ = _build(
+        "fig4a",
+        f"Figure 4(a): H* vs range width, lower bounds {lower_bounds} (N={n_nodes})",
+        lower_bounds,
+        widths,
+        n_nodes,
+        n_compromised,
+    )
+    by_label = data.sweep.as_dict()
+    checks = {}
+    for label, values in by_label.items():
+        finite = _finite(values)
+        checks[f"{label}: widening the range beyond 0 increases H*"] = finite[-1] > finite[0]
+    # For the same width, the larger lower bound has the larger degree.
+    first = _finite(by_label["U(4, 4+L)"])
+    last = _finite(by_label["U(10, 10+L)"])
+    checks["larger lower bound dominates at equal width"] = last[0] > first[0]
+    key_points = {
+        "H* of U(4,4)": round(by_label["U(4, 4+L)"][0], 4),
+        "H* of U(10,10)": round(by_label["U(10, 10+L)"][0], 4),
+        "H* of U(4,89)": round(_finite(by_label["U(4, 4+L)"])[-1], 4),
+    }
+    return ExperimentData(data.experiment_id, data.title, data.sweep, checks, key_points)
+
+
+def figure4b(
+    n_nodes: int = PAPER_N_NODES, n_compromised: int = PAPER_N_COMPROMISED
+) -> ExperimentData:
+    """Panel (b): intermediate lower bounds (25 and 40)."""
+    lower_bounds = [25, 40]
+    widths = list(range(0, 60, 5))
+    data, _ = _build(
+        "fig4b",
+        f"Figure 4(b): H* vs range width, lower bounds {lower_bounds} (N={n_nodes})",
+        lower_bounds,
+        widths,
+        n_nodes,
+        n_compromised,
+    )
+    by_label = data.sweep.as_dict()
+    checks = {}
+    for label, values in by_label.items():
+        finite = _finite(values)
+        spread = max(finite) - min(finite)
+        checks[f"{label}: the curve is nearly flat (intermediate regime)"] = spread < 0.02
+    key_points = {
+        "H* of U(25,25)": round(by_label["U(25, 25+L)"][0], 4),
+        "H* of U(40,40)": round(by_label["U(40, 40+L)"][0], 4),
+    }
+    return ExperimentData(data.experiment_id, data.title, data.sweep, checks, key_points)
+
+
+def figure4c(
+    n_nodes: int = PAPER_N_NODES, n_compromised: int = PAPER_N_COMPROMISED
+) -> ExperimentData:
+    """Panel (c): large lower bounds — the long-path effect dominates."""
+    lower_bounds = [51, 60, 70]
+    widths = list(range(0, 45, 4))
+    data, _ = _build(
+        "fig4c",
+        f"Figure 4(c): H* vs range width, lower bounds {lower_bounds} (N={n_nodes})",
+        lower_bounds,
+        widths,
+        n_nodes,
+        n_compromised,
+    )
+    by_label = data.sweep.as_dict()
+    checks = {}
+    for label, values in by_label.items():
+        finite = _finite(values)
+        checks[f"{label}: widening the range does not improve H* (long path effect)"] = (
+            finite[-1] <= finite[0] + 1e-9
+        )
+    key_points = {
+        "H* of U(51,51)": round(by_label["U(51, 51+L)"][0], 4),
+        "H* of U(70,70)": round(by_label["U(70, 70+L)"][0], 4),
+    }
+    return ExperimentData(data.experiment_id, data.title, data.sweep, checks, key_points)
+
+
+def figure4d(
+    n_nodes: int = PAPER_N_NODES, n_compromised: int = PAPER_N_COMPROMISED
+) -> ExperimentData:
+    """Panel (d): tiny lower bounds — the short-path effect for variable length."""
+    lower_bounds = [0, 1, 6]
+    widths = list(range(1, 90, 5))
+    data, _ = _build(
+        "fig4d",
+        f"Figure 4(d): H* vs range width, lower bounds {lower_bounds} (N={n_nodes})",
+        lower_bounds,
+        widths,
+        n_nodes,
+        n_compromised,
+    )
+    by_label = data.sweep.as_dict()
+    u0 = _finite(by_label["U(0, 0+L)"])
+    u6 = _finite(by_label["U(6, 6+L)"])
+    checks = {
+        "including length 0 hurts for narrow ranges (short path effect)": u0[0] < u6[0],
+        "the penalty of including length 0 shrinks as the range widens": (
+            (u6[0] - u0[0]) > (u6[min(len(u6), len(u0)) - 1] - u0[min(len(u6), len(u0)) - 1])
+        ),
+    }
+    key_points = {
+        "H* of U(0,1)": round(u0[0], 4),
+        "H* of U(6,7)": round(u6[0], 4),
+        "H* of U(0,86)": round(u0[-1], 4),
+    }
+    return ExperimentData(data.experiment_id, data.title, data.sweep, checks, key_points)

@@ -1,0 +1,21 @@
+"""Anonymity metrics computed from adversary posteriors."""
+
+from repro.metrics.anonymity_metrics import (
+    effective_set_size,
+    guessing_entropy,
+    max_posterior,
+    min_entropy_bits,
+    normalized_degree,
+    posterior_metrics,
+    probable_innocence,
+)
+
+__all__ = [
+    "normalized_degree",
+    "min_entropy_bits",
+    "max_posterior",
+    "guessing_entropy",
+    "effective_set_size",
+    "probable_innocence",
+    "posterior_metrics",
+]

@@ -1,0 +1,101 @@
+"""Anonymity metrics beyond the paper's ``H*(S)``.
+
+The paper measures anonymity as the expected Shannon entropy of the
+adversary's posterior (the *anonymity degree*).  Follow-up literature proposed
+several related measures; they are included here because they are cheap to
+compute from the same posteriors and because the extension benchmarks use them
+to show that the paper's qualitative findings (short-path and long-path
+effects, fixed vs. variable length) are not artefacts of the particular choice
+of entropy:
+
+* **normalized degree of anonymity** (Diaz et al. / Serjantov & Danezis):
+  ``H / log2(N)`` in ``[0, 1]``;
+* **min-entropy** ``-log2(max_i p_i)``: worst-case guessing security;
+* **guessing entropy**: expected number of guesses needed to hit the sender;
+* **effective anonymity-set size**: ``2**H``, the "equivalent number of
+  equally likely senders";
+* **probable innocence**: Reiter & Rubin's criterion that no candidate is more
+  likely than not to be the sender.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.utils.mathx import entropy_bits
+
+__all__ = [
+    "normalized_degree",
+    "min_entropy_bits",
+    "max_posterior",
+    "guessing_entropy",
+    "effective_set_size",
+    "probable_innocence",
+    "posterior_metrics",
+]
+
+
+def _as_probabilities(posterior: Mapping[int, float] | Sequence[float]) -> list[float]:
+    if isinstance(posterior, Mapping):
+        values = list(posterior.values())
+    else:
+        values = list(posterior)
+    return [float(p) for p in values if p > 0.0]
+
+
+def normalized_degree(entropy_bits_value: float, n_nodes: int) -> float:
+    """Anonymity degree normalised by its maximum ``log2(N)``."""
+    if n_nodes <= 1:
+        return 0.0
+    return entropy_bits_value / math.log2(n_nodes)
+
+
+def max_posterior(posterior: Mapping[int, float] | Sequence[float]) -> float:
+    """The adversary's best single-guess success probability."""
+    probabilities = _as_probabilities(posterior)
+    return max(probabilities) if probabilities else 0.0
+
+
+def min_entropy_bits(posterior: Mapping[int, float] | Sequence[float]) -> float:
+    """Min-entropy ``-log2(max_i p_i)`` of the posterior."""
+    top = max_posterior(posterior)
+    if top <= 0.0:
+        return 0.0
+    return -math.log2(top)
+
+
+def guessing_entropy(posterior: Mapping[int, float] | Sequence[float]) -> float:
+    """Expected number of guesses to identify the sender (Massey's guessing entropy)."""
+    probabilities = sorted(_as_probabilities(posterior), reverse=True)
+    return sum((rank + 1) * p for rank, p in enumerate(probabilities))
+
+
+def effective_set_size(posterior: Mapping[int, float] | Sequence[float]) -> float:
+    """``2**H``: the number of equally likely senders that would give the same entropy."""
+    probabilities = _as_probabilities(posterior)
+    if not probabilities:
+        return 0.0
+    return 2.0 ** entropy_bits(probabilities)
+
+
+def probable_innocence(posterior: Mapping[int, float] | Sequence[float]) -> bool:
+    """True when no candidate is more likely than not to be the sender (p_max <= 1/2)."""
+    return max_posterior(posterior) <= 0.5
+
+
+def posterior_metrics(
+    posterior: Mapping[int, float] | Sequence[float], n_nodes: int
+) -> dict[str, float]:
+    """Bundle of every per-posterior metric, keyed by metric name."""
+    probabilities = _as_probabilities(posterior)
+    shannon = entropy_bits(probabilities)
+    return {
+        "entropy_bits": shannon,
+        "normalized_degree": normalized_degree(shannon, n_nodes),
+        "min_entropy_bits": min_entropy_bits(probabilities),
+        "max_posterior": max_posterior(probabilities),
+        "guessing_entropy": guessing_entropy(probabilities),
+        "effective_set_size": effective_set_size(probabilities),
+        "probable_innocence": float(probable_innocence(probabilities)),
+    }

@@ -1,0 +1,30 @@
+"""Network substrate: nodes, topologies, messages, clocks, and transport."""
+
+from repro.network.clock import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    SimulationClock,
+    UniformLatency,
+)
+from repro.network.message import DeliveryRecord, Message
+from repro.network.node import Node, NodeRegistry
+from repro.network.topology import CliqueTopology, GraphTopology, Topology
+from repro.network.transport import Transport, TransmissionLog
+
+__all__ = [
+    "Node",
+    "NodeRegistry",
+    "Message",
+    "DeliveryRecord",
+    "Topology",
+    "CliqueTopology",
+    "GraphTopology",
+    "SimulationClock",
+    "LatencyModel",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "UniformLatency",
+    "Transport",
+    "TransmissionLog",
+]

@@ -1,0 +1,109 @@
+"""Network topologies underlying the rerouting system.
+
+The paper models the network at the transport layer as a clique: every node
+can reach every other node directly (possibly through uninteresting IP
+routers).  :class:`CliqueTopology` implements that model and is the default
+everywhere.  :class:`GraphTopology` generalises to an arbitrary connected
+graph (backed by :mod:`networkx`) so that the effect of restricted
+connectivity — a real concern for deployed mix networks — can be explored in
+the extension experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Topology", "CliqueTopology", "GraphTopology"]
+
+
+class Topology(abc.ABC):
+    """Reachability structure over the node identities ``0 .. N-1``."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 2:
+            raise ConfigurationError(f"a topology needs at least 2 nodes, got {n_nodes}")
+        self._n_nodes = n_nodes
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of participating nodes."""
+        return self._n_nodes
+
+    @abc.abstractmethod
+    def neighbors(self, node: int) -> frozenset[int]:
+        """Nodes directly reachable from ``node``."""
+
+    def are_connected(self, source: int, destination: int) -> bool:
+        """True when ``destination`` is directly reachable from ``source``."""
+        return destination in self.neighbors(source)
+
+    def validate_path(self, sender: int, path: Sequence[int]) -> bool:
+        """True when consecutive hops of ``sender -> path`` are all direct links."""
+        previous = sender
+        for node in path:
+            if not self.are_connected(previous, node):
+                return False
+            previous = node
+        return True
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._n_nodes:
+            raise ConfigurationError(
+                f"node {node} is outside the valid range [0, {self._n_nodes})"
+            )
+
+
+class CliqueTopology(Topology):
+    """Every node can reach every other node directly (the paper's model)."""
+
+    def neighbors(self, node: int) -> frozenset[int]:
+        self._check_node(node)
+        return frozenset(n for n in range(self._n_nodes) if n != node)
+
+
+class GraphTopology(Topology):
+    """Reachability restricted to the edges of an undirected connected graph."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        nodes = sorted(graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ConfigurationError(
+                "GraphTopology requires nodes labelled 0 .. N-1 without gaps"
+            )
+        if not nx.is_connected(graph):
+            raise ConfigurationError("the rerouting topology must be connected")
+        super().__init__(len(nodes))
+        self._graph = graph.copy()
+
+    @classmethod
+    def from_edges(cls, n_nodes: int, edges: Iterable[tuple[int, int]]) -> "GraphTopology":
+        """Build a topology from an explicit edge list."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n_nodes))
+        graph.add_edges_from(edges)
+        return cls(graph)
+
+    @classmethod
+    def random_regular(cls, n_nodes: int, degree: int, seed: int | None = None) -> "GraphTopology":
+        """A random ``degree``-regular overlay, a common mix-network deployment shape."""
+        graph = nx.random_regular_graph(degree, n_nodes, seed=seed)
+        graph = nx.relabel_nodes(graph, {node: int(node) for node in graph.nodes})
+        return cls(graph)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """A copy of the underlying graph."""
+        return self._graph.copy()
+
+    def neighbors(self, node: int) -> frozenset[int]:
+        self._check_node(node)
+        return frozenset(int(n) for n in self._graph.neighbors(node))
+
+    def shortest_path_length(self, source: int, destination: int) -> int:
+        """Number of overlay hops on the shortest path between two nodes."""
+        return int(nx.shortest_path_length(self._graph, source, destination))

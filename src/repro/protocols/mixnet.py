@@ -1,0 +1,258 @@
+"""Chaum mixes, mix cascades, and free-route mix networks.
+
+A *mix* (Chaum 1981) is a store-and-forward node that collects a batch of
+fixed-length messages, removes duplicates, cryptographically transforms them,
+and flushes them in an order unrelated to their arrival order.  Deployed
+systems arrange mixes either in a *cascade* (every message traverses the same
+fixed sequence of mixes) or as a *free-route network* (the sender picks a
+random route through the mix population).
+
+Two layers are provided:
+
+* :class:`ThresholdMix`, :class:`TimedMix`, and :class:`PoolMix` implement the
+  batching disciplines themselves, independent of any routing, so their
+  reordering behaviour can be unit-tested (and so the library is usable for
+  batching studies beyond the paper);
+* :class:`MixCascadeProtocol` and :class:`FreeRouteMixProtocol` plug mix-style
+  routing into the common protocol interface used by the simulator and the
+  anonymity-degree analysis.  The cascade corresponds to a fixed-length
+  strategy over dedicated mix nodes; the free-route network corresponds to a
+  uniform-length strategy over the whole node population.
+
+The paper's single-message analysis deliberately assumes messages can be
+correlated across hops (Section 4), so batching does not change the
+anonymity-degree numbers; the batching classes exist to make that modelling
+assumption explicit and testable rather than implicit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.model import PathModel
+from repro.distributions import FixedLength, UniformLength
+from repro.exceptions import ProtocolError
+from repro.network.message import Message
+from repro.protocols.base import DELIVER, SourceRoutedProtocol
+from repro.routing.strategies import PathSelectionStrategy
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int, check_range
+
+__all__ = [
+    "ThresholdMix",
+    "TimedMix",
+    "PoolMix",
+    "MixCascadeProtocol",
+    "FreeRouteMixProtocol",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Batching disciplines                                                         #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ThresholdMix:
+    """Flush the batch as soon as ``threshold`` messages have accumulated."""
+
+    threshold: int
+    _buffer: list[Any] = field(default_factory=list)
+    _seen: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.threshold, "threshold")
+
+    def submit(self, message_id: int, item: Any, rng: RandomSource = None) -> list[Any]:
+        """Add one message; returns the flushed (shuffled) batch or an empty list.
+
+        Duplicate message identifiers are discarded, implementing the
+        replay-protection step of Chaum's original design.
+        """
+        if message_id in self._seen:
+            return []
+        self._seen.add(message_id)
+        self._buffer.append(item)
+        if len(self._buffer) >= self.threshold:
+            return self.flush(rng)
+        return []
+
+    def flush(self, rng: RandomSource = None) -> list[Any]:
+        """Flush the current batch in a random order."""
+        generator = ensure_rng(rng)
+        batch = list(self._buffer)
+        self._buffer.clear()
+        generator.shuffle(batch)
+        return batch
+
+    @property
+    def pending(self) -> int:
+        """Messages currently buffered."""
+        return len(self._buffer)
+
+
+@dataclass
+class TimedMix:
+    """Flush whatever has accumulated every ``interval`` time units."""
+
+    interval: float
+    _buffer: list[Any] = field(default_factory=list)
+    _last_flush: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0.0:
+            raise ProtocolError("the flush interval must be strictly positive")
+
+    def submit(self, item: Any, now: float, rng: RandomSource = None) -> list[Any]:
+        """Add one message; flush if the interval has elapsed."""
+        self._buffer.append(item)
+        if now - self._last_flush >= self.interval:
+            return self.flush(now, rng)
+        return []
+
+    def flush(self, now: float, rng: RandomSource = None) -> list[Any]:
+        """Flush the current batch in a random order and reset the timer."""
+        generator = ensure_rng(rng)
+        batch = list(self._buffer)
+        self._buffer.clear()
+        self._last_flush = now
+        generator.shuffle(batch)
+        return batch
+
+    @property
+    def pending(self) -> int:
+        """Messages currently buffered."""
+        return len(self._buffer)
+
+
+@dataclass
+class PoolMix:
+    """Flush all but a random retained pool of ``pool_size`` messages."""
+
+    threshold: int
+    pool_size: int
+    _buffer: deque = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.threshold, "threshold")
+        if self.pool_size < 0:
+            raise ProtocolError("pool_size must be non-negative")
+
+    def submit(self, item: Any, rng: RandomSource = None) -> list[Any]:
+        """Add one message; flush the excess over the retained pool when full."""
+        self._buffer.append(item)
+        if len(self._buffer) >= self.threshold + self.pool_size:
+            return self.flush(rng)
+        return []
+
+    def flush(self, rng: RandomSource = None) -> list[Any]:
+        """Flush all but ``pool_size`` randomly retained messages."""
+        generator = ensure_rng(rng)
+        items = list(self._buffer)
+        generator.shuffle(items)
+        retained = items[: self.pool_size]
+        flushed = items[self.pool_size :]
+        self._buffer = deque(retained)
+        return flushed
+
+    @property
+    def pending(self) -> int:
+        """Messages currently buffered (including the retained pool)."""
+        return len(self._buffer)
+
+
+# --------------------------------------------------------------------------- #
+# Mix routing protocols                                                        #
+# --------------------------------------------------------------------------- #
+
+
+class MixCascadeProtocol(SourceRoutedProtocol):
+    """Every message traverses the same fixed sequence of dedicated mix nodes."""
+
+    name = "Mix Cascade"
+
+    def __init__(
+        self,
+        n_nodes: int,
+        cascade: list[int] | tuple[int, ...],
+        key_directory=None,
+    ) -> None:
+        super().__init__(n_nodes, key_directory)
+        cascade = tuple(int(node) for node in cascade)
+        if not cascade:
+            raise ProtocolError("a mix cascade needs at least one mix")
+        if len(set(cascade)) != len(cascade):
+            raise ProtocolError("cascade mixes must be distinct")
+        if any(not 0 <= node < n_nodes for node in cascade):
+            raise ProtocolError("cascade mixes must be valid node identities")
+        self._cascade = cascade
+
+    @property
+    def cascade(self) -> tuple[int, ...]:
+        """The fixed mix sequence every message follows."""
+        return self._cascade
+
+    def strategy(self) -> PathSelectionStrategy:
+        # The cascade length is fixed; the identity of the mixes is fixed too,
+        # which is *more* information for the adversary than the paper's
+        # random selection — the extension benchmark quantifies the gap.
+        return PathSelectionStrategy(
+            name=self.name,
+            distribution=FixedLength(len(self._cascade)),
+            path_model=PathModel.SIMPLE,
+        )
+
+    def originate(self, sender: int, payload: Any, rng: RandomSource = None) -> Message:
+        route = [node for node in self._cascade if node != sender]
+        if len(route) != len(self._cascade):
+            # The sender is itself one of the cascade mixes: it simply skips
+            # its own position, as a real cascade client co-located with a mix
+            # would.
+            pass
+        message = Message(sender=sender, payload=payload, route=route)
+        message.metadata["route_position"] = 0
+        if route and self.use_onion_encryption:
+            from repro.crypto.onion import build_onion
+
+            message.onion = build_onion(route, payload, self._keys)
+        return message
+
+
+class FreeRouteMixProtocol(SourceRoutedProtocol):
+    """The sender picks a random route of mixes for every message."""
+
+    name = "Free-Route Mix Network"
+
+    def __init__(
+        self,
+        n_nodes: int,
+        min_hops: int = 2,
+        max_hops: int = 5,
+        key_directory=None,
+    ) -> None:
+        super().__init__(n_nodes, key_directory)
+        min_hops, max_hops = check_range(min_hops, max_hops, "min_hops", "max_hops")
+        if max_hops > n_nodes - 1:
+            raise ProtocolError(
+                f"routes of {max_hops} mixes are impossible with {n_nodes} nodes"
+            )
+        self._min_hops = min_hops
+        self._max_hops = max_hops
+
+    @property
+    def hop_bounds(self) -> tuple[int, int]:
+        """Minimum and maximum number of mixes per route."""
+        return self._min_hops, self._max_hops
+
+    def strategy(self) -> PathSelectionStrategy:
+        if self._min_hops == self._max_hops:
+            distribution = FixedLength(self._min_hops)
+        else:
+            distribution = UniformLength(self._min_hops, self._max_hops)
+        return PathSelectionStrategy(
+            name=self.name,
+            distribution=distribution,
+            path_model=PathModel.SIMPLE,
+        )

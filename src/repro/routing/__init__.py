@@ -1,0 +1,20 @@
+"""Rerouting substrate: paths, node selection, and path-selection strategies."""
+
+from repro.routing.path import ReroutingPath
+from repro.routing.selection import (
+    CyclePathSelector,
+    NodeSelector,
+    SimplePathSelector,
+    selector_for,
+)
+from repro.routing.strategies import PathSelectionStrategy, deployed_system_strategies
+
+__all__ = [
+    "ReroutingPath",
+    "NodeSelector",
+    "SimplePathSelector",
+    "CyclePathSelector",
+    "selector_for",
+    "PathSelectionStrategy",
+    "deployed_system_strategies",
+]

@@ -1,0 +1,95 @@
+"""Rerouting paths.
+
+A :class:`ReroutingPath` is the object defined by equation (1) of the paper:
+the sender, the ordered intermediate nodes, and (implicitly) the receiver.
+The path length is the number of intermediate nodes.  The class knows how to
+validate itself against a path model (simple vs. cycle-allowed) and a
+topology, and how to answer the structural questions the analysis modules ask
+("is node x on the path?", "who precedes position j?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import PathModel
+from repro.exceptions import ConfigurationError
+from repro.network.topology import Topology
+
+__all__ = ["ReroutingPath"]
+
+
+@dataclass(frozen=True)
+class ReroutingPath:
+    """One concrete rerouting path: sender plus ordered intermediate nodes."""
+
+    sender: int
+    intermediates: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.intermediates and self.intermediates[0] == self.sender:
+            raise ConfigurationError(
+                "the first intermediate node must differ from the sender "
+                "(paper, equation (1))"
+            )
+        for first, second in zip(self.intermediates, self.intermediates[1:]):
+            if first == second:
+                raise ConfigurationError(
+                    "consecutive intermediate nodes must differ (no self-forwarding)"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Structure                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def length(self) -> int:
+        """Path length = number of intermediate nodes (paper, Section 3.1)."""
+        return len(self.intermediates)
+
+    @property
+    def is_simple(self) -> bool:
+        """True when no node appears twice (sender included)."""
+        nodes = (self.sender, *self.intermediates)
+        return len(set(nodes)) == len(nodes)
+
+    @property
+    def nodes_on_path(self) -> frozenset[int]:
+        """All node identities appearing on the path (sender included)."""
+        return frozenset((self.sender, *self.intermediates))
+
+    def predecessor_of(self, position: int) -> int:
+        """Node preceding the 1-based intermediate ``position`` (the sender for position 1)."""
+        if not 1 <= position <= self.length:
+            raise ConfigurationError(f"position {position} outside [1, {self.length}]")
+        if position == 1:
+            return self.sender
+        return self.intermediates[position - 2]
+
+    def successor_of(self, position: int) -> int | None:
+        """Node following the 1-based ``position``, or ``None`` for the receiver."""
+        if not 1 <= position <= self.length:
+            raise ConfigurationError(f"position {position} outside [1, {self.length}]")
+        if position == self.length:
+            return None
+        return self.intermediates[position]
+
+    def positions_of(self, node: int) -> tuple[int, ...]:
+        """1-based positions at which ``node`` appears as an intermediate."""
+        return tuple(
+            index + 1 for index, hop in enumerate(self.intermediates) if hop == node
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation                                                          #
+    # ------------------------------------------------------------------ #
+
+    def conforms_to(self, path_model: PathModel) -> bool:
+        """True when the path is legal under the given path model."""
+        if path_model is PathModel.SIMPLE:
+            return self.is_simple
+        return True  # the dataclass invariants already enforce the cycle rules
+
+    def routable_on(self, topology: Topology) -> bool:
+        """True when every consecutive hop is a direct link of the topology."""
+        return topology.validate_path(self.sender, self.intermediates)

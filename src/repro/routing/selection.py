@@ -1,0 +1,108 @@
+"""Intermediate-node selection rules.
+
+Step 2 of the paper's path-selection framework (Figure 2): once the path
+length has been drawn, choose the sequence of intermediate nodes.  On a clique
+the paper treats this step as straightforward — pick uniformly at random —
+but the two path models still differ in whether a node may appear twice:
+
+* :class:`SimplePathSelector` draws an ordered sample of distinct nodes
+  (Onion Routing I, Freedom: no cycles);
+* :class:`CyclePathSelector` chooses hop by hop, never forwarding a message to
+  the node that currently holds it but otherwise allowing revisits, including
+  of the sender (Crowds, Onion Routing II, Hordes).
+
+Both selectors produce exactly the distributions assumed by the analytical
+engines; this equivalence is what lets the Monte-Carlo experiments validate
+the closed forms.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.model import PathModel
+from repro.exceptions import ConfigurationError
+from repro.routing.path import ReroutingPath
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["NodeSelector", "SimplePathSelector", "CyclePathSelector", "selector_for"]
+
+
+class NodeSelector(abc.ABC):
+    """Strategy for drawing the intermediate nodes of one rerouting path."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 2:
+            raise ConfigurationError("node selection requires at least 2 nodes")
+        self._n_nodes = n_nodes
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes available for selection."""
+        return self._n_nodes
+
+    @property
+    @abc.abstractmethod
+    def path_model(self) -> PathModel:
+        """Which path model this selector realises."""
+
+    @abc.abstractmethod
+    def select(self, sender: int, length: int, rng: RandomSource = None) -> ReroutingPath:
+        """Draw a path of exactly ``length`` intermediate nodes for ``sender``."""
+
+    def max_length(self) -> int | None:
+        """Longest supported path length (``None`` when unbounded)."""
+        return None
+
+
+class SimplePathSelector(NodeSelector):
+    """Ordered uniform sample of distinct intermediate nodes (no cycles)."""
+
+    @property
+    def path_model(self) -> PathModel:
+        return PathModel.SIMPLE
+
+    def max_length(self) -> int | None:
+        return self._n_nodes - 1
+
+    def select(self, sender: int, length: int, rng: RandomSource = None) -> ReroutingPath:
+        if length > self._n_nodes - 1:
+            raise ConfigurationError(
+                f"a simple path cannot have {length} intermediates with only "
+                f"{self._n_nodes} nodes"
+            )
+        generator = ensure_rng(rng)
+        others = np.array([node for node in range(self._n_nodes) if node != sender])
+        if length == 0:
+            return ReroutingPath(sender=sender, intermediates=())
+        chosen = generator.choice(others, size=length, replace=False)
+        return ReroutingPath(sender=sender, intermediates=tuple(int(n) for n in chosen))
+
+
+class CyclePathSelector(NodeSelector):
+    """Hop-by-hop uniform selection allowing revisits (Crowds-style paths)."""
+
+    @property
+    def path_model(self) -> PathModel:
+        return PathModel.CYCLE_ALLOWED
+
+    def select(self, sender: int, length: int, rng: RandomSource = None) -> ReroutingPath:
+        generator = ensure_rng(rng)
+        intermediates: list[int] = []
+        current = sender
+        for _ in range(length):
+            candidates = [node for node in range(self._n_nodes) if node != current]
+            current = int(generator.choice(candidates))
+            intermediates.append(current)
+        return ReroutingPath(sender=sender, intermediates=tuple(intermediates))
+
+
+def selector_for(path_model: PathModel, n_nodes: int) -> NodeSelector:
+    """Factory mapping a :class:`PathModel` to its selector implementation."""
+    if path_model is PathModel.SIMPLE:
+        return SimplePathSelector(n_nodes)
+    if path_model is PathModel.CYCLE_ALLOWED:
+        return CyclePathSelector(n_nodes)
+    raise ConfigurationError(f"unknown path model {path_model!r}")

@@ -1,0 +1,113 @@
+"""Path-selection strategies: a length distribution plus a node-selection rule.
+
+This is the object the paper optimises: Figure 2's two-step algorithm
+(1) draw a path length from a distribution, (2) draw the intermediate nodes.
+A :class:`PathSelectionStrategy` bundles the two and is what protocols hand to
+the simulator and what experiments hand to the analytical engines.
+
+The module also provides the catalogue of strategies used by deployed systems
+surveyed in Section 2 of the paper (Anonymizer, Freedom, PipeNet, Onion
+Routing I and II, Crowds), so the extension experiments can rank real systems
+by the anonymity degree their strategy achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import PathModel
+from repro.distributions import (
+    FixedLength,
+    GeometricLength,
+    PathLengthDistribution,
+    TwoPointLength,
+    UniformLength,
+)
+from repro.exceptions import ConfigurationError
+from repro.routing.path import ReroutingPath
+from repro.routing.selection import NodeSelector, selector_for
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["PathSelectionStrategy", "deployed_system_strategies"]
+
+
+@dataclass(frozen=True)
+class PathSelectionStrategy:
+    """A complete path-selection strategy (paper, Figure 2)."""
+
+    name: str
+    distribution: PathLengthDistribution
+    path_model: PathModel = PathModel.SIMPLE
+
+    def selector(self, n_nodes: int) -> NodeSelector:
+        """The node-selection rule for a system of ``n_nodes`` nodes."""
+        return selector_for(self.path_model, n_nodes)
+
+    def effective_distribution(self, n_nodes: int) -> PathLengthDistribution:
+        """The length distribution actually realisable in a system of ``n_nodes`` nodes.
+
+        Simple paths cap the length at ``n_nodes - 1``; heavy-tailed strategies
+        (Crowds-style coin flipping) are truncated and renormalised, exactly as
+        a real implementation would re-draw an infeasible length.
+        """
+        if self.path_model is PathModel.SIMPLE:
+            cap = n_nodes - 1
+            if self.distribution.max_length > cap:
+                return self.distribution.truncated(cap)
+        return self.distribution
+
+    def build_path(self, sender: int, n_nodes: int, rng: RandomSource = None) -> ReroutingPath:
+        """Draw one rerouting path for ``sender`` in a system of ``n_nodes`` nodes."""
+        if not 0 <= sender < n_nodes:
+            raise ConfigurationError(f"sender {sender} outside the node range [0, {n_nodes})")
+        generator = ensure_rng(rng)
+        distribution = self.effective_distribution(n_nodes)
+        length = distribution.sample(generator)
+        return self.selector(n_nodes).select(sender, length, generator)
+
+    def describe(self) -> str:
+        """Readable one-liner used by reports and the CLI."""
+        return f"{self.name}: L ~ {self.distribution.name}, {self.path_model.value} paths"
+
+
+def deployed_system_strategies(include_cycle_variants: bool = False) -> dict[str, PathSelectionStrategy]:
+    """Path-selection strategies of the systems surveyed in Section 2 of the paper.
+
+    The returned mapping uses the system names as keys.  Strategies are the
+    *length* strategies the systems document; the paper's point is precisely
+    that several of them are not optimal.
+
+    * **Anonymizer / LPWA** — a single proxy hop (fixed length 1).
+    * **Freedom** — fixed length 3.
+    * **PipeNet** — three or four intermediate nodes (modelled as a fair
+      two-point distribution).
+    * **Onion Routing I** — fixed length 5.
+    * **Onion Routing II / Crowds** — hop-by-hop coin flipping, i.e. geometric
+      lengths; Crowds' default forwarding probability is 3/4, and cycles are
+      allowed.
+    """
+    strategies = {
+        "anonymizer": PathSelectionStrategy("Anonymizer", FixedLength(1)),
+        "lpwa": PathSelectionStrategy("LPWA", FixedLength(1)),
+        "freedom": PathSelectionStrategy("Freedom", FixedLength(3)),
+        "pipenet": PathSelectionStrategy("PipeNet", TwoPointLength(3, 4, 0.5)),
+        "onion-routing-1": PathSelectionStrategy("Onion Routing I", FixedLength(5)),
+        "onion-routing-2": PathSelectionStrategy(
+            "Onion Routing II", GeometricLength(p_forward=0.5, minimum=1)
+        ),
+        "crowds": PathSelectionStrategy(
+            "Crowds", GeometricLength(p_forward=0.75, minimum=1)
+        ),
+    }
+    if include_cycle_variants:
+        strategies["crowds-cycles"] = PathSelectionStrategy(
+            "Crowds (cycle paths)",
+            GeometricLength(p_forward=0.75, minimum=1),
+            path_model=PathModel.CYCLE_ALLOWED,
+        )
+        strategies["onion-routing-2-cycles"] = PathSelectionStrategy(
+            "Onion Routing II (cycle paths)",
+            GeometricLength(p_forward=0.5, minimum=1),
+            path_model=PathModel.CYCLE_ALLOWED,
+        )
+    return strategies

@@ -1,0 +1,19 @@
+"""Discrete-event simulation and Monte-Carlo anonymity experiments."""
+
+from repro.simulation.engine import AnonymousCommunicationSystem, SendOutcome
+from repro.simulation.experiment import (
+    MonteCarloReport,
+    ProtocolMonteCarlo,
+    StrategyMonteCarlo,
+)
+from repro.simulation.results import EstimateWithCI, summarize_samples
+
+__all__ = [
+    "AnonymousCommunicationSystem",
+    "SendOutcome",
+    "StrategyMonteCarlo",
+    "ProtocolMonteCarlo",
+    "MonteCarloReport",
+    "EstimateWithCI",
+    "summarize_samples",
+]

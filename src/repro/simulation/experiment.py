@@ -1,0 +1,189 @@
+"""Monte-Carlo estimation of the anonymity degree.
+
+The closed-form engine of :mod:`repro.core.anonymity` covers one compromised
+node on simple paths.  Everything else — several compromised nodes, large
+systems, cycle-allowed protocols driven by their real forwarding logic — is
+estimated here by sampling:
+
+1. draw a sender uniformly at random (the paper's a-priori assumption);
+2. run the system (either the full discrete-event engine with a real protocol,
+   or the lightweight strategy-level sampler that skips the transport);
+3. hand the resulting observation to the exact Bayesian inference engine and
+   record the posterior entropy;
+4. average the per-trial entropies: the sample mean is an unbiased estimator
+   of ``H*(S) = E[H(sender | observation)]``, reported with a confidence
+   interval.
+
+Note that only the *observation* is sampled; the posterior for each
+observation is computed exactly, so the estimator's variance comes purely from
+the outer expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adversary.inference import BayesianPathInference
+from repro.adversary.observation import observation_from_path
+from repro.core.model import PathModel, SystemModel
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError
+from repro.protocols.base import ReroutingProtocol
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation.engine import AnonymousCommunicationSystem
+from repro.simulation.results import EstimateWithCI, summarize_samples
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["StrategyMonteCarlo", "ProtocolMonteCarlo", "MonteCarloReport"]
+
+
+@dataclass(frozen=True)
+class MonteCarloReport:
+    """Outcome of a Monte-Carlo anonymity experiment."""
+
+    estimate: EstimateWithCI
+    n_trials: int
+    distribution: str
+    model: SystemModel
+    #: Mean path length actually realised across the trials.
+    mean_path_length: float
+    #: Fraction of trials in which the adversary identified the sender outright.
+    identification_rate: float
+
+    @property
+    def degree_bits(self) -> float:
+        """Point estimate of the anonymity degree in bits."""
+        return self.estimate.mean
+
+
+@dataclass
+class StrategyMonteCarlo:
+    """Estimate ``H*`` for a path-selection strategy without running transport.
+
+    This sampler draws paths directly from the strategy and converts them to
+    observations with :func:`observation_from_path`; it is the fast path used
+    by benchmarks that need many thousands of trials.
+    """
+
+    model: SystemModel
+    strategy: PathSelectionStrategy
+    compromised: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.compromised is None:
+            self.compromised = self.model.compromised_nodes()
+        self.compromised = frozenset(self.compromised)
+        if self.strategy.path_model is not PathModel.SIMPLE:
+            raise ConfigurationError(
+                "StrategyMonteCarlo requires simple paths because the exact "
+                "posterior engine counts simple paths; use ProtocolMonteCarlo "
+                "with a small system (exhaustive posteriors) for cycle paths."
+            )
+
+    def run(self, n_trials: int, rng: RandomSource = None) -> MonteCarloReport:
+        """Run ``n_trials`` independent single-message experiments."""
+        if n_trials < 1:
+            raise ConfigurationError("n_trials must be >= 1")
+        generator = ensure_rng(rng)
+        distribution = self.strategy.effective_distribution(self.model.n_nodes)
+        inference = BayesianPathInference(self.model, distribution, self.compromised)
+
+        entropies: list[float] = []
+        lengths: list[int] = []
+        identified = 0
+        for _ in range(n_trials):
+            sender = int(generator.integers(0, self.model.n_nodes))
+            path = self.strategy.build_path(sender, self.model.n_nodes, generator)
+            observation = observation_from_path(
+                sender,
+                path.intermediates,
+                self.compromised,
+                receiver_compromised=self.model.receiver_compromised,
+            )
+            posterior = inference.posterior(observation)
+            entropies.append(posterior.entropy_bits)
+            lengths.append(path.length)
+            if posterior.max_probability >= 1.0 - 1e-12:
+                identified += 1
+
+        return MonteCarloReport(
+            estimate=summarize_samples(entropies),
+            n_trials=n_trials,
+            distribution=distribution.name,
+            model=self.model,
+            mean_path_length=sum(lengths) / len(lengths),
+            identification_rate=identified / n_trials,
+        )
+
+
+@dataclass
+class ProtocolMonteCarlo:
+    """Estimate ``H*`` by driving a real protocol through the discrete-event engine.
+
+    Every trial builds a fresh system instance (so protocol state such as
+    Crowds' static paths does not leak across trials unless requested),
+    transmits one message from a uniformly random sender, and scores the
+    adversary's posterior entropy for the observation the agents collected.
+    """
+
+    model: SystemModel
+    protocol_factory: "callable"
+    inference_distribution: PathLengthDistribution | None = None
+    reuse_system: bool = False
+
+    _system: AnonymousCommunicationSystem | None = field(default=None, repr=False)
+
+    def run(self, n_trials: int, rng: RandomSource = None) -> MonteCarloReport:
+        """Run ``n_trials`` end-to-end transmissions and score each observation."""
+        if n_trials < 1:
+            raise ConfigurationError("n_trials must be >= 1")
+        generator = ensure_rng(rng)
+
+        probe_protocol = self.protocol_factory()
+        strategy = probe_protocol.strategy()
+        if strategy.path_model is not PathModel.SIMPLE:
+            raise ConfigurationError(
+                f"{probe_protocol.name} builds cycle-allowed paths; the exact "
+                "posterior engine counts simple paths only.  Use the exhaustive "
+                "enumeration engine (small systems) or the predecessor-attack "
+                "machinery for cycle-path protocols."
+            )
+        distribution = self.inference_distribution
+        if distribution is None:
+            distribution = strategy.effective_distribution(self.model.n_nodes)
+        inference = BayesianPathInference(
+            self.model, distribution, self.model.compromised_nodes()
+        )
+
+        entropies: list[float] = []
+        lengths: list[int] = []
+        identified = 0
+        for _ in range(n_trials):
+            system = self._get_system(generator)
+            sender = int(generator.integers(0, self.model.n_nodes))
+            outcome = system.send(sender, payload="probe", rng=generator)
+            posterior = inference.posterior(outcome.observation)
+            entropies.append(posterior.entropy_bits)
+            lengths.append(outcome.delivery.path_length)
+            if posterior.max_probability >= 1.0 - 1e-12:
+                identified += 1
+
+        return MonteCarloReport(
+            estimate=summarize_samples(entropies),
+            n_trials=n_trials,
+            distribution=distribution.name,
+            model=self.model,
+            mean_path_length=sum(lengths) / len(lengths),
+            identification_rate=identified / n_trials,
+        )
+
+    def _get_system(self, generator) -> AnonymousCommunicationSystem:
+        if self.reuse_system:
+            if self._system is None:
+                self._system = AnonymousCommunicationSystem(
+                    model=self.model, protocol=self.protocol_factory()
+                )
+            return self._system
+        return AnonymousCommunicationSystem(
+            model=self.model, protocol=self.protocol_factory()
+        )

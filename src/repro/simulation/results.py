@@ -1,0 +1,51 @@
+"""Statistical containers for Monte-Carlo experiment results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EstimateWithCI", "summarize_samples"]
+
+#: Two-sided z value for a 95% normal confidence interval.
+_Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class EstimateWithCI:
+    """A point estimate with its standard error and 95% confidence interval."""
+
+    mean: float
+    std_error: float
+    n_samples: int
+
+    @property
+    def ci_low(self) -> float:
+        """Lower end of the 95% confidence interval."""
+        return self.mean - _Z_95 * self.std_error
+
+    @property
+    def ci_high(self) -> float:
+        """Upper end of the 95% confidence interval."""
+        return self.mean + _Z_95 * self.std_error
+
+    def contains(self, value: float, slack: float = 0.0) -> bool:
+        """True when ``value`` falls inside the (optionally widened) interval."""
+        return self.ci_low - slack <= value <= self.ci_high + slack
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4f} ± {_Z_95 * self.std_error:.4f} (n={self.n_samples})"
+
+
+def summarize_samples(samples) -> EstimateWithCI:
+    """Build an :class:`EstimateWithCI` from raw per-trial samples."""
+    array = np.asarray(list(samples), dtype=float)
+    if array.size == 0:
+        return EstimateWithCI(mean=0.0, std_error=math.inf, n_samples=0)
+    mean = float(array.mean())
+    if array.size == 1:
+        return EstimateWithCI(mean=mean, std_error=math.inf, n_samples=1)
+    std_error = float(array.std(ddof=1) / math.sqrt(array.size))
+    return EstimateWithCI(mean=mean, std_error=std_error, n_samples=int(array.size))

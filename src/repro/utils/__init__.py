@@ -1,0 +1,30 @@
+"""Small shared utilities: math helpers, RNG handling, validation, tables."""
+
+from repro.utils.mathx import (
+    entropy_bits,
+    falling_factorial,
+    log2_safe,
+    normalize,
+    xlog2x,
+)
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_range,
+)
+
+__all__ = [
+    "entropy_bits",
+    "falling_factorial",
+    "log2_safe",
+    "normalize",
+    "xlog2x",
+    "RandomSource",
+    "ensure_rng",
+    "check_non_negative_int",
+    "check_positive_int",
+    "check_probability",
+    "check_range",
+]

@@ -1,0 +1,49 @@
+"""Random-number handling.
+
+Every stochastic component in the library (path sampling, Monte-Carlo
+experiments, the discrete-event simulator, protocol implementations) accepts
+either an explicit :class:`numpy.random.Generator`, an integer seed, or
+``None``.  :func:`ensure_rng` converts any of those into a concrete generator
+so experiments are reproducible end to end: pass the same seed, get the same
+paths, observations, and estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["RandomSource", "ensure_rng", "spawn_child_rng"]
+
+#: Anything acceptable as a source of randomness in public APIs.
+RandomSource = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(source: RandomSource = None) -> np.random.Generator:
+    """Coerce ``source`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a fresh non-deterministic generator, an ``int`` seeds a
+    new PCG64 generator, and an existing generator is returned unchanged.
+    """
+    if source is None:
+        return np.random.default_rng()
+    if isinstance(source, np.random.Generator):
+        return source
+    if isinstance(source, (int, np.integer)):
+        return np.random.default_rng(int(source))
+    raise TypeError(
+        "random source must be None, an int seed, or a numpy Generator, "
+        f"got {type(source).__name__}"
+    )
+
+
+def spawn_child_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when an experiment fans out into parallel sub-experiments (e.g. one
+    Monte-Carlo stream per parameter value) so that each stream is independent
+    yet fully determined by the parent seed.
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for benchmark and CLI output.
+
+The benchmark harness regenerates the data series behind every figure of the
+paper and prints them as aligned text tables so the run log doubles as the
+reproduction record (see EXPERIMENTS.md).  No plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    rendered_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append(render_line(["-" * w for w in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render one or more named series sharing the same x axis as a table."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[index])
+        rows.append(row)
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,187 @@
+"""Tests for the general Bayesian inference engine and long-term attacks."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.adversary.attacks import IntersectionAttack, PredecessorAttack
+from repro.adversary.inference import BayesianPathInference, SenderPosterior
+from repro.adversary.observation import Observation, observation_from_path
+from repro.core.enumeration import enumerate_anonymity_degree
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.distributions import FixedLength, UniformLength
+from repro.exceptions import ConfigurationError
+from repro.utils.mathx import falling_factorial
+
+
+def expected_degree_via_inference(n_nodes, distribution, n_compromised, adversary):
+    """Exact H* computed by weighting the inference engine over every path."""
+    model = SystemModel(n_nodes=n_nodes, n_compromised=n_compromised, adversary=adversary)
+    compromised = model.compromised_nodes()
+    inference = BayesianPathInference(model, distribution, compromised)
+    total = 0.0
+    for sender in range(n_nodes):
+        others = [node for node in range(n_nodes) if node != sender]
+        for length, length_prob in distribution.items():
+            denominator = falling_factorial(n_nodes - 1, length)
+            for path in itertools.permutations(others, length):
+                observation = observation_from_path(sender, path, compromised)
+                posterior = inference.posterior(observation)
+                total += length_prob / (n_nodes * denominator) * posterior.entropy_bits
+    return total
+
+
+class TestSenderPosterior:
+    def test_basic_queries(self):
+        posterior = SenderPosterior({0: 0.5, 1: 0.25, 2: 0.25})
+        assert posterior.probability(0) == 0.5
+        assert posterior.probability(9) == 0.0
+        assert posterior.most_likely == 0
+        assert posterior.max_probability == 0.5
+        assert posterior.support_size == 3
+        assert posterior.entropy_bits == pytest.approx(1.5)
+        assert posterior.as_sorted_items()[0] == (0, 0.5)
+
+
+class TestInferenceConstruction:
+    def test_rejects_cycle_paths(self):
+        model = SystemModel(n_nodes=8, path_model=PathModel.CYCLE_ALLOWED)
+        with pytest.raises(ConfigurationError):
+            BayesianPathInference(model, FixedLength(3))
+
+    def test_rejects_too_long_distribution(self):
+        model = SystemModel(n_nodes=6)
+        with pytest.raises(ConfigurationError):
+            BayesianPathInference(model, FixedLength(7))
+
+    def test_rejects_wrong_compromised_count(self):
+        model = SystemModel(n_nodes=8, n_compromised=2)
+        with pytest.raises(ConfigurationError):
+            BayesianPathInference(model, FixedLength(3), compromised={0})
+
+    def test_rejects_out_of_range_compromised(self):
+        model = SystemModel(n_nodes=8, n_compromised=1)
+        with pytest.raises(ConfigurationError):
+            BayesianPathInference(model, FixedLength(3), compromised={99})
+
+
+class TestPosteriorProperties:
+    def test_posterior_sums_to_one(self):
+        model = SystemModel(n_nodes=10, n_compromised=2)
+        inference = BayesianPathInference(model, UniformLength(1, 5))
+        observation = observation_from_path(5, (3, 0, 7), model.compromised_nodes())
+        posterior = inference.posterior(observation)
+        assert sum(posterior.probabilities.values()) == pytest.approx(1.0)
+
+    def test_true_sender_has_positive_posterior(self):
+        # The assumed length distribution must cover every path the system can
+        # actually generate (here lengths 0 through 5), otherwise observations
+        # of the uncovered lengths are "impossible" and the posterior rightly
+        # excludes the true sender.
+        model = SystemModel(n_nodes=10, n_compromised=2)
+        inference = BayesianPathInference(model, UniformLength(0, 5))
+        for path in [(), (4,), (0, 4, 7), (4, 0, 1, 6)]:
+            observation = observation_from_path(5, path, model.compromised_nodes())
+            assert inference.posterior(observation).probability(5) > 0.0
+
+    def test_compromised_sender_identified(self):
+        model = SystemModel(n_nodes=10, n_compromised=2)
+        inference = BayesianPathInference(model, UniformLength(1, 5))
+        observation = observation_from_path(0, (4, 7), model.compromised_nodes())
+        posterior = inference.posterior(observation)
+        assert posterior.probability(0) == 1.0
+        assert posterior.entropy_bits == 0.0
+
+    def test_compromised_candidates_excluded_when_silent(self):
+        model = SystemModel(n_nodes=10, n_compromised=2)
+        inference = BayesianPathInference(model, UniformLength(1, 5))
+        observation = observation_from_path(5, (3, 4, 7), model.compromised_nodes())
+        posterior = inference.posterior(observation)
+        assert posterior.probability(0) == 0.0
+        assert posterior.probability(1) == 0.0
+
+    def test_first_hop_compromised_with_fixed_length_one_identifies_sender(self):
+        model = SystemModel(n_nodes=10, n_compromised=1)
+        inference = BayesianPathInference(model, FixedLength(1))
+        observation = observation_from_path(5, (0,), {0})
+        posterior = inference.posterior(observation)
+        assert posterior.probability(5) == pytest.approx(1.0)
+
+    def test_position_ambiguity_with_longer_fixed_length(self):
+        # With F(4) and the compromised node somewhere in the middle, the
+        # observed predecessor is the sender with probability 1/(l-2) = 1/2.
+        model = SystemModel(n_nodes=10, n_compromised=1)
+        inference = BayesianPathInference(model, FixedLength(4))
+        observation = observation_from_path(5, (3, 0, 7, 6), {0})
+        posterior = inference.posterior(observation)
+        assert posterior.probability(3) == pytest.approx(0.5)
+        assert posterior.probability(5) == pytest.approx(0.5 / 6)
+
+
+class TestInferenceMatchesEnumeration:
+    @pytest.mark.parametrize("n_compromised", [1, 2, 3])
+    def test_full_bayes(self, n_compromised):
+        distribution = UniformLength(1, 3)
+        via_inference = expected_degree_via_inference(
+            6, distribution, n_compromised, AdversaryModel.FULL_BAYES
+        )
+        via_enumeration = enumerate_anonymity_degree(
+            6, distribution, n_compromised=n_compromised
+        )
+        assert via_inference == pytest.approx(via_enumeration, abs=1e-10)
+
+    @pytest.mark.parametrize("adversary", [AdversaryModel.POSITION_AWARE, AdversaryModel.PREDECESSOR_ONLY])
+    def test_weak_and_strong_variants(self, adversary):
+        distribution = UniformLength(1, 4)
+        via_inference = expected_degree_via_inference(6, distribution, 2, adversary)
+        via_enumeration = enumerate_anonymity_degree(
+            6, distribution, n_compromised=2, adversary=adversary
+        )
+        assert via_inference == pytest.approx(via_enumeration, abs=1e-10)
+
+
+class TestPredecessorAttack:
+    def test_repeated_observations_identify_the_sender(self):
+        attack = PredecessorAttack()
+        sender = 7
+        compromised = {0, 1}
+        # The sender's neighbour on the path is the sender itself whenever the
+        # first intermediate node is compromised; feed a biased stream of
+        # observations mimicking that.
+        paths = [(0, 3, 4), (2, 3, 4), (1, 5, 6), (0, 2, 5), (3, 4, 5)]
+        for path in paths:
+            attack.ingest(observation_from_path(sender, path, compromised))
+        assert attack.rounds_observed == len(paths)
+        assert attack.suspect() == sender
+        assert attack.score(sender) == pytest.approx(3 / 5)
+
+    def test_no_evidence_gives_uniform_entropy(self):
+        attack = PredecessorAttack()
+        assert attack.suspect() is None
+        assert attack.posterior_entropy_bits(8) == pytest.approx(3.0)
+
+    def test_origin_observation_counts_directly(self):
+        attack = PredecessorAttack()
+        attack.ingest(Observation(origin_node=4))
+        assert attack.suspect() == 4
+
+
+class TestIntersectionAttack:
+    def test_candidate_set_shrinks_monotonically(self):
+        attack = IntersectionAttack()
+        sender = 7
+        compromised = {0, 1}
+        sizes = []
+        for path in [(2, 3, 4), (5, 6, 2), (3, 0, 5)]:
+            attack.ingest(observation_from_path(sender, path, compromised), n_nodes=10)
+            sizes.append(attack.anonymity_set_size)
+        assert sizes == sorted(sizes, reverse=True)
+        assert sender in attack.candidates
+
+    def test_origin_observation_collapses_the_set(self):
+        attack = IntersectionAttack()
+        attack.ingest(Observation(origin_node=3), n_nodes=10)
+        assert attack.candidates == {3}
+        assert attack.entropy_bits() == 0.0

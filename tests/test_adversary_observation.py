@@ -1,0 +1,186 @@
+"""Tests for observations, fragment assembly, and the collection agents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.collector import AdversaryCoordinator
+from repro.adversary.observation import (
+    RECEIVER,
+    HopReport,
+    Observation,
+    ReceiverReport,
+    observation_from_path,
+)
+from repro.exceptions import ObservationError
+
+
+class TestHopReport:
+    def test_rejects_self_predecessor(self):
+        with pytest.raises(ObservationError):
+            HopReport(timestamp=1.0, node=3, predecessor=3, successor=4)
+
+    def test_rejects_self_successor(self):
+        with pytest.raises(ObservationError):
+            HopReport(timestamp=1.0, node=3, predecessor=2, successor=3)
+
+    def test_receiver_successor_allowed(self):
+        report = HopReport(timestamp=1.0, node=3, predecessor=2, successor=RECEIVER)
+        assert report.successor == RECEIVER
+
+    def test_position_not_compared(self):
+        a = HopReport(1.0, 3, 2, 4, position=1)
+        b = HopReport(1.0, 3, 2, 4, position=2)
+        assert a == b
+
+
+class TestObservation:
+    def test_reports_sorted_by_timestamp(self):
+        late = HopReport(5.0, 1, 0, 2)
+        early = HopReport(2.0, 4, 3, 1)
+        observation = Observation(hop_reports=(late, early))
+        assert observation.hop_reports[0] is early
+
+    def test_rejects_contradictory_silence(self):
+        report = HopReport(1.0, 1, 0, 2)
+        with pytest.raises(ObservationError):
+            Observation(hop_reports=(report,), silent_compromised=frozenset({1}))
+
+    def test_observed_nodes(self):
+        observation = Observation(
+            hop_reports=(HopReport(1.0, 1, 0, 2),),
+            receiver_report=ReceiverReport(3.0, 5),
+        )
+        assert observation.observed_nodes == frozenset({0, 1, 2, 5})
+
+    def test_without_positions(self):
+        observation = Observation(hop_reports=(HopReport(1.0, 1, 0, 2, position=1),))
+        stripped = observation.without_positions()
+        assert stripped.hop_reports[0].position is None
+
+    def test_is_empty(self):
+        assert Observation().is_empty()
+        assert not Observation(origin_node=3).is_empty()
+
+
+class TestObservationFromPath:
+    def test_compromised_sender_is_exposed(self):
+        observation = observation_from_path(0, (1, 2), {0})
+        assert observation.origin_node == 0
+
+    def test_compromised_interior_node_reports_neighbours(self):
+        observation = observation_from_path(3, (5, 0, 2, 6), {0})
+        assert len(observation.hop_reports) == 1
+        report = observation.hop_reports[0]
+        assert (report.node, report.predecessor, report.successor) == (0, 5, 2)
+        assert report.position == 2
+        assert observation.receiver_report.predecessor == 6
+
+    def test_compromised_first_node_sees_sender(self):
+        observation = observation_from_path(3, (0, 2, 6), {0})
+        assert observation.hop_reports[0].predecessor == 3
+
+    def test_compromised_last_node_reports_receiver(self):
+        observation = observation_from_path(3, (5, 2, 0), {0})
+        assert observation.hop_reports[0].successor == RECEIVER
+        assert observation.receiver_report.predecessor == 0
+
+    def test_absent_compromised_nodes_are_silent(self):
+        observation = observation_from_path(3, (5, 2, 6), {0, 1})
+        assert observation.silent_compromised == frozenset({0, 1})
+        assert not observation.hop_reports
+
+    def test_direct_path_reports_sender_to_receiver(self):
+        observation = observation_from_path(3, (), {0})
+        assert observation.receiver_report.predecessor == 3
+
+    def test_receiver_not_compromised(self):
+        observation = observation_from_path(3, (5, 2), {0}, receiver_compromised=False)
+        assert observation.receiver_report is None
+
+
+class TestFragmentAssembly:
+    def test_single_report_makes_one_fragment(self):
+        observation = observation_from_path(3, (5, 0, 2, 6), {0})
+        fragments = observation.to_fragments()
+        assert len(fragments.fragments) == 1
+        assert fragments.fragments[0].nodes == (5, 0, 2)
+        assert fragments.last_intermediate == 6
+
+    def test_adjacent_compromised_nodes_merge(self):
+        observation = observation_from_path(4, (2, 0, 1, 6), {0, 1})
+        fragments = observation.to_fragments()
+        assert len(fragments.fragments) == 1
+        assert fragments.fragments[0].nodes == (2, 0, 1, 6)
+
+    def test_chained_compromised_nodes_merge_through_shared_neighbour(self):
+        observation = observation_from_path(4, (2, 0, 5, 1, 6), {0, 1})
+        fragments = observation.to_fragments()
+        assert len(fragments.fragments) == 1
+        assert fragments.fragments[0].nodes == (2, 0, 5, 1, 6)
+
+    def test_separated_compromised_nodes_stay_separate(self):
+        observation = observation_from_path(4, (2, 0, 5, 6, 1, 7), {0, 1})
+        fragments = observation.to_fragments()
+        assert len(fragments.fragments) == 2
+        assert fragments.fragments[0].nodes == (2, 0, 5)
+        assert fragments.fragments[1].nodes == (6, 1, 7)
+
+    def test_last_fragment_anchored_at_receiver(self):
+        observation = observation_from_path(4, (2, 5, 0), {0})
+        fragments = observation.to_fragments()
+        assert fragments.fragments[-1].ends_at_receiver
+        assert fragments.fragments[-1].nodes == (5, 0)
+
+    def test_origin_observation_carries_sender(self):
+        observation = observation_from_path(0, (1, 2), {0})
+        assert observation.to_fragments().observed_sender == 0
+
+
+class TestAdversaryCoordinator:
+    def test_full_collection_round_trip(self):
+        coordinator = AdversaryCoordinator(frozenset({0}), receiver_compromised=True)
+        message_id = 17
+        coordinator.notify_origin(message_id, sender=3)  # honest sender: ignored
+        coordinator.notify_forward(message_id, node=5, timestamp=1.0, predecessor=3, successor=0)
+        coordinator.notify_forward(message_id, node=0, timestamp=2.0, predecessor=5, successor=2)
+        coordinator.notify_forward(message_id, node=2, timestamp=3.0, predecessor=0, successor=RECEIVER)
+        coordinator.notify_delivery(message_id, timestamp=4.0, predecessor=2)
+
+        observation = coordinator.observation_for(message_id)
+        assert observation.origin_node is None
+        assert len(observation.hop_reports) == 1  # only node 0 is compromised
+        assert observation.hop_reports[0].predecessor == 5
+        assert observation.receiver_report.predecessor == 2
+        assert observation.silent_compromised == frozenset()
+        assert coordinator.observed_message_ids() == [message_id]
+
+    def test_matches_reference_observation(self):
+        sender, path, compromised = 3, (5, 0, 2, 6), frozenset({0, 1})
+        coordinator = AdversaryCoordinator(compromised)
+        message_id = 99
+        coordinator.notify_origin(message_id, sender)
+        previous = sender
+        for index, node in enumerate(path):
+            successor = path[index + 1] if index + 1 < len(path) else RECEIVER
+            coordinator.notify_forward(
+                message_id, node, float(index + 1), previous, successor, position=index + 1
+            )
+            previous = node
+        coordinator.notify_delivery(message_id, float(len(path) + 1), previous)
+
+        collected = coordinator.observation_for(message_id)
+        reference = observation_from_path(sender, path, compromised)
+        assert collected.to_fragments() == reference.to_fragments()
+        assert collected.silent_compromised == reference.silent_compromised
+
+    def test_compromised_sender_detected(self):
+        coordinator = AdversaryCoordinator(frozenset({0}))
+        coordinator.notify_origin(5, sender=0)
+        assert coordinator.observation_for(5).origin_node == 0
+
+    def test_agent_lookup(self):
+        coordinator = AdversaryCoordinator(frozenset({1, 2}))
+        assert coordinator.agent_for(1) is not None
+        assert coordinator.agent_for(5) is None
+        assert coordinator.compromised == frozenset({1, 2})

@@ -1,0 +1,207 @@
+"""Tests for fragment assembly and consistent-path counting.
+
+The arrangement counter is validated against a brute-force reference that
+enumerates every simple path and checks consistency explicitly — for small
+systems the two must agree exactly on every candidate sender and length.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary.observation import observation_from_path
+from repro.combinatorics.arrangements import (
+    ArrangementProblem,
+    count_arrangements,
+    total_paths,
+)
+from repro.combinatorics.fragments import Fragment, FragmentSet
+from repro.exceptions import ObservationError
+from repro.utils.mathx import falling_factorial
+
+
+# --------------------------------------------------------------------------- #
+# Fragment data type                                                           #
+# --------------------------------------------------------------------------- #
+
+
+class TestFragment:
+    def test_basic_properties(self):
+        fragment = Fragment((1, 2, 3))
+        assert fragment.leading == 1
+        assert fragment.trailing == 3
+        assert len(fragment) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ObservationError):
+            Fragment(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ObservationError):
+            Fragment((1, 2, 1))
+
+
+class TestFragmentSet:
+    def test_observed_nodes(self):
+        fragments = FragmentSet(
+            fragments=[Fragment((1, 2, 3))], last_intermediate=7, absent_nodes=frozenset({9})
+        )
+        assert fragments.observed_on_path == frozenset({1, 2, 3, 7})
+        assert fragments.known_intermediate_count == 4
+
+    def test_last_intermediate_inside_fragment_not_double_counted(self):
+        fragments = FragmentSet(fragments=[Fragment((1, 2, 3))], last_intermediate=3)
+        assert fragments.known_intermediate_count == 3
+
+    def test_rejects_overlapping_fragments(self):
+        with pytest.raises(ObservationError):
+            FragmentSet(fragments=[Fragment((1, 2, 3)), Fragment((3, 4, 5))])
+
+    def test_rejects_absent_node_in_fragment(self):
+        with pytest.raises(ObservationError):
+            FragmentSet(fragments=[Fragment((1, 2, 3))], absent_nodes=frozenset({2}))
+
+    def test_rejects_receiver_anchor_on_non_final_fragment(self):
+        with pytest.raises(ObservationError):
+            FragmentSet(
+                fragments=[Fragment((1, 2), ends_at_receiver=True), Fragment((4, 5, 6))]
+            )
+
+    def test_empty_detection(self):
+        assert FragmentSet().is_empty()
+        assert not FragmentSet(last_intermediate=3).is_empty()
+
+
+# --------------------------------------------------------------------------- #
+# Reference implementation for the counting engine                             #
+# --------------------------------------------------------------------------- #
+
+
+def adversary_view(observation):
+    """What the paper's passive adversary actually knows about one message.
+
+    The reports in path order (the adversary can order them by timestamp) but
+    without absolute times or hop positions, plus the receiver's report, the
+    silent compromised nodes, and any origin report.
+    """
+    return (
+        tuple(
+            (report.node, report.predecessor, report.successor)
+            for report in observation.hop_reports
+        ),
+        observation.receiver_report.predecessor
+        if observation.receiver_report is not None
+        else None,
+        observation.silent_compromised,
+        observation.origin_node,
+    )
+
+
+def brute_force_count(n_nodes, candidate, length, compromised, true_sender, true_path):
+    """Count length-``length`` paths from ``candidate`` giving the same observation."""
+    reference = adversary_view(observation_from_path(true_sender, true_path, compromised))
+    count = 0
+    others = [node for node in range(n_nodes) if node != candidate]
+    for path in itertools.permutations(others, length):
+        if adversary_view(observation_from_path(candidate, path, compromised)) == reference:
+            count += 1
+    return count
+
+
+def engine_count(n_nodes, candidate, length, compromised, true_sender, true_path):
+    observation = observation_from_path(true_sender, true_path, compromised)
+    fragments = observation.to_fragments()
+    return count_arrangements(n_nodes, candidate, length, fragments)
+
+
+CASES = [
+    # (n_nodes, compromised, sender, path)
+    (7, {0}, 3, (5, 0, 2, 6)),      # compromised node in the interior
+    (7, {0}, 3, (0, 2, 6)),         # compromised node first (sees the sender)
+    (7, {0}, 3, (5, 2, 0)),         # compromised node last
+    (7, {0}, 3, (5, 2, 6)),         # compromised node absent
+    (7, {0}, 3, (0,)),              # single-hop path through the compromised node
+    (7, {0}, 3, ()),                # direct path
+    (8, {0, 1}, 4, (0, 2, 1, 6)),   # two compromised nodes, adjacent-ish
+    (8, {0, 1}, 4, (2, 0, 5, 1)),   # two compromised nodes, separated
+    (8, {0, 1}, 4, (2, 5, 6, 7)),   # both compromised nodes absent
+    (8, {0, 1}, 4, (0, 1, 5, 7)),   # adjacent compromised nodes at the front
+    (8, {0, 1, 2}, 5, (0, 2, 6, 1)),  # three compromised nodes
+]
+
+
+class TestCountArrangementsAgainstBruteForce:
+    @pytest.mark.parametrize("n_nodes,compromised,sender,path", CASES)
+    def test_counts_match_for_true_length(self, n_nodes, compromised, sender, path):
+        length = len(path)
+        for candidate in range(n_nodes):
+            if candidate in compromised:
+                continue  # the self-report policy lives in the inference layer
+            expected = brute_force_count(n_nodes, candidate, length, compromised, sender, path)
+            actual = engine_count(n_nodes, candidate, length, compromised, sender, path)
+            assert actual == expected, f"candidate {candidate}"
+
+    @pytest.mark.parametrize("n_nodes,compromised,sender,path", CASES[:6])
+    def test_counts_match_for_other_lengths(self, n_nodes, compromised, sender, path):
+        for length in range(0, n_nodes - 1):
+            for candidate in range(n_nodes):
+                if candidate in compromised:
+                    continue
+                expected = brute_force_count(
+                    n_nodes, candidate, length, compromised, sender, path
+                )
+                actual = engine_count(n_nodes, candidate, length, compromised, sender, path)
+                assert actual == expected, f"candidate {candidate}, length {length}"
+
+    def test_true_sender_always_consistent(self):
+        for n_nodes, compromised, sender, path in CASES:
+            count = engine_count(n_nodes, sender, len(path), compromised, sender, path)
+            assert count >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_scenarios(self, data):
+        n_nodes = data.draw(st.integers(min_value=5, max_value=7))
+        n_compromised = data.draw(st.integers(min_value=1, max_value=2))
+        compromised = set(range(n_compromised))
+        sender = data.draw(st.integers(min_value=n_compromised, max_value=n_nodes - 1))
+        length = data.draw(st.integers(min_value=0, max_value=n_nodes - 2))
+        others = [node for node in range(n_nodes) if node != sender]
+        path = tuple(data.draw(st.permutations(others))[:length])
+        candidate = data.draw(st.integers(min_value=n_compromised, max_value=n_nodes - 1))
+        expected = brute_force_count(n_nodes, candidate, length, compromised, sender, path)
+        actual = engine_count(n_nodes, candidate, length, compromised, sender, path)
+        assert actual == expected
+
+
+class TestTotalPathsAndProblem:
+    def test_total_paths_is_falling_factorial(self):
+        assert total_paths(10, 3) == falling_factorial(9, 3)
+        assert total_paths(10, 0) == 1
+        assert total_paths(4, 5) == 0
+
+    def test_arrangement_problem_likelihood(self):
+        observation = observation_from_path(3, (5, 0, 2, 6), {0})
+        problem = ArrangementProblem(7, observation.to_fragments())
+        likelihood = problem.likelihood(3, 4)
+        assert 0.0 < likelihood <= 1.0
+        assert likelihood == problem.count(3, 4) / total_paths(7, 4)
+
+    def test_zero_length_direct_path_consistency(self):
+        observation = observation_from_path(3, (), {0})
+        fragments = observation.to_fragments()
+        # Only the node the receiver reported can be the direct sender.
+        assert count_arrangements(7, 3, 0, fragments) == 1
+        assert count_arrangements(7, 4, 0, fragments) == 0
+
+    def test_candidate_inside_fragment_is_impossible(self):
+        observation = observation_from_path(3, (5, 0, 2, 6), {0})
+        fragments = observation.to_fragments()
+        # Node 5 was observed as the predecessor of the compromised node but
+        # it can still be the sender only via the position-1 interpretation;
+        # node 2 (the successor) can never be the sender.
+        assert count_arrangements(7, 2, 4, fragments) == 0
+        assert count_arrangements(7, 5, 4, fragments) > 0

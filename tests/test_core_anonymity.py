@@ -1,0 +1,254 @@
+"""Tests for the exact anonymity-degree engine (the paper's core metric).
+
+The key validation strategy: the closed-form event-class engine, the
+re-derived theorem formulas, and exhaustive enumeration are three independent
+code paths implementing the same model — they must agree exactly wherever
+their domains overlap.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.anonymity import AnonymityAnalyzer, AnonymityResult, anonymity_degree
+from repro.core.closed_form import (
+    fixed_length_degree,
+    interior_event_entropy,
+    two_point_degree,
+    uniform_degree,
+)
+from repro.core.enumeration import ExhaustiveAnalyzer, enumerate_anonymity_degree
+from repro.core.events import EventClass
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.distributions import (
+    CategoricalLength,
+    FixedLength,
+    GeometricLength,
+    TwoPointLength,
+    UniformLength,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestAnalyzerConstruction:
+    def test_requires_single_compromised_node(self):
+        with pytest.raises(ConfigurationError):
+            AnonymityAnalyzer(SystemModel(n_nodes=10, n_compromised=2))
+
+    def test_requires_simple_paths(self):
+        model = SystemModel(n_nodes=10, path_model=PathModel.CYCLE_ALLOWED)
+        with pytest.raises(ConfigurationError):
+            AnonymityAnalyzer(model)
+
+    def test_requires_compromised_receiver(self):
+        model = SystemModel(n_nodes=10, receiver_compromised=False)
+        with pytest.raises(ConfigurationError):
+            AnonymityAnalyzer(model)
+
+    def test_rejects_distribution_exceeding_simple_path_bound(self):
+        analyzer = AnonymityAnalyzer(SystemModel(n_nodes=10))
+        with pytest.raises(ConfigurationError):
+            analyzer.anonymity_degree(FixedLength(10))
+
+
+class TestDegenerateCases:
+    def test_direct_path_gives_zero_anonymity(self, paper_model):
+        analyzer = AnonymityAnalyzer(paper_model)
+        assert analyzer.anonymity_degree(FixedLength(0)) == pytest.approx(0.0)
+
+    def test_upper_bound_log2_n(self, paper_model):
+        analyzer = AnonymityAnalyzer(paper_model)
+        for dist in (FixedLength(5), UniformLength(2, 30), GeometricLength(0.7, max_length=99)):
+            assert analyzer.anonymity_degree(dist) < paper_model.max_entropy
+
+    def test_lengths_one_and_two_coincide(self, paper_model):
+        analyzer = AnonymityAnalyzer(paper_model)
+        assert analyzer.anonymity_degree(FixedLength(1)) == pytest.approx(
+            analyzer.anonymity_degree(FixedLength(2))
+        )
+
+    def test_lengths_two_and_three_nearly_coincide(self, paper_model):
+        analyzer = AnonymityAnalyzer(paper_model)
+        f2 = analyzer.anonymity_degree(FixedLength(2))
+        f3 = analyzer.anonymity_degree(FixedLength(3))
+        assert abs(f2 - f3) < 1e-3
+
+    def test_known_value_small_system(self):
+        # For N=6 and F(2): H* = (N-2)/N * log2(N-2) = (4/6) * 2 = 4/3.
+        assert anonymity_degree(6, FixedLength(2)) == pytest.approx(4.0 / 3.0)
+
+
+class TestEventBreakdown:
+    def test_event_probabilities_sum_to_one(self, paper_model):
+        analyzer = AnonymityAnalyzer(paper_model)
+        for dist in (FixedLength(5), UniformLength(0, 10), TwoPointLength(1, 9, 0.3)):
+            result = analyzer.analyze(dist)
+            total = sum(summary.probability for summary in result.events)
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_origin_event_has_zero_entropy(self, paper_model):
+        result = AnonymityAnalyzer(paper_model).analyze(FixedLength(5))
+        assert result.event(EventClass.ORIGIN).entropy_bits == 0.0
+        assert result.event(EventClass.ORIGIN).probability == pytest.approx(0.01)
+
+    def test_interior_event_absent_for_short_paths(self, paper_model):
+        result = AnonymityAnalyzer(paper_model).analyze(FixedLength(2))
+        assert result.event(EventClass.INTERIOR).probability == pytest.approx(0.0)
+
+    def test_contributions_add_up_to_degree(self, paper_model):
+        result = AnonymityAnalyzer(paper_model).analyze(UniformLength(3, 12))
+        assert sum(s.contribution_bits for s in result.events) == pytest.approx(
+            result.degree_bits
+        )
+
+    def test_normalized_degree_in_unit_interval(self, paper_model):
+        result = AnonymityAnalyzer(paper_model).analyze(UniformLength(3, 12))
+        assert 0.0 <= result.normalized_degree <= 1.0
+
+    def test_unknown_event_class_lookup_fails(self, paper_model):
+        result = AnonymityAnalyzer(paper_model).analyze(FixedLength(2))
+        assert isinstance(result, AnonymityResult)
+        with pytest.raises(KeyError):
+            result.event("nonsense")  # type: ignore[arg-type]
+
+
+class TestClosedFormAgreement:
+    @pytest.mark.parametrize("length", [0, 1, 2, 3, 4, 7, 15, 40, 70, 99])
+    def test_theorem1_matches_analyzer(self, paper_model, length):
+        analyzer = AnonymityAnalyzer(paper_model)
+        assert fixed_length_degree(100, length) == pytest.approx(
+            analyzer.anonymity_degree(FixedLength(length)), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("p_short", [0.0, 0.2, 0.5, 0.8, 1.0])
+    def test_theorem2_matches_analyzer(self, paper_model, p_short):
+        analyzer = AnonymityAnalyzer(paper_model)
+        if p_short == 0.0:
+            reference = analyzer.anonymity_degree(FixedLength(9))
+        elif p_short == 1.0:
+            reference = analyzer.anonymity_degree(FixedLength(2))
+        else:
+            reference = analyzer.anonymity_degree(TwoPointLength(2, 9, p_short))
+        assert two_point_degree(100, 2, 9, p_short) == pytest.approx(reference, abs=1e-9)
+
+    @pytest.mark.parametrize("low,high", [(0, 5), (1, 1), (2, 10), (4, 40), (51, 90)])
+    def test_theorem3_matches_analyzer(self, paper_model, low, high):
+        analyzer = AnonymityAnalyzer(paper_model)
+        assert uniform_degree(100, low, high) == pytest.approx(
+            analyzer.anonymity_degree(UniformLength(low, high)), abs=1e-9
+        )
+
+    def test_interior_entropy_requires_length_three(self):
+        with pytest.raises(ConfigurationError):
+            interior_event_entropy(100, 2)
+        assert interior_event_entropy(100, 3) == 0.0
+        assert interior_event_entropy(100, 4) > 0.0
+
+    def test_closed_form_rejects_invalid_system(self):
+        with pytest.raises(ConfigurationError):
+            fixed_length_degree(5, 5)
+        with pytest.raises(ConfigurationError):
+            uniform_degree(10, 5, 2)
+        with pytest.raises(ConfigurationError):
+            two_point_degree(10, 5, 5, 0.5)
+
+
+class TestEnumerationAgreement:
+    @pytest.mark.parametrize(
+        "distribution",
+        [
+            FixedLength(1),
+            FixedLength(3),
+            FixedLength(6),
+            UniformLength(0, 4),
+            UniformLength(2, 5),
+            TwoPointLength(1, 5, 0.25),
+            GeometricLength(0.5, minimum=1, max_length=6),
+            CategoricalLength({0: 0.1, 2: 0.4, 5: 0.5}),
+        ],
+    )
+    def test_closed_form_equals_enumeration(self, distribution):
+        n = 7
+        closed = anonymity_degree(n, distribution)
+        enumerated = enumerate_anonymity_degree(n, distribution)
+        assert closed == pytest.approx(enumerated, abs=1e-10)
+
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    def test_adversary_variants_match_enumeration(self, adversary):
+        n = 6
+        distribution = UniformLength(1, 4)
+        closed = anonymity_degree(n, distribution, adversary=adversary)
+        enumerated = enumerate_anonymity_degree(n, distribution, adversary=adversary)
+        assert closed == pytest.approx(enumerated, abs=1e-10)
+
+    def test_enumeration_rejects_large_systems(self):
+        with pytest.raises(ConfigurationError):
+            ExhaustiveAnalyzer(SystemModel(n_nodes=30))
+
+    def test_enumeration_supports_multiple_compromised(self):
+        value_c1 = enumerate_anonymity_degree(6, FixedLength(3), n_compromised=1)
+        value_c2 = enumerate_anonymity_degree(6, FixedLength(3), n_compromised=2)
+        assert value_c2 < value_c1
+
+    def test_enumeration_supports_cycles(self):
+        value = enumerate_anonymity_degree(
+            5, FixedLength(3), path_model=PathModel.CYCLE_ALLOWED
+        )
+        assert 0.0 < value < math.log2(5)
+
+    def test_enumeration_zero_compromised_gives_log2n_minus_receiver_info(self):
+        # With no compromised nodes the adversary still controls the receiver,
+        # which excludes the last intermediate node; the degree is therefore
+        # below log2(N) but far above zero.
+        value = enumerate_anonymity_degree(6, FixedLength(2), n_compromised=0)
+        assert math.log2(4) < value < math.log2(6)
+
+    def test_enumeration_without_receiver_and_compromised_is_maximal(self):
+        value = enumerate_anonymity_degree(
+            6, FixedLength(2), n_compromised=0, receiver_compromised=False
+        )
+        assert value == pytest.approx(math.log2(6))
+
+
+class TestAdversaryOrdering:
+    @pytest.mark.parametrize("length", [1, 3, 5, 10, 30, 60, 99])
+    def test_stronger_adversaries_never_increase_anonymity(self, length):
+        full = anonymity_degree(100, FixedLength(length), AdversaryModel.FULL_BAYES)
+        aware = anonymity_degree(100, FixedLength(length), AdversaryModel.POSITION_AWARE)
+        weak = anonymity_degree(100, FixedLength(length), AdversaryModel.PREDECESSOR_ONLY)
+        assert aware <= full + 1e-9
+        assert full <= weak + 1e-9
+
+
+class TestPaperShape:
+    """The qualitative findings of the paper's Section 6 for N=100, C=1."""
+
+    def test_long_path_effect_maximum_is_interior(self, paper_model):
+        analyzer = AnonymityAnalyzer(paper_model)
+        degrees = {l: analyzer.anonymity_degree(FixedLength(l)) for l in range(1, 100)}
+        best = max(degrees, key=degrees.__getitem__)
+        assert 4 < best < 99
+        assert degrees[99] < degrees[best]
+        assert degrees[1] < degrees[best]
+
+    def test_short_path_effect_values_in_paper_band(self, paper_model):
+        analyzer = AnonymityAnalyzer(paper_model)
+        assert 6.4 < analyzer.anonymity_degree(FixedLength(1)) < 6.55
+        assert 6.4 < analyzer.anonymity_degree(FixedLength(4)) < 6.55
+
+    def test_uniform_lower_bound_three_matches_fixed_at_same_mean(self, paper_model):
+        analyzer = AnonymityAnalyzer(paper_model)
+        for mean in (10, 20, 30):
+            uniform = analyzer.anonymity_degree(UniformLength(4, 2 * mean - 4))
+            fixed = analyzer.anonymity_degree(FixedLength(mean))
+            assert uniform == pytest.approx(fixed, abs=2e-2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=99), st.integers(min_value=0, max_value=99))
+    def test_degree_bounds_property(self, a, b):
+        low, high = min(a, b), max(a, b)
+        value = anonymity_degree(100, UniformLength(low, high))
+        assert -1e-12 <= value <= math.log2(100)

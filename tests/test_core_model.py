@@ -1,0 +1,78 @@
+"""Tests for the system/threat model dataclass."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.exceptions import ConfigurationError
+
+
+class TestSystemModelValidation:
+    def test_basic_construction(self):
+        model = SystemModel(n_nodes=100, n_compromised=1)
+        assert model.n_honest == 99
+        assert model.max_simple_path_length == 99
+        assert model.max_entropy == pytest.approx(math.log2(100))
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ConfigurationError):
+            SystemModel(n_nodes=1)
+
+    def test_rejects_too_many_compromised(self):
+        with pytest.raises(ConfigurationError):
+            SystemModel(n_nodes=5, n_compromised=6)
+
+    def test_zero_compromised_allowed(self):
+        model = SystemModel(n_nodes=5, n_compromised=0)
+        assert model.compromised_nodes() == frozenset()
+        assert model.honest_nodes() == frozenset(range(5))
+
+    def test_rejects_bad_enum_types(self):
+        with pytest.raises(ConfigurationError):
+            SystemModel(n_nodes=5, path_model="simple")
+        with pytest.raises(ConfigurationError):
+            SystemModel(n_nodes=5, adversary="full_bayes")
+
+    def test_rejects_negative_compromised(self):
+        with pytest.raises(ConfigurationError):
+            SystemModel(n_nodes=5, n_compromised=-1)
+
+
+class TestSystemModelDerived:
+    def test_compromised_and_honest_partition(self):
+        model = SystemModel(n_nodes=10, n_compromised=3)
+        compromised = model.compromised_nodes()
+        honest = model.honest_nodes()
+        assert compromised | honest == frozenset(range(10))
+        assert compromised & honest == frozenset()
+        assert len(compromised) == 3
+
+    def test_with_adversary_copy(self):
+        model = SystemModel(n_nodes=10)
+        other = model.with_adversary(AdversaryModel.POSITION_AWARE)
+        assert other.adversary is AdversaryModel.POSITION_AWARE
+        assert model.adversary is AdversaryModel.FULL_BAYES
+        assert other.n_nodes == 10
+
+    def test_with_compromised_copy(self):
+        model = SystemModel(n_nodes=10, n_compromised=1)
+        other = model.with_compromised(4)
+        assert other.n_compromised == 4
+        assert model.n_compromised == 1
+
+    def test_describe_mentions_parameters(self):
+        text = SystemModel(n_nodes=42, n_compromised=3).describe()
+        assert "N=42" in text and "C=3" in text
+
+    def test_model_is_hashable_and_frozen(self):
+        model = SystemModel(n_nodes=10)
+        assert hash(model) == hash(SystemModel(n_nodes=10))
+        with pytest.raises(Exception):
+            model.n_nodes = 11  # type: ignore[misc]
+
+    def test_path_and_adversary_enums_roundtrip(self):
+        assert PathModel("simple") is PathModel.SIMPLE
+        assert AdversaryModel("predecessor_only") is AdversaryModel.PREDECESSOR_ONLY

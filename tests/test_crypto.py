@@ -1,0 +1,136 @@
+"""Tests for the toy cipher, key directory, and onion envelopes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyDirectory
+from repro.crypto.onion import build_onion, peel_layer
+from repro.crypto.toy_cipher import (
+    authenticate,
+    decrypt,
+    derive_key,
+    encrypt,
+    keystream,
+    verify,
+)
+from repro.exceptions import ConfigurationError, ProtocolError
+
+
+class TestToyCipher:
+    def test_round_trip(self):
+        key = derive_key(b"seed", "k")
+        nonce = b"nonce"
+        plaintext = b"attack at dawn" * 10
+        assert decrypt(key, nonce, encrypt(key, nonce, plaintext)) == plaintext
+
+    def test_different_keys_give_different_ciphertexts(self):
+        nonce = b"nonce"
+        plaintext = b"hello world"
+        a = encrypt(derive_key(b"seed", "a"), nonce, plaintext)
+        b = encrypt(derive_key(b"seed", "b"), nonce, plaintext)
+        assert a != b
+
+    def test_keystream_length_and_determinism(self):
+        key = derive_key(b"seed", "k")
+        assert len(keystream(key, b"n", 100)) == 100
+        assert keystream(key, b"n", 100) == keystream(key, b"n", 100)
+        with pytest.raises(ProtocolError):
+            keystream(key, b"n", -1)
+
+    def test_mac_verification(self):
+        key = derive_key(b"seed", "mac")
+        tag = authenticate(key, b"data")
+        assert verify(key, b"data", tag)
+        assert not verify(key, b"other", tag)
+        assert not verify(derive_key(b"seed", "x"), b"data", tag)
+
+
+class TestKeyDirectory:
+    def test_generate_is_deterministic(self):
+        a = KeyDirectory.generate(5)
+        b = KeyDirectory.generate(5)
+        assert a.key_for(3) == b.key_for(3)
+        assert len(a) == 5
+
+    def test_distinct_keys_per_node(self):
+        directory = KeyDirectory.generate(10)
+        keys = {directory.key_for(node) for node in range(10)}
+        assert len(keys) == 10
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyDirectory.generate(3).key_for(7)
+
+    def test_register_validates_length(self):
+        directory = KeyDirectory.generate(2)
+        with pytest.raises(ConfigurationError):
+            directory.register(0, b"short")
+        directory.register(0, b"x" * 32)
+        assert directory.key_for(0) == b"x" * 32
+
+
+class TestOnion:
+    def test_full_peel_sequence_delivers_payload(self):
+        directory = KeyDirectory.generate(8)
+        route = [3, 5, 1, 6]
+        onion = build_onion(route, {"msg": "hello"}, directory)
+        assert onion.first_hop == 3
+
+        envelope = onion.envelope
+        revealed = []
+        for hop in route:
+            layer = peel_layer(hop, envelope, directory)
+            revealed.append(layer.next_hop)
+            if layer.next_hop is None:
+                assert layer.payload == {"msg": "hello"}
+            envelope = layer.remaining
+        assert revealed == [5, 1, 6, None]
+
+    def test_each_layer_only_reveals_next_hop(self):
+        directory = KeyDirectory.generate(8)
+        onion = build_onion([3, 5, 1], "secret", directory)
+        layer = peel_layer(3, onion.envelope, directory)
+        assert layer.next_hop == 5
+        assert layer.payload is None  # the payload stays hidden from hop 3
+
+    def test_wrong_node_cannot_peel(self):
+        directory = KeyDirectory.generate(8)
+        onion = build_onion([3, 5], "secret", directory)
+        with pytest.raises(ProtocolError):
+            peel_layer(5, onion.envelope, directory)  # layer 1 belongs to node 3
+
+    def test_empty_route_rejected(self):
+        directory = KeyDirectory.generate(4)
+        with pytest.raises(ProtocolError):
+            build_onion([], "payload", directory)
+
+    def test_truncated_envelope_rejected(self):
+        directory = KeyDirectory.generate(4)
+        with pytest.raises(ProtocolError):
+            peel_layer(0, b"tiny", directory)
+
+    def test_envelope_size_grows_with_route_length(self):
+        directory = KeyDirectory.generate(10)
+        short = build_onion([1, 2], "x", directory)
+        long = build_onion([1, 2, 3, 4, 5], "x", directory)
+        assert len(long) > len(short)
+
+    def test_single_hop_onion(self):
+        directory = KeyDirectory.generate(4)
+        onion = build_onion([2], [1, 2, 3], directory)
+        layer = peel_layer(2, onion.envelope, directory)
+        assert layer.next_hop is None
+        assert layer.payload == [1, 2, 3]
+
+    def test_cycle_routes_supported(self):
+        directory = KeyDirectory.generate(6)
+        route = [2, 4, 2, 5]
+        onion = build_onion(route, "loop", directory)
+        envelope = onion.envelope
+        hops = []
+        for hop in route:
+            layer = peel_layer(hop, envelope, directory)
+            hops.append(layer.next_hop)
+            envelope = layer.remaining
+        assert hops == [4, 2, 5, None]

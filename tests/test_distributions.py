@@ -1,0 +1,263 @@
+"""Tests for the path-length distribution subpackage."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import (
+    BinomialLength,
+    CategoricalLength,
+    FixedLength,
+    GeometricLength,
+    PathLengthDistribution,
+    PoissonLength,
+    TwoPointLength,
+    UniformLength,
+    ZipfLength,
+)
+from repro.exceptions import ConfigurationError, DistributionError
+
+
+def assert_valid_distribution(distribution: PathLengthDistribution) -> None:
+    """Shared invariant checks every distribution must satisfy."""
+    total = sum(prob for _, prob in distribution.items())
+    assert total == pytest.approx(1.0, abs=1e-9)
+    assert all(prob > 0 for _, prob in distribution.items())
+    assert all(length >= 0 for length, _ in distribution.items())
+    assert distribution.min_length == distribution.support[0]
+    assert distribution.max_length == distribution.support[-1]
+    assert distribution.variance() >= -1e-12
+
+
+class TestFixedLength:
+    def test_pmf(self):
+        dist = FixedLength(5)
+        assert dist.pmf(5) == 1.0
+        assert dist.pmf(4) == 0.0
+        assert dist.support == (5,)
+        assert_valid_distribution(dist)
+
+    def test_moments(self):
+        dist = FixedLength(7)
+        assert dist.mean() == 7.0
+        assert dist.variance() == 0.0
+
+    def test_zero_length_allowed(self):
+        assert FixedLength(0).mean() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedLength(-1)
+
+    def test_name(self):
+        assert FixedLength(3).name == "F(3)"
+
+    def test_sampling_is_constant(self, rng):
+        samples = FixedLength(4).sample(rng, size=50)
+        assert set(int(s) for s in samples) == {4}
+
+
+class TestUniformLength:
+    def test_pmf_uniform(self):
+        dist = UniformLength(2, 5)
+        assert dist.pmf(3) == pytest.approx(0.25)
+        assert dist.pmf(6) == 0.0
+        assert_valid_distribution(dist)
+
+    def test_moments(self):
+        dist = UniformLength(2, 6)
+        assert dist.mean() == 4.0
+        assert dist.variance() == pytest.approx((5 * 5 - 1) / 12.0)
+
+    def test_degenerate_interval(self):
+        dist = UniformLength(4, 4)
+        assert dist.pmf(4) == 1.0
+        assert dist.variance() == 0.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            UniformLength(5, 2)
+
+    def test_from_mean_and_width(self):
+        dist = UniformLength.from_mean_and_width(10, 6)
+        assert (dist.low, dist.high) == (7, 13)
+        assert dist.mean() == 10.0
+
+    def test_from_mean_and_width_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            UniformLength.from_mean_and_width(10, 5)
+
+    def test_width_property(self):
+        assert UniformLength(3, 9).width == 6
+
+    @given(st.integers(0, 30), st.integers(0, 30))
+    def test_mean_formula(self, a, b):
+        low, high = min(a, b), max(a, b)
+        dist = UniformLength(low, high)
+        assert dist.mean() == pytest.approx((low + high) / 2)
+
+
+class TestTwoPointLength:
+    def test_pmf(self):
+        dist = TwoPointLength(2, 8, 0.3)
+        assert dist.pmf(2) == pytest.approx(0.3)
+        assert dist.pmf(8) == pytest.approx(0.7)
+        assert_valid_distribution(dist)
+
+    def test_degenerate_weights(self):
+        assert TwoPointLength(2, 8, 1.0).support == (2,)
+        assert TwoPointLength(2, 8, 0.0).support == (8,)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(DistributionError):
+            TwoPointLength(5, 5, 0.5)
+
+    def test_moments(self):
+        dist = TwoPointLength(2, 10, 0.5)
+        assert dist.mean() == 6.0
+        assert dist.variance() == pytest.approx(16.0)
+
+
+class TestGeometricLength:
+    def test_untruncated_mean(self):
+        dist = GeometricLength(0.75, minimum=1)
+        assert dist.untruncated_mean() == pytest.approx(1 + 0.75 / 0.25)
+
+    def test_truncation_respects_max(self):
+        dist = GeometricLength(0.9, minimum=1, max_length=5)
+        assert dist.max_length == 5
+        assert_valid_distribution(dist)
+
+    def test_zero_forward_probability_is_fixed(self):
+        dist = GeometricLength(0.0, minimum=2)
+        assert dist.support == (2,)
+
+    def test_forward_probability_one_rejected(self):
+        with pytest.raises(DistributionError):
+            GeometricLength(1.0)
+
+    def test_max_below_minimum_rejected(self):
+        with pytest.raises(DistributionError):
+            GeometricLength(0.5, minimum=3, max_length=2)
+
+    def test_pmf_ratio(self):
+        dist = GeometricLength(0.5, minimum=1, max_length=30)
+        assert dist.pmf(2) / dist.pmf(1) == pytest.approx(0.5, rel=1e-6)
+
+    def test_sampling_matches_mean(self, rng):
+        dist = GeometricLength(0.6, minimum=1, max_length=60)
+        samples = dist.sample(rng, size=4000)
+        assert float(samples.mean()) == pytest.approx(dist.mean(), abs=0.15)
+
+
+class TestCategoricalLength:
+    def test_round_trip(self):
+        dist = CategoricalLength({1: 0.25, 3: 0.75})
+        assert dist.pmf(3) == pytest.approx(0.75)
+        assert_valid_distribution(dist)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            CategoricalLength({})
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(DistributionError):
+            CategoricalLength({1: 0.2, 2: 0.2})
+
+    def test_from_vector_clips_negatives(self):
+        dist = CategoricalLength.from_vector([0.5, -1e-12, 0.5], offset=1)
+        assert dist.support == (1, 3)
+
+    def test_mixture(self):
+        mixture = CategoricalLength.mixture(
+            [(FixedLength(2), 1.0), (FixedLength(4), 1.0)]
+        )
+        assert mixture.pmf(2) == pytest.approx(0.5)
+        assert mixture.pmf(4) == pytest.approx(0.5)
+
+    def test_mixture_rejects_zero_weights(self):
+        with pytest.raises(DistributionError):
+            CategoricalLength.mixture([(FixedLength(2), 0.0)])
+
+
+class TestParametricFamilies:
+    def test_poisson_valid(self):
+        assert_valid_distribution(PoissonLength(3.0, minimum=1))
+
+    def test_poisson_zero_rate(self):
+        assert PoissonLength(0.0, minimum=2).support == (2,)
+
+    def test_poisson_mean_close_to_rate_plus_min(self):
+        dist = PoissonLength(4.0, minimum=1)
+        assert dist.mean() == pytest.approx(5.0, abs=1e-6)
+
+    def test_binomial_valid(self):
+        dist = BinomialLength(trials=6, success=0.5, minimum=1)
+        assert_valid_distribution(dist)
+        assert dist.mean() == pytest.approx(4.0)
+
+    def test_zipf_valid_and_decreasing(self):
+        dist = ZipfLength(exponent=1.5, minimum=1, max_length=20)
+        assert_valid_distribution(dist)
+        assert dist.pmf(1) > dist.pmf(2) > dist.pmf(10)
+
+    def test_zipf_invalid_exponent(self):
+        with pytest.raises(DistributionError):
+            ZipfLength(exponent=0.0, minimum=1, max_length=5)
+
+
+class TestSharedBehaviour:
+    def test_truncation_renormalises(self):
+        dist = UniformLength(0, 9).truncated(4)
+        assert dist.support == (0, 1, 2, 3, 4)
+        assert sum(p for _, p in dist.items()) == pytest.approx(1.0)
+        assert dist.pmf(2) == pytest.approx(0.2)
+
+    def test_truncation_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            UniformLength(5, 9).truncated(3)
+
+    def test_equality_by_pmf(self):
+        assert FixedLength(3) == UniformLength(3, 3)
+        assert FixedLength(3) != FixedLength(4)
+        assert hash(FixedLength(3)) == hash(UniformLength(3, 3))
+
+    def test_expectation_of(self):
+        dist = UniformLength(1, 3)
+        assert dist.expectation_of(lambda l: l * l) == pytest.approx((1 + 4 + 9) / 3)
+
+    def test_as_dict_is_copy(self):
+        dist = FixedLength(2)
+        mapping = dist.as_dict()
+        mapping[99] = 1.0
+        assert dist.pmf(99) == 0.0
+
+    @settings(max_examples=30)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=40),
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_categorical_property(self, raw):
+        total = sum(raw.values())
+        dist = CategoricalLength({k: v / total for k, v in raw.items()})
+        assert_valid_distribution(dist)
+        assert min(raw) == dist.min_length
+        assert max(raw) == dist.max_length
+
+    def test_sampling_respects_support(self, rng):
+        dist = TwoPointLength(2, 9, 0.4)
+        samples = dist.sample(rng, size=200)
+        assert set(int(s) for s in samples).issubset({2, 9})
+
+    def test_sample_single_value_is_int(self, rng):
+        assert isinstance(UniformLength(1, 4).sample(rng), int)
+
+    def test_repr_contains_name(self):
+        assert "U(1, 4)" in repr(UniformLength(1, 4))

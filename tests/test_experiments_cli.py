@@ -1,0 +1,177 @@
+"""Tests for the experiment registry, the reproduced figures, and the CLI."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentData,
+    figure3a,
+    figure3b,
+    figure6,
+    list_experiments,
+    run_experiment,
+    theorem1,
+)
+from repro.experiments.extensions import (
+    adversary_ablation,
+    protocol_comparison,
+)
+
+
+class TestRegistry:
+    def test_every_figure_of_the_paper_is_registered(self):
+        identifiers = set(list_experiments())
+        assert {
+            "fig3a",
+            "fig3b",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig4d",
+            "fig5a",
+            "fig5b",
+            "fig5c",
+            "fig5d",
+            "fig6",
+        }.issubset(identifiers)
+
+    def test_theorems_and_extensions_registered(self):
+        identifiers = set(list_experiments())
+        assert {"thm1", "thm2", "thm3", "ext-c", "ext-adv", "ext-proto", "ext-sim"}.issubset(
+            identifiers
+        )
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_registry_callables_return_experiment_data(self):
+        data = run_experiment("fig3b")
+        assert isinstance(data, ExperimentData)
+        assert data.experiment_id == "fig3b"
+
+
+class TestFigure3:
+    def test_fig3a_reduced_size_checks_pass(self):
+        data = figure3a(n_nodes=40)
+        assert data.all_checks_pass
+        assert len(data.sweep.x_values) == 39
+
+    def test_fig3a_paper_size_key_points(self):
+        data = figure3a()
+        assert data.all_checks_pass
+        assert data.key_points["N"] == 100
+        # The paper's band: the whole curve lives between 6.4 and 6.6 bits.
+        assert 6.4 < data.key_points["H* at optimal length"] < 6.6
+        assert data.key_points["H* at length 1"] < data.key_points["H* at optimal length"]
+
+    def test_fig3b_short_path_effect(self):
+        data = figure3b()
+        assert data.all_checks_pass
+        assert data.key_points["H* at l=0"] == 0.0
+
+    def test_renders_to_text(self):
+        text = figure3b().render()
+        assert "Figure 3(b)" in text and "PASS" in text
+
+
+class TestFigure6AndTheorems:
+    def test_fig6_small_system_optimization_dominates(self):
+        data = figure6(n_nodes=30, means=[3, 6, 9])
+        assert data.all_checks_pass
+
+    def test_theorem1_small_system(self):
+        data = theorem1(n_nodes=50)
+        assert data.all_checks_pass
+        assert data.key_points["max |closed - enumeration| (N=8)"] < 1e-9
+
+
+class TestExtensions:
+    def test_adversary_ablation_checks(self):
+        data = adversary_ablation(n_nodes=50, lengths=(1, 5, 20, 49))
+        assert data.all_checks_pass
+
+    def test_protocol_comparison_checks(self):
+        data = protocol_comparison(n_nodes=60)
+        assert data.all_checks_pass
+        assert "ranking (best to worst)" in data.key_points
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "fig3b"])
+        assert args.command == "figure"
+        assert args.experiment_id == "fig3b"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig3a" in output and "fig6" in output
+
+    def test_figure_command(self, capsys):
+        assert main(["figure", "fig3b"]) == 0
+        assert "short-path effect" in capsys.readouterr().out
+
+    def test_degree_command(self, capsys):
+        assert main(["degree", "--n", "50", "--strategy", "uniform", "--low", "2", "--high", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "anonymity degree" in output
+
+    def test_degree_command_geometric(self, capsys):
+        assert main(["degree", "--n", "30", "--strategy", "geometric", "--p-forward", "0.6"]) == 0
+        assert "anonymity degree" in capsys.readouterr().out
+
+    def test_optimize_command_with_mean(self, capsys):
+        assert main(["optimize", "--n", "40", "--mean", "6"]) == 0
+        assert "best uniform" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--n", "40"]) == 0
+        assert "Crowds" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--n",
+                    "15",
+                    "--protocol",
+                    "freedom",
+                    "--trials",
+                    "60",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "estimated H*" in output
+
+    def test_unknown_experiment_via_cli(self):
+        with pytest.raises(KeyError):
+            main(["figure", "nope"])
+
+
+class TestExperimentDataContract:
+    @pytest.mark.parametrize("experiment_id", ["fig3b", "fig4a", "fig5a", "thm1"])
+    def test_sweeps_have_aligned_series(self, experiment_id):
+        data = EXPERIMENTS[experiment_id]()
+        for series in data.sweep.series:
+            assert len(series.values) == len(data.sweep.x_values)
+
+    @pytest.mark.parametrize("experiment_id", ["fig3b", "fig4d", "fig5d"])
+    def test_values_respect_entropy_bounds(self, experiment_id):
+        data = EXPERIMENTS[experiment_id]()
+        bound = math.log2(100) + 1e-9
+        for series in data.sweep.series:
+            for value in series.values:
+                if not math.isnan(value):
+                    assert -1e-9 <= value <= bound

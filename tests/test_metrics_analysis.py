@@ -1,0 +1,149 @@
+"""Tests for the anonymity metrics and the analysis (sweep/compare/report) layer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    adversary_model_sweep,
+    compare_deployed_systems,
+    compare_strategies,
+    fixed_length_sweep,
+    render_comparison,
+    render_event_breakdown,
+    render_key_points,
+    render_sweep,
+    uniform_mean_sweep,
+    uniform_width_sweep,
+)
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.model import AdversaryModel, SystemModel
+from repro.distributions import FixedLength, UniformLength
+from repro.metrics import (
+    effective_set_size,
+    guessing_entropy,
+    max_posterior,
+    min_entropy_bits,
+    normalized_degree,
+    posterior_metrics,
+    probable_innocence,
+)
+from repro.routing.strategies import PathSelectionStrategy
+
+
+class TestMetrics:
+    def test_uniform_posterior_metrics(self):
+        posterior = {i: 0.25 for i in range(4)}
+        assert normalized_degree(2.0, 4) == pytest.approx(1.0)
+        assert max_posterior(posterior) == 0.25
+        assert min_entropy_bits(posterior) == pytest.approx(2.0)
+        assert effective_set_size(posterior) == pytest.approx(4.0)
+        assert guessing_entropy(posterior) == pytest.approx(2.5)
+        assert probable_innocence(posterior)
+
+    def test_degenerate_posterior_metrics(self):
+        posterior = {0: 1.0, 1: 0.0}
+        assert min_entropy_bits(posterior) == 0.0
+        assert effective_set_size(posterior) == pytest.approx(1.0)
+        assert guessing_entropy(posterior) == pytest.approx(1.0)
+        assert not probable_innocence(posterior)
+
+    def test_posterior_metrics_bundle(self):
+        metrics = posterior_metrics({0: 0.5, 1: 0.5}, n_nodes=4)
+        assert metrics["entropy_bits"] == pytest.approx(1.0)
+        assert metrics["normalized_degree"] == pytest.approx(0.5)
+        assert metrics["probable_innocence"] == 1.0
+
+    def test_sequence_input_accepted(self):
+        assert max_posterior([0.2, 0.3, 0.5]) == 0.5
+
+    def test_normalized_degree_degenerate_system(self):
+        assert normalized_degree(1.0, 1) == 0.0
+
+
+class TestSweeps:
+    def test_fixed_length_sweep_matches_analyzer(self):
+        model = SystemModel(n_nodes=30)
+        sweep = fixed_length_sweep(model, [1, 3, 5])
+        analyzer = AnonymityAnalyzer(model)
+        assert sweep.series[0].values[1] == pytest.approx(
+            analyzer.anonymity_degree(FixedLength(3))
+        )
+        assert sweep.x_values == (1.0, 3.0, 5.0)
+
+    def test_uniform_width_sweep_handles_infeasible_widths(self):
+        model = SystemModel(n_nodes=20)
+        sweep = uniform_width_sweep(model, lower_bounds=[5], widths=[0, 10, 30])
+        values = sweep.series[0].values
+        assert not math.isnan(values[0])
+        assert math.isnan(values[2])  # 5 + 30 exceeds the max simple path of 19
+
+    def test_uniform_mean_sweep_includes_fixed_reference(self):
+        model = SystemModel(n_nodes=30)
+        sweep = uniform_mean_sweep(model, lower_bounds=[2], means=[5, 10])
+        labels = {series.label for series in sweep.series}
+        assert labels == {"F(L)", "U(2, 2L-2)"}
+
+    def test_sweep_lookup_by_label(self):
+        model = SystemModel(n_nodes=20)
+        sweep = fixed_length_sweep(model, [2, 4])
+        assert sweep.series_by_label("F(l)").values == sweep.series[0].values
+        with pytest.raises(KeyError):
+            sweep.series_by_label("missing")
+
+    def test_adversary_model_sweep_ordering(self):
+        results = adversary_model_sweep(40, FixedLength(6))
+        assert results["position_aware"] <= results["full_bayes"] <= results["predecessor_only"]
+
+
+class TestComparisons:
+    def test_compare_strategies_sorted_descending(self):
+        model = SystemModel(n_nodes=40)
+        strategies = {
+            "a": PathSelectionStrategy("A", FixedLength(1)),
+            "b": PathSelectionStrategy("B", FixedLength(10)),
+            "c": PathSelectionStrategy("C", UniformLength(2, 12)),
+        }
+        rows = compare_strategies(model, strategies)
+        degrees = [row.degree_bits for row in rows]
+        assert degrees == sorted(degrees, reverse=True)
+        assert {row.name for row in rows} == {"A", "B", "C"}
+
+    def test_compare_deployed_systems_includes_survey(self):
+        rows = compare_deployed_systems(SystemModel(n_nodes=60))
+        names = {row.name for row in rows}
+        assert {"Crowds", "Freedom", "Onion Routing I", "PipeNet", "Anonymizer"}.issubset(names)
+        for row in rows:
+            assert 0.0 <= row.normalized <= 1.0
+
+    def test_crowds_truncation_applied_in_comparison(self):
+        rows = compare_deployed_systems(SystemModel(n_nodes=10))
+        crowds = next(row for row in rows if row.name == "Crowds")
+        assert "L<=9" in crowds.distribution
+
+
+class TestReportRendering:
+    def test_render_sweep_contains_values(self):
+        model = SystemModel(n_nodes=20)
+        sweep = fixed_length_sweep(model, [2, 4])
+        text = render_sweep(sweep, title="demo")
+        assert "demo" in text
+        assert "F(l)" in text
+        assert f"{sweep.series[0].values[0]:.4f}" in text
+
+    def test_render_comparison(self):
+        rows = compare_deployed_systems(SystemModel(n_nodes=30))
+        text = render_comparison(rows, title="ranked")
+        assert "ranked" in text and "Crowds" in text
+
+    def test_render_event_breakdown(self):
+        result = AnonymityAnalyzer(SystemModel(n_nodes=30)).analyze(FixedLength(4))
+        text = render_event_breakdown(result)
+        assert "anonymity degree" in text
+        assert "interior" in text
+
+    def test_render_key_points(self):
+        text = render_key_points({"alpha": 1, "beta": "two"}, title="points")
+        assert "points" in text and "alpha" in text and "two" in text

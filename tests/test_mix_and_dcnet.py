@@ -1,0 +1,125 @@
+"""Tests for mix batching disciplines and the DC-Net baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.protocols.dcnet import DCNet
+from repro.protocols.mixnet import PoolMix, ThresholdMix, TimedMix
+
+
+class TestThresholdMix:
+    def test_flushes_at_threshold(self, rng):
+        mix = ThresholdMix(threshold=3)
+        assert mix.submit(1, "a", rng) == []
+        assert mix.submit(2, "b", rng) == []
+        flushed = mix.submit(3, "c", rng)
+        assert sorted(flushed) == ["a", "b", "c"]
+        assert mix.pending == 0
+
+    def test_discards_replays(self, rng):
+        mix = ThresholdMix(threshold=3)
+        mix.submit(1, "a", rng)
+        assert mix.submit(1, "a-again", rng) == []
+        assert mix.pending == 1
+
+    def test_flush_shuffles(self):
+        import numpy as np
+
+        mix = ThresholdMix(threshold=8)
+        orders = set()
+        for seed in range(10):
+            mix._buffer = list(range(8))
+            orders.add(tuple(mix.flush(np.random.default_rng(seed))))
+        assert len(orders) > 1  # at least one reordering happened
+
+    def test_manual_flush(self, rng):
+        mix = ThresholdMix(threshold=10)
+        mix.submit(1, "a", rng)
+        assert mix.flush(rng) == ["a"]
+
+
+class TestTimedMix:
+    def test_flushes_after_interval(self, rng):
+        mix = TimedMix(interval=5.0)
+        assert mix.submit("a", now=1.0, rng=rng) == []
+        assert mix.submit("b", now=3.0, rng=rng) == []
+        flushed = mix.submit("c", now=6.0, rng=rng)
+        assert sorted(flushed) == ["a", "b", "c"]
+        assert mix.pending == 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ProtocolError):
+            TimedMix(interval=0.0)
+
+
+class TestPoolMix:
+    def test_retains_pool(self, rng):
+        mix = PoolMix(threshold=3, pool_size=2)
+        flushed = []
+        for item in "abcdef":
+            flushed.extend(mix.submit(item, rng))
+        assert mix.pending >= 2  # the retained pool never empties
+        assert len(flushed) + mix.pending == 6
+
+    def test_negative_pool_rejected(self):
+        with pytest.raises(ProtocolError):
+            PoolMix(threshold=3, pool_size=-1)
+
+
+class TestDCNet:
+    def test_round_delivers_message(self, rng):
+        net = DCNet(n_nodes=6, message_bits=16)
+        result = net.run_round(sender=2, message=0xBEEF, rng=rng)
+        assert result.delivered
+        assert DCNet.decode(result) == 0xBEEF
+
+    def test_round_with_zero_message(self, rng):
+        net = DCNet(n_nodes=5, message_bits=8)
+        result = net.run_round(sender=0, message=0, rng=rng)
+        assert DCNet.decode(result) == 0
+
+    def test_announcements_hide_the_sender(self, rng):
+        """XOR of everyone's announcements reveals the message, but no single
+        announcement pattern distinguishes the sender from the adversary's view
+        (here: the sender's announcement is not systematically different)."""
+        net = DCNet(n_nodes=5, message_bits=32)
+        result = net.run_round(sender=3, message=12345, rng=rng)
+        weights = {node: sum(bits) for node, bits in result.announcements.items()}
+        # The sender's announcement weight is not an outlier: it lies within
+        # the range spanned by the honest participants' weights almost surely.
+        other_weights = [w for node, w in weights.items() if node != 3]
+        assert min(other_weights) - 10 <= weights[3] <= max(other_weights) + 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProtocolError):
+            DCNet(n_nodes=2)
+        net = DCNet(n_nodes=4, message_bits=4)
+        with pytest.raises(ProtocolError):
+            net.run_round(sender=9, message=1)
+        with pytest.raises(ProtocolError):
+            net.run_round(sender=1, message=100)
+
+    def test_anonymity_degree_is_log_of_honest_count(self):
+        net = DCNet(n_nodes=16)
+        assert net.anonymity_degree(0) == pytest.approx(4.0)
+        assert net.anonymity_degree(8) == pytest.approx(3.0)
+        assert net.anonymity_degree(15) == 0.0
+        assert net.max_anonymity_degree() == pytest.approx(4.0)
+        with pytest.raises(ProtocolError):
+            net.anonymity_degree(16)
+
+    def test_dcnet_exceeds_any_rerouting_strategy(self):
+        """The non-rerouting baseline achieves the log2(N-C) bound that the
+        rerouting systems only approach."""
+        from repro.core import SystemModel, AnonymityAnalyzer, best_fixed_length
+
+        n = 16
+        net = DCNet(n_nodes=n)
+        model = SystemModel(n_nodes=n, n_compromised=1)
+        scan = best_fixed_length(model)
+        assert net.anonymity_degree(1) == pytest.approx(math.log2(n - 1))
+        assert scan.best_degree < math.log2(n)

@@ -1,0 +1,102 @@
+"""Tests for the anonymity-versus-overhead trade-off analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overhead import (
+    TradeoffPoint,
+    anonymity_per_hop,
+    evaluate_tradeoff,
+    pareto_frontier,
+)
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.model import SystemModel
+from repro.distributions import FixedLength, UniformLength
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SystemModel(n_nodes=60, n_compromised=1)
+
+
+class TestTradeoffEvaluation:
+    def test_points_match_direct_evaluation(self, model):
+        strategies = {
+            "F(1)": FixedLength(1),
+            "F(5)": FixedLength(5),
+            "U(2, 10)": UniformLength(2, 10),
+        }
+        points = evaluate_tradeoff(model, strategies)
+        analyzer = AnonymityAnalyzer(model)
+        by_name = {point.name: point for point in points}
+        assert by_name["F(5)"].degree_bits == pytest.approx(
+            analyzer.anonymity_degree(FixedLength(5))
+        )
+        assert by_name["F(5)"].expected_overhead == 5.0
+        assert by_name["U(2, 10)"].expected_overhead == 6.0
+        assert 0.0 <= by_name["F(1)"].normalized <= 1.0
+
+    def test_points_sorted_by_overhead(self, model):
+        strategies = {
+            "expensive": FixedLength(20),
+            "cheap": FixedLength(1),
+            "medium": FixedLength(8),
+        }
+        points = evaluate_tradeoff(model, strategies)
+        overheads = [point.expected_overhead for point in points]
+        assert overheads == sorted(overheads)
+
+
+class TestDominance:
+    def test_dominates_semantics(self):
+        cheap_good = TradeoffPoint("a", 3.0, 5.0, 0.9)
+        dear_bad = TradeoffPoint("b", 5.0, 4.8, 0.85)
+        dear_better = TradeoffPoint("c", 5.0, 5.2, 0.92)
+        assert cheap_good.dominates(dear_bad)
+        assert not dear_bad.dominates(cheap_good)
+        assert not cheap_good.dominates(dear_better)
+        assert not cheap_good.dominates(cheap_good)
+
+    def test_pareto_frontier_removes_dominated_points(self, model):
+        strategies = {
+            "F(2)": FixedLength(2),
+            "F(3)": FixedLength(3),  # costs more than F(2) yet is (marginally) worse
+            "F(10)": FixedLength(10),
+            "F(30)": FixedLength(30),
+        }
+        points = evaluate_tradeoff(model, strategies)
+        frontier = pareto_frontier(points)
+        names = {point.name for point in frontier}
+        assert "F(3)" not in names
+        assert "F(2)" in names
+        assert "F(30)" in names  # the most anonymous candidate always survives
+
+    def test_frontier_is_monotone(self, model):
+        strategies = {f"F({l})": FixedLength(l) for l in (1, 2, 4, 8, 16, 32, 50)}
+        frontier = pareto_frontier(evaluate_tradeoff(model, strategies))
+        overheads = [point.expected_overhead for point in frontier]
+        degrees = [point.degree_bits for point in frontier]
+        assert overheads == sorted(overheads)
+        assert degrees == sorted(degrees)
+
+
+class TestAnonymityPerHop:
+    def test_marginal_gains_telescope(self, model):
+        rows = anonymity_per_hop(model, max_length=15)
+        analyzer = AnonymityAnalyzer(model)
+        total = sum(gain for _, _, gain in rows)
+        assert total == pytest.approx(analyzer.anonymity_degree(FixedLength(15)), abs=1e-9)
+
+    def test_first_hop_has_the_largest_gain(self, model):
+        rows = anonymity_per_hop(model, max_length=10)
+        gains = [gain for _, _, gain in rows]
+        assert gains[0] == max(gains)
+
+    def test_long_path_effect_shows_as_negative_marginal_gain(self, model):
+        rows = anonymity_per_hop(model)
+        assert any(gain < 0 for _, _, gain in rows)
+
+    def test_row_structure(self, model):
+        rows = anonymity_per_hop(model, max_length=5)
+        assert [length for length, _, _ in rows] == [1, 2, 3, 4, 5]

@@ -1,0 +1,203 @@
+"""Tests for the protocol implementations.
+
+For every protocol the operational face (originate/forward run through the
+simulator) must agree with the analytical face (the path-selection strategy):
+path lengths must follow the declared distribution and intermediate nodes must
+respect the declared path model.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.core.model import PathModel, SystemModel
+from repro.distributions import FixedLength
+from repro.exceptions import ProtocolError
+from repro.protocols import (
+    DELIVER,
+    AnonymizerProtocol,
+    CrowdsProtocol,
+    FreedomProtocol,
+    FreeRouteMixProtocol,
+    HordesProtocol,
+    MixCascadeProtocol,
+    OnionRoutingI,
+    OnionRoutingII,
+    PipeNetProtocol,
+    RemailerChainProtocol,
+)
+from repro.simulation import AnonymousCommunicationSystem
+
+
+def run_protocol(protocol, n_messages=60, n_nodes=None, n_compromised=1, seed=3):
+    """Drive a protocol through the engine and return the delivered paths."""
+    n_nodes = n_nodes or protocol.n_nodes
+    model = SystemModel(n_nodes=n_nodes, n_compromised=n_compromised)
+    system = AnonymousCommunicationSystem(model=model, protocol=protocol)
+    rng = np.random.default_rng(seed)
+    paths = []
+    for _ in range(n_messages):
+        sender = int(rng.integers(0, n_nodes))
+        outcome = system.send(sender, payload="x", rng=rng)
+        paths.append((sender, outcome.delivery.path))
+    return paths
+
+
+class TestSourceRoutedProtocols:
+    @pytest.mark.parametrize(
+        "factory,expected_length",
+        [
+            (lambda: OnionRoutingI(15), 5),
+            (lambda: FreedomProtocol(15), 3),
+            (lambda: AnonymizerProtocol(15), 1),
+        ],
+    )
+    def test_fixed_length_protocols_respect_their_length(self, factory, expected_length):
+        for sender, path in run_protocol(factory(), n_messages=30):
+            assert len(path) == expected_length
+            assert sender not in path
+            assert len(set(path)) == len(path)
+
+    def test_pipenet_uses_three_or_four_hops(self):
+        lengths = {len(path) for _, path in run_protocol(PipeNetProtocol(15), n_messages=80)}
+        assert lengths == {3, 4}
+
+    def test_remailer_chain_lengths_within_bounds(self):
+        protocol = RemailerChainProtocol(15, min_chain=2, max_chain=4)
+        lengths = {len(path) for _, path in run_protocol(protocol, n_messages=80)}
+        assert lengths.issubset({2, 3, 4})
+        assert len(lengths) > 1
+
+    def test_onion_routing_two_produces_variable_lengths(self):
+        protocol = OnionRoutingII(15, p_forward=0.5)
+        lengths = [len(path) for _, path in run_protocol(protocol, n_messages=120)]
+        assert min(lengths) >= 1
+        assert len(set(lengths)) > 1
+        assert np.mean(lengths) == pytest.approx(2.0, abs=0.6)
+
+    def test_payload_is_delivered_through_the_onion(self):
+        model = SystemModel(n_nodes=12, n_compromised=1)
+        system = AnonymousCommunicationSystem(model=model, protocol=OnionRoutingI(12))
+        outcome = system.send(4, payload={"query": "page"}, rng=1)
+        assert outcome.message.payload == {"query": "page"}
+
+    def test_forward_rejects_wrong_node(self):
+        protocol = FreedomProtocol(10)
+        message = protocol.originate(0, "x", rng=1)
+        wrong_node = (message.route[0] + 1) % 10
+        with pytest.raises(ProtocolError):
+            protocol.forward(wrong_node, message, rng=1)
+
+    def test_strategies_report_correct_distributions(self):
+        assert OnionRoutingI(10).strategy().distribution == FixedLength(5)
+        assert FreedomProtocol(10).strategy().distribution == FixedLength(3)
+        assert AnonymizerProtocol(10).strategy().distribution == FixedLength(1)
+        assert OnionRoutingII(10).strategy().path_model is PathModel.CYCLE_ALLOWED
+
+
+class TestAnonymizer:
+    def test_dedicated_proxy_used_when_configured(self):
+        protocol = AnonymizerProtocol(12, dedicated_proxy=7)
+        for sender, path in run_protocol(protocol, n_messages=20):
+            if sender != 7:
+                assert path == (7,)
+
+    def test_invalid_proxy_rejected(self):
+        with pytest.raises(ProtocolError):
+            AnonymizerProtocol(5, dedicated_proxy=9)
+
+
+class TestCrowds:
+    def test_path_lengths_are_geometric(self):
+        protocol = CrowdsProtocol(20, p_forward=0.6)
+        lengths = [len(path) for _, path in run_protocol(protocol, n_messages=250, seed=5)]
+        assert min(lengths) >= 1
+        # Expected length of a geometric with p_forward=0.6 and one mandatory hop.
+        assert np.mean(lengths) == pytest.approx(1 + 0.6 / 0.4, abs=0.45)
+
+    def test_sender_never_forwards_to_itself_first(self):
+        protocol = CrowdsProtocol(10, p_forward=0.5)
+        for sender, path in run_protocol(protocol, n_messages=60, seed=9):
+            assert path[0] != sender
+
+    def test_probable_innocence_condition(self):
+        assert CrowdsProtocol(20, p_forward=0.75).probable_innocence_holds(n_compromised=3)
+        assert not CrowdsProtocol(5, p_forward=0.75).probable_innocence_holds(n_compromised=3)
+        assert not CrowdsProtocol(20, p_forward=0.5).probable_innocence_holds(n_compromised=1)
+
+    def test_forward_probability_one_rejected(self):
+        with pytest.raises(ProtocolError):
+            CrowdsProtocol(10, p_forward=1.0)
+
+    def test_static_paths_are_reused(self):
+        protocol = CrowdsProtocol(12, p_forward=0.7, static_paths=True)
+        model = SystemModel(n_nodes=12, n_compromised=1)
+        system = AnonymousCommunicationSystem(model=model, protocol=protocol)
+        rng = np.random.default_rng(4)
+        first = system.send(3, rng=rng).delivery.path
+        second = system.send(3, rng=rng).delivery.path
+        third = system.send(3, rng=rng).delivery.path
+        assert first == second == third
+
+    def test_hordes_shares_crowds_forwarding(self):
+        protocol = HordesProtocol(15, p_forward=0.6, multicast_group_size=4)
+        message = protocol.originate(2, "req", rng=1)
+        assert message.metadata["multicast_group_size"] == 4
+        assert protocol.strategy().path_model is PathModel.CYCLE_ALLOWED
+
+
+class TestMixProtocols:
+    def test_cascade_follows_fixed_sequence(self):
+        cascade = (2, 5, 8)
+        protocol = MixCascadeProtocol(12, cascade=cascade)
+        for sender, path in run_protocol(protocol, n_messages=25):
+            if sender not in cascade:
+                assert path == cascade
+
+    def test_cascade_validation(self):
+        with pytest.raises(ProtocolError):
+            MixCascadeProtocol(10, cascade=())
+        with pytest.raises(ProtocolError):
+            MixCascadeProtocol(10, cascade=(1, 1))
+        with pytest.raises(ProtocolError):
+            MixCascadeProtocol(10, cascade=(1, 99))
+
+    def test_free_route_lengths_within_bounds(self):
+        protocol = FreeRouteMixProtocol(15, min_hops=2, max_hops=4)
+        lengths = {len(path) for _, path in run_protocol(protocol, n_messages=60)}
+        assert lengths.issubset({2, 3, 4})
+
+    def test_free_route_bounds_validated(self):
+        with pytest.raises(ProtocolError):
+            FreeRouteMixProtocol(5, min_hops=2, max_hops=6)
+
+
+class TestProtocolStrategyConsistency:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: OnionRoutingI(18),
+            lambda: FreedomProtocol(18),
+            lambda: PipeNetProtocol(18),
+            lambda: RemailerChainProtocol(18, 2, 5),
+            lambda: FreeRouteMixProtocol(18, 2, 5),
+        ],
+    )
+    def test_operational_lengths_match_declared_distribution(self, factory):
+        protocol = factory()
+        distribution = protocol.strategy().effective_distribution(protocol.n_nodes)
+        observed = collections.Counter(
+            len(path) for _, path in run_protocol(protocol, n_messages=200, seed=8)
+        )
+        support = set(distribution.support)
+        assert set(observed).issubset(support)
+        # Every support point of a non-degenerate distribution should show up
+        # in a couple hundred trials (all our supports have <= 5 points).
+        if len(support) > 1:
+            assert len(observed) > 1
+
+    def test_describe_includes_protocol_name(self):
+        assert "Freedom" in FreedomProtocol(10).describe()

@@ -1,0 +1,133 @@
+"""Unit and property tests for the numeric helpers in ``repro.utils.mathx``."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.mathx import (
+    binomial,
+    compositions_count,
+    entropy_bits,
+    falling_factorial,
+    kahan_sum,
+    log2_safe,
+    normalize,
+    xlog2x,
+)
+
+
+class TestFallingFactorial:
+    def test_empty_product_is_one(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(0, 0) == 1
+
+    def test_simple_values(self):
+        assert falling_factorial(5, 1) == 5
+        assert falling_factorial(5, 2) == 20
+        assert falling_factorial(5, 5) == 120
+
+    def test_zero_when_k_exceeds_n(self):
+        assert falling_factorial(3, 4) == 0
+        assert falling_factorial(0, 1) == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            falling_factorial(5, -1)
+
+    def test_matches_permutation_count(self):
+        assert falling_factorial(10, 3) == math.perm(10, 3)
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+    def test_recurrence(self, n, k):
+        """ff(n, k+1) == ff(n, k) * (n - k) whenever both are defined."""
+        left = falling_factorial(n, k + 1)
+        right = falling_factorial(n, k) * max(n - k, 0)
+        assert left == right
+
+
+class TestBinomialAndCompositions:
+    def test_binomial_edges(self):
+        assert binomial(5, 0) == 1
+        assert binomial(5, 5) == 1
+        assert binomial(5, 6) == 0
+        assert binomial(-1, 0) == 0
+
+    def test_compositions_zero_parts(self):
+        assert compositions_count(0, 0) == 1
+        assert compositions_count(3, 0) == 0
+
+    def test_compositions_one_part(self):
+        assert compositions_count(7, 1) == 1
+
+    def test_compositions_known_value(self):
+        # 4 items into 3 ordered non-negative parts: C(6, 2) = 15.
+        assert compositions_count(4, 3) == 15
+
+    @given(st.integers(min_value=0, max_value=12), st.integers(min_value=1, max_value=5))
+    def test_compositions_by_enumeration(self, total, parts):
+        def count(remaining, slots):
+            if slots == 1:
+                return 1
+            return sum(count(remaining - first, slots - 1) for first in range(remaining + 1))
+
+        assert compositions_count(total, parts) == count(total, parts)
+
+
+class TestEntropyHelpers:
+    def test_xlog2x_zero_convention(self):
+        assert xlog2x(0.0) == 0.0
+        assert xlog2x(-1.0) == 0.0
+
+    def test_log2_safe(self):
+        assert log2_safe(8.0) == 3.0
+        assert log2_safe(0.0) == 0.0
+
+    def test_entropy_uniform(self):
+        assert entropy_bits([0.25] * 4) == pytest.approx(2.0)
+
+    def test_entropy_degenerate(self):
+        assert entropy_bits([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_entropy_ignores_zero_mass(self):
+        assert entropy_bits([0.5, 0.5, 0.0]) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=20))
+    def test_entropy_bounds(self, weights):
+        probabilities = normalize(weights)
+        entropy = entropy_bits(probabilities)
+        assert -1e-9 <= entropy <= math.log2(len(probabilities)) + 1e-9
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=2, max_size=20))
+    def test_entropy_permutation_invariant(self, weights):
+        probabilities = normalize(weights)
+        assert entropy_bits(probabilities) == pytest.approx(
+            entropy_bits(list(reversed(probabilities)))
+        )
+
+
+class TestNormalize:
+    def test_normalises_to_one(self):
+        assert sum(normalize([1.0, 2.0, 3.0])) == pytest.approx(1.0)
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            normalize([0.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize([0.5, -0.1])
+
+
+class TestKahanSum:
+    def test_matches_sum_for_simple_input(self):
+        values = [0.1] * 10
+        assert kahan_sum(values) == pytest.approx(1.0, abs=1e-15)
+
+    def test_many_small_terms_accumulate_accurately(self):
+        # Naive left-to-right summation of 1e-10 a million times drifts by far
+        # more than 1e-12; compensated summation stays essentially exact.
+        values = [1e-10] * 1_000_000
+        assert abs(kahan_sum(values) - 1e-4) < 1e-18
