@@ -1,0 +1,119 @@
+"""Throughput benchmark: the vectorized batch estimator vs the hop-by-hop path.
+
+This is the perf baseline for the ``repro.batch`` subsystem: the same
+10k-trial estimation job (N=20 nodes, one compromised, uniform path lengths)
+run through the ``event`` backend (``StrategyMonteCarlo`` — one observation
+object and one exact posterior per trial) and through the ``batch`` backend in
+both flavours (pure-Python columnar core, and the NumPy-accelerated kernels).
+
+The asserted floor — **batch >= 10x the trials/sec of the hop-by-hop
+estimator on the pure-Python core** — is deliberately far below the typical
+measured ratio (hundreds to thousands of x) so the benchmark documents the
+speedup without being timing-flaky; future PRs that regress the fast path
+will still trip it long before users notice.
+
+Run with::
+
+    pytest benchmarks/bench_batch.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.batch import BatchMonteCarlo
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.model import SystemModel
+from repro.distributions import UniformLength
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation.experiment import StrategyMonteCarlo
+
+#: The workload of the acceptance criterion: 10k trials, N=20, uniform lengths.
+N_NODES = 20
+N_TRIALS = 10_000
+DISTRIBUTION = UniformLength(2, 8)
+#: Minimum required speedup of the pure-Python batch core over the
+#: per-observation estimator (the measured ratio is far larger).
+MIN_SPEEDUP = 10.0
+
+
+def _workload():
+    model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+    strategy = PathSelectionStrategy(DISTRIBUTION.name, DISTRIBUTION)
+    return model, strategy
+
+
+def _trials_per_second(run, n_trials: int) -> float:
+    started = time.perf_counter()
+    run()
+    return n_trials / (time.perf_counter() - started)
+
+
+def test_event_backend_throughput(benchmark):
+    """Baseline: the hop-by-hop StrategyMonteCarlo at the benchmark workload."""
+    model, strategy = _workload()
+    estimator = StrategyMonteCarlo(model, strategy)
+    report = benchmark.pedantic(
+        lambda: estimator.run(N_TRIALS, rng=0), rounds=1, iterations=1
+    )
+    exact = AnonymityAnalyzer(model).anonymity_degree(DISTRIBUTION)
+    assert report.estimate.contains(exact, slack=0.02)
+
+
+def test_batch_backend_throughput_pure_python(benchmark):
+    """The pure-Python columnar core at the same workload."""
+    model, strategy = _workload()
+    estimator = BatchMonteCarlo(model, strategy, use_numpy=False)
+    report = benchmark.pedantic(
+        lambda: estimator.run(N_TRIALS, rng=0), rounds=3, iterations=1
+    )
+    exact = AnonymityAnalyzer(model).anonymity_degree(DISTRIBUTION)
+    assert report.estimate.contains(exact, slack=0.02)
+
+
+def test_batch_backend_throughput_numpy(benchmark):
+    """The NumPy-accelerated kernels at the same workload."""
+    model, strategy = _workload()
+    estimator = BatchMonteCarlo(model, strategy, use_numpy=True)
+    report = benchmark.pedantic(
+        lambda: estimator.run(N_TRIALS, rng=0), rounds=3, iterations=1
+    )
+    exact = AnonymityAnalyzer(model).anonymity_degree(DISTRIBUTION)
+    assert report.estimate.contains(exact, slack=0.02)
+
+
+def test_batch_speedup_floor():
+    """The acceptance criterion: pure-Python batch >= 10x hop-by-hop trials/sec.
+
+    Measured directly (not via pytest-benchmark) so the ratio is computed in
+    one process run and printed into the benchmark log as the perf record.
+    """
+    model, strategy = _workload()
+    exact = AnonymityAnalyzer(model).anonymity_degree(DISTRIBUTION)
+
+    event = StrategyMonteCarlo(model, strategy)
+    event_tps = _trials_per_second(lambda: event.run(N_TRIALS, rng=0), N_TRIALS)
+
+    pure = BatchMonteCarlo(model, strategy, use_numpy=False)
+    pure_tps = _trials_per_second(lambda: pure.run(N_TRIALS, rng=0), N_TRIALS)
+
+    fast = BatchMonteCarlo(model, strategy, use_numpy=True)
+    fast_tps = _trials_per_second(lambda: fast.run(N_TRIALS, rng=0), N_TRIALS)
+
+    report = fast.run(N_TRIALS, rng=0)
+    print()
+    print(f"event (hop-by-hop)     : {event_tps:>12,.0f} trials/sec")
+    print(f"batch (pure Python)    : {pure_tps:>12,.0f} trials/sec "
+          f"({pure_tps / event_tps:,.0f}x)")
+    print(f"batch (NumPy kernels)  : {fast_tps:>12,.0f} trials/sec "
+          f"({fast_tps / event_tps:,.0f}x)")
+    print(f"estimate {report.estimate} vs exact {exact:.4f}")
+
+    assert report.estimate.contains(exact, slack=0.02)
+    assert pure_tps >= MIN_SPEEDUP * event_tps, (
+        f"pure-Python batch core is only {pure_tps / event_tps:.1f}x the "
+        f"hop-by-hop estimator; the floor is {MIN_SPEEDUP}x"
+    )
+    assert fast_tps >= pure_tps * 0.5, (
+        "NumPy kernels should not be dramatically slower than the pure core"
+    )

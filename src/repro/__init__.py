@@ -19,6 +19,13 @@ harnesses that regenerate every figure of the paper.
 """
 
 from repro._version import __version__
+from repro.batch import (
+    BatchMonteCarlo,
+    available_backends,
+    estimate_anonymity,
+    get_backend,
+    register_backend,
+)
 from repro.core import (
     AdversaryModel,
     AnonymityAnalyzer,
@@ -88,6 +95,12 @@ __all__ = [
     "PoissonLength",
     "BinomialLength",
     "ZipfLength",
+    # Batch estimation backends
+    "BatchMonteCarlo",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "estimate_anonymity",
     # Exceptions
     "ReproError",
     "ConfigurationError",

@@ -5,18 +5,56 @@ function of the fixed path length, of the width of a uniform distribution, of
 its expectation, and so on.  The helpers here run those sweeps and return
 plain ``(x, series)`` data that the experiment modules, the benchmarks, and
 the CLI render as tables.
+
+Every sweep accepts a ``backend`` argument naming an estimator engine from
+:mod:`repro.batch.backends` (``"exact"`` — the default closed form, ``"event"``
+— hop-by-hop Monte-Carlo, ``"batch"`` — the vectorized columnar estimator), so
+figure reproductions can be re-run on the sampling fast path without touching
+the sweep logic.  Monte-Carlo backends draw one independent child stream per
+sweep point from ``rng``, so a fixed seed reproduces the whole sweep.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.batch.backends import estimate_anonymity
 from repro.core.anonymity import AnonymityAnalyzer
 from repro.core.model import AdversaryModel, SystemModel
 from repro.distributions import FixedLength, PathLengthDistribution, UniformLength
+from repro.utils.rng import RandomSource, ensure_rng, spawn_child_rng
 
 __all__ = ["SweepSeries", "SweepResult", "fixed_length_sweep", "uniform_width_sweep", "uniform_mean_sweep", "adversary_model_sweep"]
+
+
+def _degree_evaluator(
+    model: SystemModel,
+    backend: str,
+    n_trials: int,
+    rng: RandomSource,
+) -> Callable[[PathLengthDistribution], float]:
+    """Build the per-distribution degree function for one sweep.
+
+    The default ``"exact"`` backend keeps the historical behaviour (and cost)
+    of calling the closed form directly; any other name is resolved through
+    the backend registry and evaluated with ``n_trials`` samples per point.
+    """
+    if backend == "exact":
+        return AnonymityAnalyzer(model).anonymity_degree
+    generator = ensure_rng(rng)
+
+    def evaluate(distribution: PathLengthDistribution) -> float:
+        report = estimate_anonymity(
+            model,
+            distribution,
+            n_trials=n_trials,
+            rng=spawn_child_rng(generator),
+            backend=backend,
+        )
+        return report.degree_bits
+
+    return evaluate
 
 
 @dataclass(frozen=True)
@@ -48,12 +86,16 @@ class SweepResult:
 
 
 def fixed_length_sweep(
-    model: SystemModel, lengths: Iterable[int]
+    model: SystemModel,
+    lengths: Iterable[int],
+    backend: str = "exact",
+    n_trials: int = 10_000,
+    rng: RandomSource = None,
 ) -> SweepResult:
     """Anonymity degree of ``F(l)`` for every ``l`` in ``lengths``."""
-    analyzer = AnonymityAnalyzer(model)
+    degree = _degree_evaluator(model, backend, n_trials, rng)
     lengths = tuple(int(length) for length in lengths)
-    values = tuple(analyzer.anonymity_degree(FixedLength(length)) for length in lengths)
+    values = tuple(degree(FixedLength(length)) for length in lengths)
     return SweepResult(
         x_label="path length l",
         x_values=tuple(float(length) for length in lengths),
@@ -65,6 +107,9 @@ def uniform_width_sweep(
     model: SystemModel,
     lower_bounds: Sequence[int],
     widths: Sequence[int],
+    backend: str = "exact",
+    n_trials: int = 10_000,
+    rng: RandomSource = None,
 ) -> SweepResult:
     """Anonymity degree of ``U(a, a + w)`` for each lower bound ``a`` and width ``w``.
 
@@ -72,7 +117,7 @@ def uniform_width_sweep(
     curve over the shared width axis.  Widths that would exceed the longest
     feasible simple path are reported as ``nan`` so curves remain aligned.
     """
-    analyzer = AnonymityAnalyzer(model)
+    degree = _degree_evaluator(model, backend, n_trials, rng)
     widths = tuple(int(w) for w in widths)
     series = []
     for low in lower_bounds:
@@ -82,7 +127,7 @@ def uniform_width_sweep(
             if high > model.max_simple_path_length:
                 values.append(float("nan"))
                 continue
-            values.append(analyzer.anonymity_degree(UniformLength(low, high)))
+            values.append(degree(UniformLength(low, high)))
         series.append(SweepSeries(label=f"U({low}, {low}+L)", values=tuple(values)))
     return SweepResult(
         x_label="range width L",
@@ -96,6 +141,9 @@ def uniform_mean_sweep(
     lower_bounds: Sequence[int],
     means: Sequence[int],
     include_fixed: bool = True,
+    backend: str = "exact",
+    n_trials: int = 10_000,
+    rng: RandomSource = None,
 ) -> SweepResult:
     """Anonymity degree at equal expected length for fixed vs uniform strategies.
 
@@ -105,7 +153,7 @@ def uniform_mean_sweep(
     lower bound ``a``.  Combinations where the implied upper bound is
     infeasible or below the lower bound are reported as ``nan``.
     """
-    analyzer = AnonymityAnalyzer(model)
+    degree = _degree_evaluator(model, backend, n_trials, rng)
     means = tuple(int(mean) for mean in means)
     series = []
     if include_fixed:
@@ -114,7 +162,7 @@ def uniform_mean_sweep(
             if mean > model.max_simple_path_length:
                 fixed_values.append(float("nan"))
             else:
-                fixed_values.append(analyzer.anonymity_degree(FixedLength(mean)))
+                fixed_values.append(degree(FixedLength(mean)))
         series.append(SweepSeries(label="F(L)", values=tuple(fixed_values)))
     for low in lower_bounds:
         values = []
@@ -123,7 +171,7 @@ def uniform_mean_sweep(
             if high < low or high > model.max_simple_path_length:
                 values.append(float("nan"))
                 continue
-            values.append(analyzer.anonymity_degree(UniformLength(low, high)))
+            values.append(degree(UniformLength(low, high)))
         series.append(SweepSeries(label=f"U({low}, 2L-{low})", values=tuple(values)))
     return SweepResult(
         x_label="expected path length L",
@@ -136,11 +184,19 @@ def adversary_model_sweep(
     n_nodes: int,
     distribution: PathLengthDistribution,
     lengths_or_models: Sequence[AdversaryModel] | None = None,
+    backend: str = "exact",
+    n_trials: int = 10_000,
+    rng: RandomSource = None,
 ) -> dict[str, float]:
     """Anonymity degree of one distribution under each adversary model."""
     models = lengths_or_models or list(AdversaryModel)
+    # One shared generator so each adversary draws an independent child stream
+    # (re-seeding per adversary would correlate their Monte-Carlo noise).
+    generator = None if backend == "exact" else ensure_rng(rng)
     results = {}
     for adversary in models:
         system = SystemModel(n_nodes=n_nodes, n_compromised=1, adversary=adversary)
-        results[adversary.value] = AnonymityAnalyzer(system).anonymity_degree(distribution)
+        results[adversary.value] = _degree_evaluator(
+            system, backend, n_trials, generator
+        )(distribution)
     return results

@@ -1,0 +1,63 @@
+"""Vectorized batch simulation of anonymity experiments.
+
+This subpackage is the fast path of the reproduction: instead of pushing one
+message at a time through the discrete-event transport, it samples thousands
+of rerouting-path trials as **columnar arrays** (struct-of-arrays, ``array('q')``
+buffers), classifies every trial into the paper's five symmetric observation
+classes with array operations, and scores each class with the *exact* per-class
+posterior entropies of the closed form.  On the single-compromised-node domain
+the resulting estimator is statistically identical to the hop-by-hop
+:class:`~repro.simulation.experiment.StrategyMonteCarlo` at roughly two orders
+of magnitude more trials per second (see ``benchmarks/bench_batch.py``).
+
+Layout
+------
+:mod:`repro.batch.columns`
+    The columnar trial container (:class:`TrialColumns`).
+:mod:`repro.batch.sampler`
+    Bulk trial sampling (:class:`BatchTrialSampler`) on top of the inverse-CDF
+    batch sampler of :meth:`PathLengthDistribution.sample_batch`.
+:mod:`repro.batch.classify`
+    Array classification into :class:`~repro.core.events.EventClass` codes.
+:mod:`repro.batch.estimator`
+    The drop-in estimator (:class:`BatchMonteCarlo`).
+:mod:`repro.batch.backends`
+    The ``exact | event | batch`` backend registry used by sweeps, the
+    experiment registry, and the ``repro-anon batch`` CLI.
+:mod:`repro.batch._accel`
+    Feature-detected, never-required NumPy acceleration for the array kernels.
+"""
+
+from repro.batch._accel import HAVE_NUMPY
+from repro.batch.backends import (
+    BatchBackend,
+    EstimatorBackend,
+    EventBackend,
+    ExactBackend,
+    available_backends,
+    estimate_anonymity,
+    get_backend,
+    register_backend,
+)
+from repro.batch.columns import ABSENT, TrialColumns
+from repro.batch.classify import class_counts, classify_columns
+from repro.batch.estimator import BatchMonteCarlo
+from repro.batch.sampler import BatchTrialSampler
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ABSENT",
+    "TrialColumns",
+    "BatchTrialSampler",
+    "classify_columns",
+    "class_counts",
+    "BatchMonteCarlo",
+    "EstimatorBackend",
+    "ExactBackend",
+    "EventBackend",
+    "BatchBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "estimate_anonymity",
+]

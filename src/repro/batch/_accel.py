@@ -1,0 +1,53 @@
+"""Optional NumPy acceleration layer for the batch subsystem.
+
+The vectorized estimators in :mod:`repro.batch` are written against a
+pure-Python columnar core (:mod:`array` buffers plus tight loops): every
+array kernel — classification, entropy gather, reductions — has a pure-Python
+implementation, and NumPy, when importable, is used only as a drop-in
+accelerator for those hot loops.  (Random *draws* still come from the
+repo-wide :mod:`repro.utils.rng` generator protocol, which is independent of
+this flag.)  This module centralises the feature detection so callers write
+
+    from repro.batch._accel import HAVE_NUMPY, resolve_use_numpy
+
+and never import ``numpy`` directly at module scope.
+
+``use_numpy`` arguments throughout the subsystem follow one convention:
+
+* ``None`` — auto-detect: use NumPy when it is importable (the default);
+* ``True`` — require NumPy; raises :class:`~repro.exceptions.ConfigurationError`
+  when it is missing so silent slowdowns cannot masquerade as acceleration;
+* ``False`` — force the pure-Python core (used by the parity tests to prove
+  the two paths are draw-for-draw identical).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["HAVE_NUMPY", "numpy_or_none", "resolve_use_numpy"]
+
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy as _np
+except ImportError:  # pragma: no cover - NumPy is present in the dev image
+    _np = None
+
+#: True when NumPy imported successfully in this interpreter.
+HAVE_NUMPY: bool = _np is not None
+
+
+def numpy_or_none():
+    """The ``numpy`` module when available, else ``None``."""
+    return _np
+
+
+def resolve_use_numpy(use_numpy: bool | None) -> bool:
+    """Resolve the tri-state ``use_numpy`` flag against the detected runtime."""
+    if use_numpy is None:
+        return HAVE_NUMPY
+    if use_numpy and not HAVE_NUMPY:
+        raise ConfigurationError(
+            "use_numpy=True was requested but numpy is not importable; "
+            "pass use_numpy=None to auto-detect or False for the pure-Python core"
+        )
+    return bool(use_numpy)

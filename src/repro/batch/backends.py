@@ -1,0 +1,203 @@
+"""Pluggable estimator backends for the anonymity degree.
+
+Every consumer of ``H*(S)`` — the sweeps behind the paper's figures, the
+extension experiments, the CLI — ultimately needs the same thing: "given a
+system model and a path-selection strategy, estimate the anonymity degree".
+Three engines can answer, with very different cost/coverage trade-offs:
+
+``exact``
+    The closed form of :class:`repro.core.anonymity.AnonymityAnalyzer`.
+    Zero variance, instant — but limited to one compromised node on simple
+    paths with a compromised receiver.
+``event``
+    The hop-by-hop sampler :class:`repro.simulation.experiment.StrategyMonteCarlo`:
+    one observation object and one exact Bayesian posterior per trial.  The
+    most general engine (any number of compromised nodes) and the slowest.
+``batch``
+    The vectorized :class:`repro.batch.estimator.BatchMonteCarlo`: columnar
+    trials, array classification, per-class entropies.  Statistically
+    identical to ``event`` on the single-compromised-node domain at a large
+    multiple of its throughput.
+
+The registry makes the choice a string, so callers (``analysis.sweep``, the
+``repro-anon batch`` CLI, the experiment registry) can switch engines without
+importing any of them, and downstream code can plug in new engines
+(sharded, multiprocess) with :func:`register_backend`.
+
+Every backend returns the same
+:class:`repro.simulation.experiment.MonteCarloReport`; the exact backend
+reports a zero-width confidence interval.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+
+from repro.batch.estimator import BatchMonteCarlo
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.model import SystemModel
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation.results import IDENTIFIED_THRESHOLD, EstimateWithCI
+from repro.utils.rng import RandomSource
+
+__all__ = [
+    "EstimatorBackend",
+    "ExactBackend",
+    "EventBackend",
+    "BatchBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "estimate_anonymity",
+]
+
+
+class EstimatorBackend(abc.ABC):
+    """One engine that estimates the anonymity degree of a strategy."""
+
+    #: Registry key and display name of the backend.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        n_trials: int = 10_000,
+        rng: RandomSource = None,
+    ):
+        """Estimate ``H*(S)`` and return a ``MonteCarloReport``."""
+
+
+class ExactBackend(EstimatorBackend):
+    """Closed-form evaluation (no sampling; ``n_trials`` and ``rng`` ignored)."""
+
+    name = "exact"
+
+    def estimate(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        n_trials: int = 10_000,
+        rng: RandomSource = None,
+    ):
+        from repro.simulation.experiment import MonteCarloReport
+
+        distribution = strategy.effective_distribution(model.n_nodes)
+        analysis = AnonymityAnalyzer(model).analyze(distribution)
+        identification = sum(
+            summary.probability
+            for summary in analysis.events
+            if summary.top_posterior >= IDENTIFIED_THRESHOLD
+        )
+        return MonteCarloReport(
+            estimate=EstimateWithCI(
+                mean=analysis.degree_bits, std_error=0.0, n_samples=0
+            ),
+            n_trials=0,
+            distribution=distribution.name,
+            model=model,
+            mean_path_length=distribution.mean(),
+            identification_rate=identification,
+        )
+
+
+class EventBackend(EstimatorBackend):
+    """Hop-by-hop per-observation sampling (``StrategyMonteCarlo``)."""
+
+    name = "event"
+
+    def estimate(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        n_trials: int = 10_000,
+        rng: RandomSource = None,
+    ):
+        from repro.simulation.experiment import StrategyMonteCarlo
+
+        return StrategyMonteCarlo(model, strategy).run(n_trials, rng=rng)
+
+
+class BatchBackend(EstimatorBackend):
+    """Vectorized columnar sampling (``BatchMonteCarlo``)."""
+
+    name = "batch"
+
+    def __init__(self, use_numpy: bool | None = None) -> None:
+        self._use_numpy = use_numpy
+
+    def estimate(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        n_trials: int = 10_000,
+        rng: RandomSource = None,
+    ):
+        estimator = BatchMonteCarlo(model, strategy, use_numpy=self._use_numpy)
+        return estimator.run(n_trials, rng=rng)
+
+
+# ---------------------------------------------------------------------- #
+# Registry                                                                #
+# ---------------------------------------------------------------------- #
+
+_BACKENDS: dict[str, Callable[[], EstimatorBackend]] = {
+    ExactBackend.name: ExactBackend,
+    EventBackend.name: EventBackend,
+    BatchBackend.name: BatchBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def get_backend(name: str) -> EstimatorBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(_BACKENDS)
+        raise ConfigurationError(
+            f"unknown estimator backend {name!r}; registered backends: {known}"
+        ) from None
+    return factory()
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], EstimatorBackend],
+    overwrite: bool = False,
+) -> None:
+    """Register a new estimator backend under ``name``.
+
+    Downstream code uses this to plug sharded or multiprocess engines into
+    every sweep and CLI entry point without touching this package.
+    """
+    if name in _BACKENDS and not overwrite:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    _BACKENDS[name] = factory
+
+
+def estimate_anonymity(
+    model: SystemModel,
+    strategy: PathSelectionStrategy | PathLengthDistribution,
+    n_trials: int = 10_000,
+    rng: RandomSource = None,
+    backend: str = "batch",
+):
+    """One-call estimation through a named backend.
+
+    ``strategy`` may be a full :class:`PathSelectionStrategy` or a bare
+    :class:`PathLengthDistribution` (wrapped into a simple-path strategy).
+    """
+    if isinstance(strategy, PathLengthDistribution):
+        strategy = PathSelectionStrategy(name=strategy.name, distribution=strategy)
+    return get_backend(backend).estimate(model, strategy, n_trials=n_trials, rng=rng)

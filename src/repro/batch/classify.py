@@ -1,0 +1,111 @@
+"""Columnar classification of trials into symmetric observation classes.
+
+The scalar rule lives in :func:`repro.core.events.classify_trial`; this module
+applies it to whole :class:`~repro.batch.columns.TrialColumns` batches at
+once, producing one small-integer code per trial (the encoding of
+:data:`repro.core.events.EVENT_ORDER`).  Two implementations share the same
+semantics and are tested against each other and against the scalar reference:
+
+* the pure-Python path walks the columns once with branch-free-ish integer
+  comparisons;
+* the NumPy path builds the class codes from boolean masks with no Python
+  loop at all.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import Counter
+
+from repro.batch._accel import resolve_use_numpy
+from repro.batch.columns import ABSENT, TrialColumns
+from repro.core.events import EVENT_ORDER, EventClass, event_code
+from repro.core.model import AdversaryModel
+
+__all__ = ["classify_columns", "class_counts"]
+
+_ORIGIN = event_code(EventClass.ORIGIN)
+_SILENT = event_code(EventClass.SILENT)
+_LAST = event_code(EventClass.LAST)
+_PENULTIMATE = event_code(EventClass.PENULTIMATE)
+_INTERIOR = event_code(EventClass.INTERIOR)
+
+
+def classify_columns(
+    columns: TrialColumns,
+    compromised_node: int,
+    adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
+    use_numpy: bool | None = None,
+) -> array:
+    """Classify every trial of a batch, returning one code column (``array('b')``)."""
+    if resolve_use_numpy(use_numpy):
+        return _classify_numpy(columns, compromised_node, adversary)
+    return _classify_pure(columns, compromised_node, adversary)
+
+
+def class_counts(codes: array) -> dict[EventClass, int]:
+    """Histogram of class codes, keyed by :class:`EventClass` (zeros included)."""
+    counted = Counter(codes)
+    return {cls: counted.get(code, 0) for code, cls in enumerate(EVENT_ORDER)}
+
+
+# ---------------------------------------------------------------------- #
+# Pure-Python kernel                                                      #
+# ---------------------------------------------------------------------- #
+
+
+def _classify_pure(
+    columns: TrialColumns, compromised_node: int, adversary: AdversaryModel
+) -> array:
+    predecessor_only = adversary is AdversaryModel.PREDECESSOR_ONLY
+    position_aware = adversary is AdversaryModel.POSITION_AWARE
+    codes = array("b", bytes(len(columns)))
+    for i, (sender, length, position) in enumerate(
+        zip(columns.senders, columns.lengths, columns.positions)
+    ):
+        if sender == compromised_node:
+            codes[i] = _ORIGIN
+        elif position == ABSENT:
+            codes[i] = _SILENT
+        elif predecessor_only:
+            codes[i] = _INTERIOR
+        elif position_aware and position == 1:
+            codes[i] = _ORIGIN
+        elif position == length:
+            codes[i] = _LAST
+        elif position == length - 1:
+            codes[i] = _PENULTIMATE
+        else:
+            codes[i] = _INTERIOR
+    return codes
+
+
+# ---------------------------------------------------------------------- #
+# NumPy kernel                                                            #
+# ---------------------------------------------------------------------- #
+
+
+def _classify_numpy(
+    columns: TrialColumns, compromised_node: int, adversary: AdversaryModel
+) -> array:
+    import numpy as np
+
+    senders, lengths, positions = columns.as_numpy()
+    on_path = positions != ABSENT
+
+    # Build the code vector from the most general class down to the most
+    # specific so later (more specific) masks overwrite earlier ones.  The
+    # predecessor-only adversary stops at INTERIOR: it cannot distinguish
+    # where on the path its node sat.
+    codes = np.full(len(columns), _SILENT, dtype=np.int8)
+    codes[on_path] = _INTERIOR
+    if adversary is not AdversaryModel.PREDECESSOR_ONLY:
+        codes[on_path & (positions == lengths - 1)] = _PENULTIMATE
+        codes[on_path & (positions == lengths)] = _LAST
+        if adversary is AdversaryModel.POSITION_AWARE:
+            codes[on_path & (positions == 1)] = _ORIGIN
+    codes[senders == compromised_node] = _ORIGIN
+
+    out = array("b")
+    out.frombytes(codes.tobytes())
+    return out

@@ -1,0 +1,98 @@
+"""Columnar trial storage for the vectorized Monte-Carlo estimator.
+
+The hop-by-hop engine represents every trial as a handful of Python objects
+(a message, per-hop reports, an observation).  The batch subsystem instead
+stores *thousands of trials as three parallel columns* of 64-bit integers:
+
+* ``senders[i]`` — the uniformly drawn sender of trial ``i``;
+* ``lengths[i]`` — the rerouting path length ``L`` of trial ``i``;
+* ``positions[i]`` — the 1-based hop position of the compromised node on the
+  path, or :data:`ABSENT` (``0``) when it is not on the path.
+
+Columns are :class:`array.array` buffers with typecode ``'q'`` — contiguous,
+unboxed, and shareable with NumPy without copying (``numpy.frombuffer``), which
+is exactly what lets the acceleration layer be optional: the pure-Python loops
+and the NumPy kernels read the same memory.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+
+from repro.batch._accel import numpy_or_none
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ABSENT", "TrialColumns", "int64_column"]
+
+#: Sentinel stored in ``positions`` when the compromised node is off the path.
+#: Real hop positions are 1-based, so ``0`` can never collide with one.
+ABSENT = 0
+
+#: The array typecode used for every column: signed 64-bit integers.
+COLUMN_TYPECODE = "q"
+
+
+def int64_column(values=()) -> array:
+    """Build one int64 column (``array('q')``) from an iterable of integers."""
+    return array(COLUMN_TYPECODE, values)
+
+
+@dataclass(frozen=True)
+class TrialColumns:
+    """A batch of Monte-Carlo trials in structure-of-arrays layout."""
+
+    senders: array
+    lengths: array
+    positions: array
+
+    def __post_init__(self) -> None:
+        n = len(self.senders)
+        if len(self.lengths) != n or len(self.positions) != n:
+            raise ConfigurationError(
+                "trial columns must have equal lengths, got "
+                f"senders={len(self.senders)}, lengths={len(self.lengths)}, "
+                f"positions={len(self.positions)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials stored in the batch."""
+        return len(self.senders)
+
+    def mean_length(self) -> float:
+        """Mean sampled path length over the batch (0.0 for an empty batch)."""
+        if not self.lengths:
+            return 0.0
+        return sum(self.lengths) / len(self.lengths)
+
+    def as_numpy(self):
+        """Zero-copy NumPy views ``(senders, lengths, positions)`` of the columns.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when NumPy is not
+        available; callers on the pure-Python path iterate the columns
+        directly instead.
+        """
+        np = numpy_or_none()
+        if np is None:
+            raise ConfigurationError(
+                "TrialColumns.as_numpy requires numpy; use the pure-Python "
+                "column iteration path instead"
+            )
+        return (
+            np.frombuffer(self.senders, dtype=np.int64),
+            np.frombuffer(self.lengths, dtype=np.int64),
+            np.frombuffer(self.positions, dtype=np.int64),
+        )
+
+    def row(self, index: int) -> tuple[int, int, int | None]:
+        """One trial as ``(sender, length, position-or-None)`` (debug/test aid)."""
+        position = self.positions[index]
+        return (
+            self.senders[index],
+            self.lengths[index],
+            None if position == ABSENT else position,
+        )

@@ -1,0 +1,112 @@
+"""Bulk sampling of rerouting-path trials as columns.
+
+One trial of the single-compromised-node model is fully characterised by
+three integers (see :mod:`repro.batch.columns`): the sender, the path length,
+and where — if anywhere — the compromised node ``m`` sits on the path.  The
+sampler draws all three *in bulk*:
+
+* senders are uniform over the ``N`` nodes (the paper's a-priori assumption);
+* lengths come from the distribution's inverse-CDF batch sampler
+  (:meth:`repro.distributions.base.PathLengthDistribution.sample_batch`);
+* the position of ``m`` exploits the symmetry of uniform simple-path
+  selection: conditioned on ``sender != m``, the compromised node is one of
+  the ``N - 1`` non-sender nodes, and in a uniformly random ordered
+  arrangement of ``l`` of them each position ``1..l`` contains ``m`` with
+  probability ``1/(N-1)``.  Drawing one uniform *slot* ``s ∈ {0..N-2}`` and
+  mapping ``s < l`` to position ``s + 1`` (otherwise "absent") therefore
+  reproduces the exact joint law of the hop-by-hop path builder — without
+  materialising any of the other ``l - 1`` node identities.
+
+Exactly three bulk draws are consumed from the generator per batch
+(senders, length uniforms, slots), in a fixed order, so results are
+deterministic under a fixed seed no matter which post-processing path
+(pure-Python or NumPy) consumes the columns afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.batch._accel import resolve_use_numpy
+from repro.batch.columns import ABSENT, TrialColumns, int64_column
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["BatchTrialSampler"]
+
+
+@dataclass(frozen=True)
+class BatchTrialSampler:
+    """Draws batches of ``(sender, length, position)`` trial columns.
+
+    Parameters
+    ----------
+    n_nodes:
+        System size ``N``.
+    distribution:
+        Path-length distribution to sample from.  Must already be feasible for
+        simple paths (``max_length <= n_nodes - 1``); use
+        :meth:`~repro.routing.strategies.PathSelectionStrategy.effective_distribution`
+        to truncate heavy-tailed strategies first.
+    compromised_node:
+        Identity of the single compromised node ``m``.  The anonymity degree
+        is invariant under node relabelling, so the default canonical choice
+        (node ``0``) is fully general.
+    """
+
+    n_nodes: int
+    distribution: PathLengthDistribution
+    compromised_node: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ConfigurationError(
+                f"batch sampling needs at least 2 nodes, got n_nodes={self.n_nodes}"
+            )
+        if not 0 <= self.compromised_node < self.n_nodes:
+            raise ConfigurationError(
+                f"compromised node {self.compromised_node} outside the node range "
+                f"[0, {self.n_nodes})"
+            )
+        if self.distribution.max_length > self.n_nodes - 1:
+            raise ConfigurationError(
+                f"distribution {self.distribution.name} reaches length "
+                f"{self.distribution.max_length}, infeasible for simple paths on "
+                f"{self.n_nodes} nodes; truncate it first"
+            )
+
+    def draw(
+        self,
+        n_trials: int,
+        rng: RandomSource = None,
+        use_numpy: bool | None = None,
+    ) -> TrialColumns:
+        """Sample ``n_trials`` trials as one columnar batch."""
+        if n_trials < 1:
+            raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
+        generator = ensure_rng(rng)
+        accelerate = resolve_use_numpy(use_numpy)
+
+        senders_raw = generator.integers(0, self.n_nodes, size=n_trials)
+        lengths = self.distribution.sample_batch(n_trials, generator)
+        slots_raw = generator.integers(0, self.n_nodes - 1, size=n_trials)
+
+        if accelerate:
+            import numpy as np
+
+            lengths_np = np.frombuffer(lengths, dtype=np.int64)
+            positions_np = np.where(
+                slots_raw < lengths_np, slots_raw + 1, ABSENT
+            ).astype(np.int64)
+            senders = int64_column()
+            senders.frombytes(senders_raw.astype(np.int64).tobytes())
+            positions = int64_column()
+            positions.frombytes(positions_np.tobytes())
+        else:
+            senders = int64_column(int(s) for s in senders_raw)
+            positions = int64_column(
+                slot + 1 if slot < length else ABSENT
+                for slot, length in zip((int(s) for s in slots_raw), lengths)
+            )
+        return TrialColumns(senders=senders, lengths=lengths, positions=positions)

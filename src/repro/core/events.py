@@ -41,7 +41,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["EventClass", "EventSummary"]
+from repro.core.model import AdversaryModel
+from repro.exceptions import ConfigurationError
+
+__all__ = ["EventClass", "EventSummary", "EVENT_ORDER", "event_code", "classify_trial"]
 
 
 class EventClass(enum.Enum):
@@ -52,6 +55,62 @@ class EventClass(enum.Enum):
     LAST = "last"
     PENULTIMATE = "penultimate"
     INTERIOR = "interior"
+
+
+#: Canonical integer encoding of the classes, used by the columnar classifiers
+#: in :mod:`repro.batch` (array cells hold ``EVENT_ORDER.index(cls)``).
+EVENT_ORDER: tuple[EventClass, ...] = (
+    EventClass.ORIGIN,
+    EventClass.SILENT,
+    EventClass.LAST,
+    EventClass.PENULTIMATE,
+    EventClass.INTERIOR,
+)
+
+_EVENT_CODES = {cls: code for code, cls in enumerate(EVENT_ORDER)}
+
+
+def event_code(event_class: EventClass) -> int:
+    """The canonical integer code of ``event_class`` (see :data:`EVENT_ORDER`)."""
+    return _EVENT_CODES[event_class]
+
+
+def classify_trial(
+    sender_compromised: bool,
+    length: int,
+    position: int | None,
+    adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
+) -> EventClass:
+    """Classify one Monte-Carlo trial into its symmetric observation class.
+
+    A trial of the single-compromised-node model is fully characterised by
+    three facts: whether the sender *is* the compromised node, the path length
+    ``length``, and the 1-based hop ``position`` of the compromised node on the
+    path (``None`` when it is not on the path).  By the symmetry argument of
+    the paper, the adversary's posterior entropy depends only on the resulting
+    class — this function is the scalar reference implementation that the
+    columnar classifiers in :mod:`repro.batch.classify` are tested against.
+    """
+    if sender_compromised:
+        return EventClass.ORIGIN
+    if position is None:
+        return EventClass.SILENT
+    if not 1 <= position <= length:
+        raise ConfigurationError(
+            f"hop position {position} outside the path of length {length}"
+        )
+    if adversary is AdversaryModel.PREDECESSOR_ONLY:
+        # The weak adversary does not distinguish where on the path its node
+        # sat; the analyzer folds every on-path observation into one row.
+        return EventClass.INTERIOR
+    if adversary is AdversaryModel.POSITION_AWARE and position == 1:
+        # Knowing the position, the first hop's predecessor is the sender.
+        return EventClass.ORIGIN
+    if position == length:
+        return EventClass.LAST
+    if position == length - 1:
+        return EventClass.PENULTIMATE
+    return EventClass.INTERIOR
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,8 @@ can safely be shared between strategies, analysers, and optimizers.
 from __future__ import annotations
 
 import abc
+from array import array
+from bisect import bisect_left
 from collections.abc import Iterator, Mapping, Sequence
 
 import numpy as np
@@ -68,6 +70,7 @@ class PathLengthDistribution(abc.ABC):
 
     def __init__(self) -> None:
         self._cached_pmf: dict[int, float] | None = None
+        self._cached_cdf: tuple[tuple[int, ...], tuple[float, ...]] | None = None
 
     def _pmf(self) -> dict[int, float]:
         if self._cached_pmf is None:
@@ -160,6 +163,66 @@ class PathLengthDistribution(abc.ABC):
         if size is None:
             return int(generator.choice(lengths, p=probs))
         return generator.choice(lengths, p=probs, size=size)
+
+    # -- bulk inverse-CDF sampling ---------------------------------------
+
+    def cdf_table(self) -> tuple[tuple[int, ...], tuple[float, ...]]:
+        """The support and its cumulative probabilities, cached.
+
+        The table is the basis of inverse-CDF sampling: ``cumulative[i]`` is
+        ``Pr[L <= support[i]]``.  The final entry is forced to exactly ``1.0``
+        so that a uniform draw of ``1.0 - eps`` can never fall off the end of
+        the table due to floating-point shortfall in the running sum.
+        """
+        if self._cached_cdf is None:
+            lengths = []
+            cumulative = []
+            total = 0.0
+            for length, prob in self.items():
+                total += prob
+                lengths.append(length)
+                # Clamp the running sum so float overshoot at an interior
+                # entry can never make the table non-monotonic (bisection
+                # requires sorted input).
+                cumulative.append(min(total, 1.0))
+            cumulative[-1] = 1.0
+            self._cached_cdf = (tuple(lengths), tuple(cumulative))
+        return self._cached_cdf
+
+    def inverse_cdf(self, u: float) -> int:
+        """Quantile function: the smallest length ``l`` with ``Pr[L <= l] >= u``.
+
+        Pure-Python bisection over :meth:`cdf_table`; this is the scalar
+        reference implementation of the bulk sampler in :meth:`sample_batch`.
+        """
+        if not 0.0 <= u <= 1.0:
+            raise DistributionError(f"inverse_cdf requires u in [0, 1], got {u!r}")
+        lengths, cumulative = self.cdf_table()
+        index = bisect_left(cumulative, u)
+        if index >= len(lengths):
+            index = len(lengths) - 1
+        return lengths[index]
+
+    def sample_batch(self, size: int, rng: RandomSource = None) -> array:
+        """Draw ``size`` path lengths in one bulk inverse-CDF pass.
+
+        Returns a columnar ``array('q')`` of signed 64-bit lengths — the
+        storage format of the vectorized estimators in :mod:`repro.batch` —
+        rather than ``size`` boxed Python integers.  One uniform variate is
+        consumed per trial, so batch consumers stay reproducible under a fixed
+        seed regardless of how the draws are post-processed.
+        """
+        if size < 0:
+            raise DistributionError(f"sample_batch requires size >= 0, got {size}")
+        generator = ensure_rng(rng)
+        lengths, cumulative = self.cdf_table()
+        uniforms = generator.random(size)
+        indices = np.searchsorted(np.asarray(cumulative), uniforms, side="left")
+        np.minimum(indices, len(lengths) - 1, out=indices)
+        mapped = np.asarray(lengths, dtype=np.int64)[indices]
+        column = array("q")
+        column.frombytes(mapped.tobytes())
+        return column
 
     # -- transformations -------------------------------------------------
 

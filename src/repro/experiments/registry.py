@@ -12,6 +12,7 @@ from collections.abc import Callable
 from repro.experiments.base import ExperimentData
 from repro.experiments.extensions import (
     adversary_ablation,
+    batch_validation,
     compromised_sweep,
     predecessor_attack_rounds,
     protocol_comparison,
@@ -46,6 +47,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentData]] = {
     "ext-proto": protocol_comparison,
     "ext-sim": simulation_validation,
     "ext-pred": predecessor_attack_rounds,
+    "ext-batch": batch_validation,
 }
 
 

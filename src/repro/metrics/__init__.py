@@ -2,10 +2,12 @@
 
 from repro.metrics.anonymity_metrics import (
     effective_set_size,
+    gini_coefficient,
     guessing_entropy,
     max_posterior,
     min_entropy_bits,
     normalized_degree,
+    normalized_entropy,
     posterior_metrics,
     probable_innocence,
 )
@@ -18,4 +20,6 @@ __all__ = [
     "effective_set_size",
     "probable_innocence",
     "posterior_metrics",
+    "gini_coefficient",
+    "normalized_entropy",
 ]

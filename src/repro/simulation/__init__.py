@@ -5,6 +5,7 @@ from repro.simulation.experiment import (
     MonteCarloReport,
     ProtocolMonteCarlo,
     StrategyMonteCarlo,
+    monte_carlo_with_backend,
 )
 from repro.simulation.results import EstimateWithCI, summarize_samples
 
@@ -14,6 +15,7 @@ __all__ = [
     "StrategyMonteCarlo",
     "ProtocolMonteCarlo",
     "MonteCarloReport",
+    "monte_carlo_with_backend",
     "EstimateWithCI",
     "summarize_samples",
 ]

@@ -17,6 +17,7 @@ form.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.adversary.collector import AdversaryCoordinator
@@ -56,6 +57,14 @@ class AnonymousCommunicationSystem:
     topology: Topology | None = None
     latency: LatencyModel = field(default_factory=ConstantLatency)
     compromised: frozenset[int] | None = None
+    #: When False, no :class:`DeliveryRecord` is retained at all (running
+    #: statistics still feed :meth:`average_path_length`); long batch runs set
+    #: this to keep memory flat.
+    record_deliveries: bool = True
+    #: When set, only the most recent ``max_recorded_deliveries`` records are
+    #: retained (a sliding window); ``None`` keeps every record, the
+    #: historical behaviour.
+    max_recorded_deliveries: int | None = None
 
     def __post_init__(self) -> None:
         if self.protocol.n_nodes != self.model.n_nodes:
@@ -85,7 +94,21 @@ class AnonymousCommunicationSystem:
             latency=self.latency,
             adversary=self.adversary,
         )
-        self.deliveries: list[DeliveryRecord] = []
+        if self.max_recorded_deliveries is not None and self.max_recorded_deliveries < 1:
+            raise ConfigurationError(
+                f"max_recorded_deliveries must be >= 1 or None, got "
+                f"{self.max_recorded_deliveries}"
+            )
+        #: Retained delivery records: every record (a plain list, the
+        #: historical type), a bounded sliding window (a deque), or nothing at
+        #: all, depending on the recording options above.
+        self.deliveries: list[DeliveryRecord] | deque[DeliveryRecord] = (
+            []
+            if self.max_recorded_deliveries is None
+            else deque(maxlen=self.max_recorded_deliveries)
+        )
+        self._delivery_count = 0
+        self._path_length_total = 0
 
     # ------------------------------------------------------------------ #
     # Message transmission                                                 #
@@ -139,7 +162,10 @@ class AnonymousCommunicationSystem:
             delivered_at=delivered_at,
             protocol=self.protocol.name,
         )
-        self.deliveries.append(delivery)
+        self._delivery_count += 1
+        self._path_length_total += delivery.path_length
+        if self.record_deliveries:
+            self.deliveries.append(delivery)
         observation = self.adversary.observation_for(message.message_id)
         return SendOutcome(delivery=delivery, observation=observation, message=message)
 
@@ -159,8 +185,21 @@ class AnonymousCommunicationSystem:
         """Link-level transmissions so far (the rerouting overhead)."""
         return self.transport.transmissions
 
+    @property
+    def total_deliveries(self) -> int:
+        """Messages delivered so far, independent of how many records are retained."""
+        return self._delivery_count
+
     def average_path_length(self) -> float:
-        """Mean number of intermediate nodes over all deliveries so far."""
-        if not self.deliveries:
-            return 0.0
-        return sum(d.path_length for d in self.deliveries) / len(self.deliveries)
+        """Mean number of intermediate nodes per delivery.
+
+        Computed over the retained window of :attr:`deliveries` when records
+        are kept (so a bounded window reports the *recent* mean, useful for
+        drift monitoring on long runs), and over running totals of every
+        delivery when record-keeping is disabled entirely.
+        """
+        if self.deliveries:
+            return sum(d.path_length for d in self.deliveries) / len(self.deliveries)
+        if self._delivery_count:
+            return self._path_length_total / self._delivery_count
+        return 0.0

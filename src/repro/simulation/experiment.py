@@ -31,10 +31,19 @@ from repro.exceptions import ConfigurationError
 from repro.protocols.base import ReroutingProtocol
 from repro.routing.strategies import PathSelectionStrategy
 from repro.simulation.engine import AnonymousCommunicationSystem
-from repro.simulation.results import EstimateWithCI, summarize_samples
+from repro.simulation.results import (
+    IDENTIFIED_THRESHOLD,
+    EstimateWithCI,
+    summarize_samples,
+)
 from repro.utils.rng import RandomSource, ensure_rng
 
-__all__ = ["StrategyMonteCarlo", "ProtocolMonteCarlo", "MonteCarloReport"]
+__all__ = [
+    "StrategyMonteCarlo",
+    "ProtocolMonteCarlo",
+    "MonteCarloReport",
+    "monte_carlo_with_backend",
+]
 
 
 @dataclass(frozen=True)
@@ -103,7 +112,7 @@ class StrategyMonteCarlo:
             posterior = inference.posterior(observation)
             entropies.append(posterior.entropy_bits)
             lengths.append(path.length)
-            if posterior.max_probability >= 1.0 - 1e-12:
+            if posterior.max_probability >= IDENTIFIED_THRESHOLD:
                 identified += 1
 
         return MonteCarloReport(
@@ -114,6 +123,29 @@ class StrategyMonteCarlo:
             mean_path_length=sum(lengths) / len(lengths),
             identification_rate=identified / n_trials,
         )
+
+
+def monte_carlo_with_backend(
+    model: SystemModel,
+    strategy: PathSelectionStrategy,
+    n_trials: int,
+    rng: RandomSource = None,
+    backend: str = "event",
+) -> MonteCarloReport:
+    """Run one strategy-level Monte-Carlo estimate through a named backend.
+
+    ``backend`` selects the estimation engine from the registry in
+    :mod:`repro.batch.backends`: ``"event"`` (the default) is the hop-by-hop
+    :class:`StrategyMonteCarlo` above, ``"batch"`` is the vectorized columnar
+    estimator, and ``"exact"`` short-circuits to the closed form.  The import
+    is deferred because the batch subsystem itself builds on this module's
+    report type.
+    """
+    from repro.batch.backends import estimate_anonymity
+
+    return estimate_anonymity(
+        model, strategy, n_trials=n_trials, rng=rng, backend=backend
+    )
 
 
 @dataclass
@@ -165,7 +197,7 @@ class ProtocolMonteCarlo:
             posterior = inference.posterior(outcome.observation)
             entropies.append(posterior.entropy_bits)
             lengths.append(outcome.delivery.path_length)
-            if posterior.max_probability >= 1.0 - 1e-12:
+            if posterior.max_probability >= IDENTIFIED_THRESHOLD:
                 identified += 1
 
         return MonteCarloReport(

@@ -7,10 +7,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["EstimateWithCI", "summarize_samples"]
+__all__ = ["EstimateWithCI", "summarize_samples", "IDENTIFIED_THRESHOLD"]
 
 #: Two-sided z value for a 95% normal confidence interval.
 _Z_95 = 1.959963984540054
+
+#: A posterior that puts at least this much mass on one sender counts as an
+#: outright identification.  Shared by every estimator backend (event, batch,
+#: exact) so identification rates stay comparable across engines.
+IDENTIFIED_THRESHOLD = 1.0 - 1e-12
 
 
 @dataclass(frozen=True)
@@ -41,7 +46,10 @@ class EstimateWithCI:
 
 def summarize_samples(samples) -> EstimateWithCI:
     """Build an :class:`EstimateWithCI` from raw per-trial samples."""
-    array = np.asarray(list(samples), dtype=float)
+    if isinstance(samples, np.ndarray):
+        array = np.asarray(samples, dtype=float)
+    else:
+        array = np.asarray(list(samples), dtype=float)
     if array.size == 0:
         return EstimateWithCI(mean=0.0, std_error=math.inf, n_samples=0)
     mean = float(array.mean())

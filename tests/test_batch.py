@@ -1,0 +1,386 @@
+"""Tests for the vectorized batch-simulation subsystem (``repro.batch``).
+
+The load-bearing properties:
+
+* the inverse-CDF bulk sampler on :class:`PathLengthDistribution` reproduces
+  the pmf;
+* the columnar classifier agrees trial-for-trial with the scalar reference
+  rule in :func:`repro.core.events.classify_trial`, on both the pure-Python
+  and the NumPy kernels;
+* the batch estimator is a statistically faithful drop-in for
+  ``StrategyMonteCarlo``: its confidence interval covers the closed form on
+  the single-compromised-node domain for every distribution family of the
+  paper, and a fixed seed reproduces results exactly;
+* the ``exact | event | batch`` backend registry routes sweeps, experiments,
+  and the CLI onto any engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import fixed_length_sweep
+from repro.batch import (
+    ABSENT,
+    BatchMonteCarlo,
+    BatchTrialSampler,
+    TrialColumns,
+    available_backends,
+    class_counts,
+    classify_columns,
+    estimate_anonymity,
+    get_backend,
+    register_backend,
+)
+from repro.batch.backends import ExactBackend, _BACKENDS
+from repro.batch.columns import int64_column
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.events import EventClass, classify_trial, event_code
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.distributions import (
+    FixedLength,
+    GeometricLength,
+    TwoPointLength,
+    UniformLength,
+)
+from repro.exceptions import ConfigurationError, DistributionError
+from repro.experiments.registry import run_experiment
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation import monte_carlo_with_backend
+
+#: The four families named by the parity requirement, all feasible at N=20.
+PARITY_DISTRIBUTIONS = [
+    FixedLength(5),
+    UniformLength(2, 8),
+    GeometricLength(p_forward=0.75, minimum=1, max_length=19),
+    TwoPointLength(3, 4, 0.5),
+]
+
+
+class TestInverseCdfSampler:
+    def test_cdf_table_ends_at_one(self):
+        lengths, cumulative = UniformLength(2, 8).cdf_table()
+        assert lengths == tuple(range(2, 9))
+        assert cumulative[-1] == 1.0
+        assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+
+    def test_inverse_cdf_is_the_quantile_function(self):
+        dist = TwoPointLength(3, 7, 0.25)
+        assert dist.inverse_cdf(0.0) == 3
+        assert dist.inverse_cdf(0.2) == 3
+        assert dist.inverse_cdf(0.25) == 3
+        assert dist.inverse_cdf(0.2500001) == 7
+        assert dist.inverse_cdf(1.0) == 7
+
+    def test_inverse_cdf_rejects_out_of_range(self):
+        with pytest.raises(DistributionError):
+            FixedLength(4).inverse_cdf(1.5)
+
+    def test_sample_batch_matches_pmf(self):
+        dist = UniformLength(1, 4)
+        column = dist.sample_batch(40_000, rng=9)
+        assert len(column) == 40_000
+        for length in dist.support:
+            frequency = sum(1 for v in column if v == length) / len(column)
+            assert frequency == pytest.approx(dist.pmf(length), abs=0.01)
+
+    def test_sample_batch_is_deterministic(self):
+        dist = GeometricLength(p_forward=0.5, minimum=1, max_length=10)
+        assert dist.sample_batch(500, rng=3) == dist.sample_batch(500, rng=3)
+
+    def test_sample_batch_agrees_with_scalar_inverse_cdf(self):
+        dist = UniformLength(0, 6)
+        generator = np.random.default_rng(21)
+        uniforms = generator.random(200)
+        expected = [dist.inverse_cdf(u) for u in uniforms]
+        column = dist.sample_batch(200, rng=21)
+        assert list(column) == expected
+
+    def test_sample_batch_size_zero_and_negative(self):
+        assert len(FixedLength(2).sample_batch(0, rng=0)) == 0
+        with pytest.raises(DistributionError):
+            FixedLength(2).sample_batch(-1, rng=0)
+
+
+class TestTrialColumns:
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrialColumns(
+                senders=int64_column([1, 2]),
+                lengths=int64_column([3]),
+                positions=int64_column([0, 0]),
+            )
+
+    def test_row_decodes_absent_positions(self):
+        columns = TrialColumns(
+            senders=int64_column([4]),
+            lengths=int64_column([3]),
+            positions=int64_column([ABSENT]),
+        )
+        assert columns.row(0) == (4, 3, None)
+        assert columns.n_trials == 1
+
+
+class TestBatchTrialSampler:
+    def test_rejects_infeasible_distribution(self):
+        with pytest.raises(ConfigurationError):
+            BatchTrialSampler(n_nodes=5, distribution=FixedLength(10))
+
+    def test_rejects_bad_compromised_node(self):
+        with pytest.raises(ConfigurationError):
+            BatchTrialSampler(
+                n_nodes=5, distribution=FixedLength(2), compromised_node=5
+            )
+
+    def test_columns_have_consistent_ranges(self):
+        sampler = BatchTrialSampler(n_nodes=10, distribution=UniformLength(0, 9))
+        columns = sampler.draw(2_000, rng=4)
+        assert len(columns) == 2_000
+        for sender, length, position in zip(
+            columns.senders, columns.lengths, columns.positions
+        ):
+            assert 0 <= sender < 10
+            assert 0 <= length <= 9
+            assert position == ABSENT or 1 <= position <= length
+
+    def test_pure_and_numpy_paths_draw_identically(self):
+        sampler = BatchTrialSampler(n_nodes=12, distribution=UniformLength(1, 6))
+        fast = sampler.draw(1_500, rng=8, use_numpy=True)
+        pure = sampler.draw(1_500, rng=8, use_numpy=False)
+        assert fast.senders == pure.senders
+        assert fast.lengths == pure.lengths
+        assert fast.positions == pure.positions
+
+    def test_position_marginals_match_theory(self):
+        """P[m at any given hop | sender honest] = 1/(N-1); off-path matches too."""
+        n_nodes, trials = 8, 60_000
+        sampler = BatchTrialSampler(n_nodes=n_nodes, distribution=FixedLength(3))
+        columns = sampler.draw(trials, rng=13)
+        honest = [
+            position
+            for sender, position in zip(columns.senders, columns.positions)
+            if sender != 0
+        ]
+        per_position = 1.0 / (n_nodes - 1)
+        for hop in (1, 2, 3):
+            observed = sum(1 for p in honest if p == hop) / len(honest)
+            assert observed == pytest.approx(per_position, abs=0.01)
+        off_path = sum(1 for p in honest if p == ABSENT) / len(honest)
+        assert off_path == pytest.approx(1.0 - 3 * per_position, abs=0.01)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_columnar_matches_scalar_reference(self, adversary, use_numpy):
+        sampler = BatchTrialSampler(n_nodes=9, distribution=UniformLength(0, 8))
+        columns = sampler.draw(3_000, rng=17)
+        codes = classify_columns(columns, 0, adversary=adversary, use_numpy=use_numpy)
+        for index, code in enumerate(codes):
+            sender, length, position = columns.row(index)
+            expected = classify_trial(
+                sender_compromised=sender == 0,
+                length=length,
+                position=position,
+                adversary=adversary,
+            )
+            assert code == event_code(expected)
+
+    def test_class_counts_cover_every_class(self):
+        sampler = BatchTrialSampler(n_nodes=9, distribution=UniformLength(0, 8))
+        columns = sampler.draw(4_000, rng=23)
+        counts = class_counts(classify_columns(columns, 0))
+        assert set(counts) == set(EventClass)
+        assert sum(counts.values()) == 4_000
+
+    def test_scalar_reference_validates_position(self):
+        with pytest.raises(ConfigurationError):
+            classify_trial(sender_compromised=False, length=2, position=3)
+
+    def test_class_frequencies_match_event_probabilities(self):
+        """Observed class frequencies reproduce the closed form's event table."""
+        model = SystemModel(n_nodes=12, n_compromised=1)
+        distribution = UniformLength(1, 6)
+        analysis = AnonymityAnalyzer(model).analyze(distribution)
+        sampler = BatchTrialSampler(n_nodes=12, distribution=distribution)
+        trials = 80_000
+        counts = class_counts(classify_columns(sampler.draw(trials, rng=29), 0))
+        for summary in analysis.events:
+            observed = counts[summary.event] / trials
+            assert observed == pytest.approx(summary.probability, abs=0.01)
+
+
+class TestBatchEstimatorParity:
+    @pytest.mark.parametrize(
+        "distribution", PARITY_DISTRIBUTIONS, ids=lambda d: d.name
+    )
+    def test_ci_covers_closed_form(self, distribution):
+        """Property: the 95% CI of the batch estimate covers H*(S) exactly."""
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        strategy = PathSelectionStrategy(distribution.name, distribution)
+        exact = AnonymityAnalyzer(model).anonymity_degree(
+            strategy.effective_distribution(model.n_nodes)
+        )
+        report = BatchMonteCarlo(model, strategy).run(30_000, rng=202)
+        assert report.estimate.contains(exact)
+        assert report.n_trials == 30_000
+
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    def test_ci_covers_closed_form_per_adversary(self, adversary):
+        model = SystemModel(n_nodes=15, n_compromised=1, adversary=adversary)
+        report = BatchMonteCarlo.from_distribution(model, UniformLength(2, 8)).run(
+            30_000, rng=59
+        )
+        exact = AnonymityAnalyzer(model).anonymity_degree(UniformLength(2, 8))
+        assert report.estimate.contains(exact)
+
+    def test_same_seed_reproduces_everything(self):
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        estimator = BatchMonteCarlo.from_distribution(model, UniformLength(2, 8))
+        first = estimator.run(5_000, rng=7)
+        second = estimator.run(5_000, rng=7)
+        assert first.estimate == second.estimate
+        assert first.mean_path_length == second.mean_path_length
+        assert first.identification_rate == second.identification_rate
+
+    def test_pure_python_core_equals_numpy_core(self):
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        fast = BatchMonteCarlo.from_distribution(
+            model, UniformLength(2, 8), use_numpy=True
+        ).run(5_000, rng=7)
+        pure = BatchMonteCarlo.from_distribution(
+            model, UniformLength(2, 8), use_numpy=False
+        ).run(5_000, rng=7)
+        assert fast.estimate == pure.estimate
+        assert fast.identification_rate == pure.identification_rate
+
+    def test_identification_rate_matches_origin_probability(self):
+        """With F(l), l >= 2, only ORIGIN identifies: rate ~ 1/N."""
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        report = BatchMonteCarlo.from_distribution(model, FixedLength(5)).run(
+            40_000, rng=3
+        )
+        assert report.identification_rate == pytest.approx(1 / 20, abs=0.005)
+
+    def test_heavy_tail_is_truncated_like_the_strategy(self):
+        model = SystemModel(n_nodes=10, n_compromised=1)
+        crowds_like = GeometricLength(p_forward=0.9, minimum=1)
+        estimator = BatchMonteCarlo.from_distribution(model, crowds_like)
+        assert estimator.distribution.max_length == model.max_simple_path_length
+        report = estimator.run(20_000, rng=12)
+        exact = AnonymityAnalyzer(model).anonymity_degree(estimator.distribution)
+        assert report.estimate.contains(exact)
+
+    def test_domain_restrictions_are_enforced(self):
+        multi = SystemModel(n_nodes=10, n_compromised=2)
+        with pytest.raises(ConfigurationError, match="single-compromised-node"):
+            BatchMonteCarlo.from_distribution(multi, FixedLength(3))
+        honest_receiver = SystemModel(
+            n_nodes=10, n_compromised=1, receiver_compromised=False
+        )
+        with pytest.raises(ConfigurationError, match="receiver"):
+            BatchMonteCarlo.from_distribution(honest_receiver, FixedLength(3))
+        cycle_strategy = PathSelectionStrategy(
+            "cycles", FixedLength(3), path_model=PathModel.CYCLE_ALLOWED
+        )
+        with pytest.raises(ConfigurationError, match="simple paths"):
+            BatchMonteCarlo(SystemModel(n_nodes=10), cycle_strategy)
+        estimator = BatchMonteCarlo.from_distribution(
+            SystemModel(n_nodes=10), FixedLength(3)
+        )
+        with pytest.raises(ConfigurationError):
+            estimator.run(0)
+
+
+class TestBackends:
+    def test_registry_lists_the_three_engines(self):
+        assert set(available_backends()) >= {"exact", "event", "batch"}
+
+    def test_unknown_backend_raises_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="registered backends"):
+            get_backend("warp-drive")
+
+    def test_exact_backend_reports_zero_width_interval(self):
+        model = SystemModel(n_nodes=30, n_compromised=1)
+        report = estimate_anonymity(model, FixedLength(4), backend="exact")
+        exact = AnonymityAnalyzer(model).anonymity_degree(FixedLength(4))
+        assert report.degree_bits == pytest.approx(exact)
+        assert report.estimate.std_error == 0.0
+        assert report.estimate.ci_low == report.estimate.ci_high
+        assert report.mean_path_length == pytest.approx(4.0)
+
+    def test_event_and_batch_agree_with_exact(self):
+        model = SystemModel(n_nodes=15, n_compromised=1)
+        exact = AnonymityAnalyzer(model).anonymity_degree(FixedLength(3))
+        event = estimate_anonymity(
+            model, FixedLength(3), n_trials=2_000, rng=5, backend="event"
+        )
+        batch = estimate_anonymity(
+            model, FixedLength(3), n_trials=30_000, rng=5, backend="batch"
+        )
+        assert event.estimate.contains(exact, slack=0.02)
+        assert batch.estimate.contains(exact)
+
+    def test_register_backend_round_trip(self):
+        class NullBackend(ExactBackend):
+            name = "null-test"
+
+        try:
+            register_backend("null-test", NullBackend)
+            assert "null-test" in available_backends()
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_backend("null-test", NullBackend)
+            register_backend("null-test", NullBackend, overwrite=True)
+            assert isinstance(get_backend("null-test"), NullBackend)
+        finally:
+            _BACKENDS.pop("null-test", None)
+
+    def test_monte_carlo_with_backend_helper(self):
+        model = SystemModel(n_nodes=12, n_compromised=1)
+        strategy = PathSelectionStrategy("F(2)", FixedLength(2))
+        report = monte_carlo_with_backend(
+            model, strategy, n_trials=10_000, rng=1, backend="batch"
+        )
+        exact = AnonymityAnalyzer(model).anonymity_degree(FixedLength(2))
+        assert report.estimate.contains(exact)
+
+
+class TestSweepIntegration:
+    def test_batch_backend_sweep_tracks_exact_sweep(self):
+        model = SystemModel(n_nodes=25, n_compromised=1)
+        lengths = [1, 4, 8, 12]
+        reference = fixed_length_sweep(model, lengths)
+        sampled = fixed_length_sweep(
+            model, lengths, backend="batch", n_trials=30_000, rng=77
+        )
+        for exact, estimated in zip(
+            reference.series[0].values, sampled.series[0].values
+        ):
+            assert estimated == pytest.approx(exact, abs=0.05)
+
+    def test_sweep_is_reproducible_under_a_seed(self):
+        model = SystemModel(n_nodes=25, n_compromised=1)
+        first = fixed_length_sweep(
+            model, [2, 5], backend="batch", n_trials=2_000, rng=11
+        )
+        second = fixed_length_sweep(
+            model, [2, 5], backend="batch", n_trials=2_000, rng=11
+        )
+        assert first.series[0].values == second.series[0].values
+
+
+class TestBatchExperiment:
+    def test_ext_batch_checks_pass(self):
+        data = run_experiment("ext-batch")
+        assert data.experiment_id == "ext-batch"
+        assert data.all_checks_pass, data.checks
+
+    def test_entropy_never_exceeds_log2_n(self):
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        report = BatchMonteCarlo.from_distribution(model, UniformLength(0, 19)).run(
+            10_000, rng=2
+        )
+        assert 0.0 <= report.degree_bits <= math.log2(20)

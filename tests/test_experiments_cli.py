@@ -155,6 +155,77 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "estimated H*" in output
 
+    def test_batch_command(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--n",
+                    "20",
+                    "--strategy",
+                    "uniform",
+                    "--low",
+                    "2",
+                    "--high",
+                    "8",
+                    "--trials",
+                    "20000",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "estimated H*" in output
+        assert "trials/sec" in output
+        assert "backend" in output
+
+    def test_batch_command_geometric_truncates(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--n",
+                    "15",
+                    "--strategy",
+                    "geometric",
+                    "--p-forward",
+                    "0.9",
+                    "--trials",
+                    "5000",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "closed-form H*" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("backend", ["exact", "event", "batch"])
+    def test_batch_command_every_backend(self, backend, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--n",
+                    "12",
+                    "--strategy",
+                    "fixed",
+                    "--length",
+                    "3",
+                    "--trials",
+                    "300",
+                    "--seed",
+                    "2",
+                    "--backend",
+                    backend,
+                ]
+            )
+            == 0
+        )
+        assert f"backend={backend}" in capsys.readouterr().out
+
     def test_unknown_experiment_via_cli(self):
         with pytest.raises(KeyError):
             main(["figure", "nope"])

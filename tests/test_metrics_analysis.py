@@ -23,10 +23,12 @@ from repro.core.model import AdversaryModel, SystemModel
 from repro.distributions import FixedLength, UniformLength
 from repro.metrics import (
     effective_set_size,
+    gini_coefficient,
     guessing_entropy,
     max_posterior,
     min_entropy_bits,
     normalized_degree,
+    normalized_entropy,
     posterior_metrics,
     probable_innocence,
 )
@@ -61,6 +63,45 @@ class TestMetrics:
 
     def test_normalized_degree_degenerate_system(self):
         assert normalized_degree(1.0, 1) == 0.0
+
+
+class TestLoadSpreadMetrics:
+    def test_gini_of_even_spread_is_zero(self):
+        assert gini_coefficient([7, 7, 7, 7]) == pytest.approx(0.0)
+
+    def test_gini_of_full_concentration(self):
+        # For one loaded member out of n, G = (n - 1) / n.
+        assert gini_coefficient([0, 0, 0, 10]) == pytest.approx(0.75)
+
+    def test_gini_edge_cases(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+        with pytest.raises(ValueError):
+            gini_coefficient([1.0, -1.0])
+
+    def test_gini_is_scale_invariant(self):
+        counts = [1, 4, 2, 9, 3]
+        assert gini_coefficient(counts) == pytest.approx(
+            gini_coefficient([10 * c for c in counts])
+        )
+
+    def test_normalized_entropy_bounds(self):
+        assert normalized_entropy([5, 5, 5, 5]) == pytest.approx(1.0)
+        assert normalized_entropy([10, 0, 0]) == 0.0
+        assert 0.0 < normalized_entropy([8, 1, 1]) < 1.0
+
+    def test_normalized_entropy_against_fixed_base(self):
+        # Two equally loaded members measured against a population of four.
+        assert normalized_entropy([1, 1], base_count=4) == pytest.approx(0.5)
+        # A base smaller than the observed support would break the [0, 1] bound.
+        with pytest.raises(ValueError):
+            normalized_entropy([1, 1, 1, 1], base_count=2)
+
+    def test_normalized_entropy_degenerate(self):
+        assert normalized_entropy([]) == 0.0
+        assert normalized_entropy([3.0]) == 0.0
+        with pytest.raises(ValueError):
+            normalized_entropy([1.0, -1.0])
 
 
 class TestSweeps:

@@ -83,6 +83,42 @@ class TestEngine:
         assert outcome.delivery.path_length >= 1
 
 
+class TestDeliveryRecording:
+    def _system(self, **kwargs):
+        model = SystemModel(n_nodes=10, n_compromised=1)
+        return AnonymousCommunicationSystem(
+            model=model, protocol=FreedomProtocol(10), **kwargs
+        )
+
+    def test_default_retains_every_record(self):
+        system = self._system()
+        system.send_many(list(range(8)), rng=1)
+        assert len(system.deliveries) == 8
+        assert system.total_deliveries == 8
+        assert system.average_path_length() == 3.0
+
+    def test_bounded_window_keeps_only_recent_records(self):
+        system = self._system(max_recorded_deliveries=3)
+        system.send_many(list(range(8)), rng=1)
+        assert len(system.deliveries) == 3
+        assert system.total_deliveries == 8
+        # Freedom is fixed-length, so the window mean equals the global mean.
+        assert system.average_path_length() == 3.0
+        # The retained records are the most recent ones.
+        assert [d.sender for d in system.deliveries] == [5, 6, 7]
+
+    def test_recording_disabled_keeps_running_statistics(self):
+        system = self._system(record_deliveries=False)
+        system.send_many(list(range(8)), rng=1)
+        assert len(system.deliveries) == 0
+        assert system.total_deliveries == 8
+        assert system.average_path_length() == 3.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._system(max_recorded_deliveries=0)
+
+
 class TestStrategyMonteCarlo:
     def test_estimate_matches_closed_form(self):
         model = SystemModel(n_nodes=25, n_compromised=1)
