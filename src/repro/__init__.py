@@ -21,6 +21,7 @@ harnesses that regenerate every figure of the paper.
 from repro._version import __version__
 from repro.batch import (
     BatchMonteCarlo,
+    ShardedBackend,
     available_backends,
     estimate_anonymity,
     get_backend,
@@ -97,6 +98,7 @@ __all__ = [
     "ZipfLength",
     # Batch estimation backends
     "BatchMonteCarlo",
+    "ShardedBackend",
     "available_backends",
     "get_backend",
     "register_backend",

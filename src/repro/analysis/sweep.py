@@ -8,10 +8,13 @@ the CLI render as tables.
 
 Every sweep accepts a ``backend`` argument naming an estimator engine from
 :mod:`repro.batch.backends` (``"exact"`` — the default closed form, ``"event"``
-— hop-by-hop Monte-Carlo, ``"batch"`` — the vectorized columnar estimator), so
-figure reproductions can be re-run on the sampling fast path without touching
-the sweep logic.  Monte-Carlo backends draw one independent child stream per
-sweep point from ``rng``, so a fixed seed reproduces the whole sweep.
+— hop-by-hop Monte-Carlo, ``"batch"`` — the vectorized columnar estimator,
+``"sharded"`` — multiprocess batch kernels), so figure reproductions can be
+re-run on the sampling fast path without touching the sweep logic.
+Backend-specific options (e.g. ``{"workers": 8}`` for ``sharded``) pass
+through ``backend_options``.  Monte-Carlo backends draw one independent child
+stream per sweep point from ``rng``, so a fixed seed reproduces the whole
+sweep.
 """
 
 from __future__ import annotations
@@ -19,10 +22,12 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.batch.backends import estimate_anonymity
+from repro.batch.backends import get_backend
 from repro.core.anonymity import AnonymityAnalyzer
 from repro.core.model import AdversaryModel, SystemModel
 from repro.distributions import FixedLength, PathLengthDistribution, UniformLength
+from repro.exceptions import ConfigurationError
+from repro.routing.strategies import PathSelectionStrategy
 from repro.utils.rng import RandomSource, ensure_rng, spawn_child_rng
 
 __all__ = ["SweepSeries", "SweepResult", "fixed_length_sweep", "uniform_width_sweep", "uniform_mean_sweep", "adversary_model_sweep"]
@@ -33,24 +38,37 @@ def _degree_evaluator(
     backend: str,
     n_trials: int,
     rng: RandomSource,
+    backend_options: dict | None = None,
 ) -> Callable[[PathLengthDistribution], float]:
     """Build the per-distribution degree function for one sweep.
 
     The default ``"exact"`` backend keeps the historical behaviour (and cost)
     of calling the closed form directly; any other name is resolved through
-    the backend registry and evaluated with ``n_trials`` samples per point.
+    the backend registry and evaluated with ``n_trials`` samples per point,
+    with ``backend_options`` forwarded to the backend factory.
     """
     if backend == "exact":
+        if backend_options:
+            raise ConfigurationError(
+                f"backend_options {sorted(backend_options)} only apply to "
+                "sampling backends; the 'exact' backend takes none "
+                "(pass e.g. backend='sharded' to use workers/shards)"
+            )
         return AnonymityAnalyzer(model).anonymity_degree
     generator = ensure_rng(rng)
+    # Resolve the backend once per sweep so stateful engines (e.g. the
+    # sharded backend's worker pool) are reused across every sweep point.
+    engine = get_backend(backend, **(backend_options or {}))
 
     def evaluate(distribution: PathLengthDistribution) -> float:
-        report = estimate_anonymity(
+        strategy = PathSelectionStrategy(
+            name=distribution.name, distribution=distribution
+        )
+        report = engine.estimate(
             model,
-            distribution,
+            strategy,
             n_trials=n_trials,
             rng=spawn_child_rng(generator),
-            backend=backend,
         )
         return report.degree_bits
 
@@ -91,9 +109,10 @@ def fixed_length_sweep(
     backend: str = "exact",
     n_trials: int = 10_000,
     rng: RandomSource = None,
+    backend_options: dict | None = None,
 ) -> SweepResult:
     """Anonymity degree of ``F(l)`` for every ``l`` in ``lengths``."""
-    degree = _degree_evaluator(model, backend, n_trials, rng)
+    degree = _degree_evaluator(model, backend, n_trials, rng, backend_options)
     lengths = tuple(int(length) for length in lengths)
     values = tuple(degree(FixedLength(length)) for length in lengths)
     return SweepResult(
@@ -110,6 +129,7 @@ def uniform_width_sweep(
     backend: str = "exact",
     n_trials: int = 10_000,
     rng: RandomSource = None,
+    backend_options: dict | None = None,
 ) -> SweepResult:
     """Anonymity degree of ``U(a, a + w)`` for each lower bound ``a`` and width ``w``.
 
@@ -117,7 +137,7 @@ def uniform_width_sweep(
     curve over the shared width axis.  Widths that would exceed the longest
     feasible simple path are reported as ``nan`` so curves remain aligned.
     """
-    degree = _degree_evaluator(model, backend, n_trials, rng)
+    degree = _degree_evaluator(model, backend, n_trials, rng, backend_options)
     widths = tuple(int(w) for w in widths)
     series = []
     for low in lower_bounds:
@@ -144,6 +164,7 @@ def uniform_mean_sweep(
     backend: str = "exact",
     n_trials: int = 10_000,
     rng: RandomSource = None,
+    backend_options: dict | None = None,
 ) -> SweepResult:
     """Anonymity degree at equal expected length for fixed vs uniform strategies.
 
@@ -153,7 +174,7 @@ def uniform_mean_sweep(
     lower bound ``a``.  Combinations where the implied upper bound is
     infeasible or below the lower bound are reported as ``nan``.
     """
-    degree = _degree_evaluator(model, backend, n_trials, rng)
+    degree = _degree_evaluator(model, backend, n_trials, rng, backend_options)
     means = tuple(int(mean) for mean in means)
     series = []
     if include_fixed:
@@ -187,6 +208,7 @@ def adversary_model_sweep(
     backend: str = "exact",
     n_trials: int = 10_000,
     rng: RandomSource = None,
+    backend_options: dict | None = None,
 ) -> dict[str, float]:
     """Anonymity degree of one distribution under each adversary model."""
     models = lengths_or_models or list(AdversaryModel)
@@ -197,6 +219,6 @@ def adversary_model_sweep(
     for adversary in models:
         system = SystemModel(n_nodes=n_nodes, n_compromised=1, adversary=adversary)
         results[adversary.value] = _degree_evaluator(
-            system, backend, n_trials, generator
+            system, backend, n_trials, generator, backend_options
         )(distribution)
     return results

@@ -3,27 +3,44 @@
 This subpackage is the fast path of the reproduction: instead of pushing one
 message at a time through the discrete-event transport, it samples thousands
 of rerouting-path trials as **columnar arrays** (struct-of-arrays, ``array('q')``
-buffers), classifies every trial into the paper's five symmetric observation
-classes with array operations, and scores each class with the *exact* per-class
-posterior entropies of the closed form.  On the single-compromised-node domain
-the resulting estimator is statistically identical to the hop-by-hop
-:class:`~repro.simulation.experiment.StrategyMonteCarlo` at roughly two orders
-of magnitude more trials per second (see ``benchmarks/bench_batch.py``).
+buffers), classifies every trial into a symmetric observation class with array
+operations, and scores each class with an *exact* per-class posterior entropy.
+Two class systems cover the whole simple-path domain:
+
+* the paper's **five classes** for one compromised node with a compromised
+  receiver (scored by the closed form);
+* **arrangement classes** — ``(length, compromised-position-set)`` keys — for
+  any number of compromised nodes and honest receivers, scored through the
+  exact fragment-arrangement counts of :mod:`repro.combinatorics`.
+
+The resulting estimator is statistically identical to the hop-by-hop
+:class:`~repro.simulation.experiment.StrategyMonteCarlo` at roughly two to
+three orders of magnitude more trials per second (see
+``benchmarks/bench_batch.py``), and the ``sharded`` backend multiplies that
+across worker processes (``benchmarks/bench_sharded.py``).
 
 Layout
 ------
 :mod:`repro.batch.columns`
-    The columnar trial container (:class:`TrialColumns`).
+    The columnar trial containers (:class:`TrialColumns`,
+    :class:`MultiTrialColumns`).
 :mod:`repro.batch.sampler`
-    Bulk trial sampling (:class:`BatchTrialSampler`) on top of the inverse-CDF
-    batch sampler of :meth:`PathLengthDistribution.sample_batch`.
+    Bulk trial sampling (:class:`BatchTrialSampler`,
+    :class:`MultiTrialSampler`) on top of the inverse-CDF batch sampler of
+    :meth:`PathLengthDistribution.sample_batch`.
 :mod:`repro.batch.classify`
-    Array classification into :class:`~repro.core.events.EventClass` codes.
+    Array classification into the five :class:`~repro.core.events.EventClass`
+    codes (the ``C = 1`` engine).
+:mod:`repro.batch.multiclass`
+    Arrangement-class keys and their exact score table (the general engine).
 :mod:`repro.batch.estimator`
-    The drop-in estimator (:class:`BatchMonteCarlo`).
+    The drop-in estimator (:class:`BatchMonteCarlo`) and the mergeable
+    :class:`BatchAccumulator` it reduces to.
+:mod:`repro.batch.sharded`
+    The multiprocess ``sharded`` backend (:class:`ShardedBackend`).
 :mod:`repro.batch.backends`
-    The ``exact | event | batch`` backend registry used by sweeps, the
-    experiment registry, and the ``repro-anon batch`` CLI.
+    The ``exact | event | batch | sharded`` backend registry used by sweeps,
+    the experiment registry, and the ``repro-anon batch`` CLI.
 :mod:`repro.batch._accel`
     Feature-detected, never-required NumPy acceleration for the array kernels.
 """
@@ -39,23 +56,32 @@ from repro.batch.backends import (
     get_backend,
     register_backend,
 )
-from repro.batch.columns import ABSENT, TrialColumns
+from repro.batch.columns import ABSENT, MultiTrialColumns, TrialColumns
 from repro.batch.classify import class_counts, classify_columns
-from repro.batch.estimator import BatchMonteCarlo
-from repro.batch.sampler import BatchTrialSampler
+from repro.batch.estimator import BatchAccumulator, BatchMonteCarlo
+from repro.batch.multiclass import ClassScoreTable, count_class_keys
+from repro.batch.sampler import BatchTrialSampler, MultiTrialSampler
+from repro.batch.sharded import ShardedBackend, split_trials
 
 __all__ = [
     "HAVE_NUMPY",
     "ABSENT",
     "TrialColumns",
+    "MultiTrialColumns",
     "BatchTrialSampler",
+    "MultiTrialSampler",
     "classify_columns",
     "class_counts",
+    "count_class_keys",
+    "ClassScoreTable",
     "BatchMonteCarlo",
+    "BatchAccumulator",
     "EstimatorBackend",
     "ExactBackend",
     "EventBackend",
     "BatchBackend",
+    "ShardedBackend",
+    "split_trials",
     "available_backends",
     "get_backend",
     "register_backend",

@@ -12,17 +12,25 @@ Three engines can answer, with very different cost/coverage trade-offs:
 ``event``
     The hop-by-hop sampler :class:`repro.simulation.experiment.StrategyMonteCarlo`:
     one observation object and one exact Bayesian posterior per trial.  The
-    most general engine (any number of compromised nodes) and the slowest.
+    most general engine (any number of compromised nodes, cycle-free or not)
+    and the slowest.
 ``batch``
     The vectorized :class:`repro.batch.estimator.BatchMonteCarlo`: columnar
     trials, array classification, per-class entropies.  Statistically
-    identical to ``event`` on the single-compromised-node domain at a large
-    multiple of its throughput.
+    identical to ``event`` on simple paths — including ``C > 1`` and honest
+    receivers via the arrangement-class engine — at a large multiple of its
+    throughput.
+``sharded``
+    The multiprocess :class:`repro.batch.sharded.ShardedBackend`: ``batch``
+    kernels fanned out over worker processes, merged through per-class
+    accumulators.  Accepts ``workers=`` / ``shards=`` options.
 
 The registry makes the choice a string, so callers (``analysis.sweep``, the
 ``repro-anon batch`` CLI, the experiment registry) can switch engines without
-importing any of them, and downstream code can plug in new engines
-(sharded, multiprocess) with :func:`register_backend`.
+importing any of them, and downstream code can plug in new engines (remote,
+GPU, ...) with :func:`register_backend`.  Backend-specific constructor options
+(``workers``, ``use_numpy``, ...) flow through the ``**options`` of
+:func:`get_backend` / :func:`estimate_anonymity`.
 
 Every backend returns the same
 :class:`repro.simulation.experiment.MonteCarloReport`; the exact backend
@@ -145,7 +153,7 @@ class BatchBackend(EstimatorBackend):
 # Registry                                                                #
 # ---------------------------------------------------------------------- #
 
-_BACKENDS: dict[str, Callable[[], EstimatorBackend]] = {
+_BACKENDS: dict[str, Callable[..., EstimatorBackend]] = {
     ExactBackend.name: ExactBackend,
     EventBackend.name: EventBackend,
     BatchBackend.name: BatchBackend,
@@ -157,8 +165,14 @@ def available_backends() -> tuple[str, ...]:
     return tuple(_BACKENDS)
 
 
-def get_backend(name: str) -> EstimatorBackend:
-    """Instantiate the backend registered under ``name``."""
+def get_backend(name: str, **options) -> EstimatorBackend:
+    """Instantiate the backend registered under ``name``.
+
+    ``options`` are forwarded to the backend factory — e.g.
+    ``get_backend("sharded", workers=8)`` or
+    ``get_backend("batch", use_numpy=False)``.  Factories reject options they
+    do not understand with a ``TypeError``, exactly like any constructor.
+    """
     try:
         factory = _BACKENDS[name]
     except KeyError:
@@ -166,18 +180,22 @@ def get_backend(name: str) -> EstimatorBackend:
         raise ConfigurationError(
             f"unknown estimator backend {name!r}; registered backends: {known}"
         ) from None
-    return factory()
+    return factory(**options)
 
 
 def register_backend(
     name: str,
-    factory: Callable[[], EstimatorBackend],
+    factory: Callable[..., EstimatorBackend],
     overwrite: bool = False,
 ) -> None:
     """Register a new estimator backend under ``name``.
 
-    Downstream code uses this to plug sharded or multiprocess engines into
-    every sweep and CLI entry point without touching this package.
+    This is how new engines reach every sweep and CLI entry point without
+    touching call sites: the in-tree ``sharded`` backend registers itself this
+    way (see :mod:`repro.batch.sharded`), and downstream code can do the same
+    for remote or accelerator-specific engines.  ``factory`` must accept the
+    keyword options callers pass through :func:`get_backend` for that name and
+    return an :class:`EstimatorBackend`.
     """
     if name in _BACKENDS and not overwrite:
         raise ConfigurationError(
@@ -192,12 +210,17 @@ def estimate_anonymity(
     n_trials: int = 10_000,
     rng: RandomSource = None,
     backend: str = "batch",
+    **backend_options,
 ):
     """One-call estimation through a named backend.
 
     ``strategy`` may be a full :class:`PathSelectionStrategy` or a bare
     :class:`PathLengthDistribution` (wrapped into a simple-path strategy).
+    ``backend_options`` parameterise the backend itself, e.g.
+    ``backend="sharded", workers=8``.
     """
     if isinstance(strategy, PathLengthDistribution):
         strategy = PathSelectionStrategy(name=strategy.name, distribution=strategy)
-    return get_backend(backend).estimate(model, strategy, n_trials=n_trials, rng=rng)
+    return get_backend(backend, **backend_options).estimate(
+        model, strategy, n_trials=n_trials, rng=rng
+    )

@@ -1,8 +1,11 @@
-"""Columnar classification of trials into symmetric observation classes.
+"""Columnar classification of trials into the paper's five observation classes.
 
-The scalar rule lives in :func:`repro.core.events.classify_trial`; this module
-applies it to whole :class:`~repro.batch.columns.TrialColumns` batches at
-once, producing one small-integer code per trial (the encoding of
+This is the classifier of the ``C = 1`` engine (one compromised node, the
+paper's compromised receiver); the generalised ``(length, position-mask)``
+classifier for any ``C`` lives in :mod:`repro.batch.multiclass`.  The scalar
+rule lives in :func:`repro.core.events.classify_trial`; this module applies it
+to whole :class:`~repro.batch.columns.TrialColumns` batches at once, producing
+one small-integer code per trial (the encoding of
 :data:`repro.core.events.EVENT_ORDER`).  Two implementations share the same
 semantics and are tested against each other and against the scalar reference:
 

@@ -1,13 +1,22 @@
-"""Columnar trial storage for the vectorized Monte-Carlo estimator.
+"""Columnar trial storage for the vectorized Monte-Carlo estimators.
 
 The hop-by-hop engine represents every trial as a handful of Python objects
 (a message, per-hop reports, an observation).  The batch subsystem instead
-stores *thousands of trials as three parallel columns* of 64-bit integers:
+stores *thousands of trials as parallel columns* of 64-bit integers.  Two
+containers cover the two vectorized domains:
 
-* ``senders[i]`` — the uniformly drawn sender of trial ``i``;
-* ``lengths[i]`` — the rerouting path length ``L`` of trial ``i``;
-* ``positions[i]`` — the 1-based hop position of the compromised node on the
-  path, or :data:`ABSENT` (``0``) when it is not on the path.
+:class:`TrialColumns` (the ``C = 1`` five-class engine)
+    * ``senders[i]`` — the uniformly drawn sender of trial ``i``;
+    * ``lengths[i]`` — the rerouting path length ``L`` of trial ``i``;
+    * ``positions[i]`` — the 1-based hop position of the compromised node on
+      the path, or :data:`ABSENT` (``0``) when it is not on the path.
+
+:class:`MultiTrialColumns` (the ``C >= 0`` arrangement-class engine)
+    * ``senders[i]`` and ``lengths[i]`` as above;
+    * ``masks[i]`` — the *set* of 1-based hop positions occupied by
+      compromised nodes, packed as a bitmask (bit ``k`` set means position
+      ``k + 1`` is compromised).  A path touched by no compromised node has
+      mask ``0``.
 
 Columns are :class:`array.array` buffers with typecode ``'q'`` — contiguous,
 unboxed, and shareable with NumPy without copying (``numpy.frombuffer``), which
@@ -23,7 +32,7 @@ from dataclasses import dataclass
 from repro.batch._accel import numpy_or_none
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ABSENT", "TrialColumns", "int64_column"]
+__all__ = ["ABSENT", "TrialColumns", "MultiTrialColumns", "int64_column"]
 
 #: Sentinel stored in ``positions`` when the compromised node is off the path.
 #: Real hop positions are 1-based, so ``0`` can never collide with one.
@@ -38,6 +47,27 @@ def int64_column(values=()) -> array:
     return array(COLUMN_TYPECODE, values)
 
 
+def _check_equal_lengths(**named_columns: array) -> None:
+    """Raise unless every named column stores the same number of trials."""
+    sizes = {name: len(column) for name, column in named_columns.items()}
+    if len(set(sizes.values())) > 1:
+        described = ", ".join(f"{name}={size}" for name, size in sizes.items())
+        raise ConfigurationError(
+            f"trial columns must have equal lengths, got {described}"
+        )
+
+
+def _numpy_views(*columns: array):
+    """Zero-copy int64 NumPy views of the given columns (requires numpy)."""
+    np = numpy_or_none()
+    if np is None:
+        raise ConfigurationError(
+            "numpy views of trial columns require numpy; use the pure-Python "
+            "column iteration path instead"
+        )
+    return tuple(np.frombuffer(column, dtype=np.int64) for column in columns)
+
+
 @dataclass(frozen=True)
 class TrialColumns:
     """A batch of Monte-Carlo trials in structure-of-arrays layout."""
@@ -47,13 +77,9 @@ class TrialColumns:
     positions: array
 
     def __post_init__(self) -> None:
-        n = len(self.senders)
-        if len(self.lengths) != n or len(self.positions) != n:
-            raise ConfigurationError(
-                "trial columns must have equal lengths, got "
-                f"senders={len(self.senders)}, lengths={len(self.lengths)}, "
-                f"positions={len(self.positions)}"
-            )
+        _check_equal_lengths(
+            senders=self.senders, lengths=self.lengths, positions=self.positions
+        )
 
     def __len__(self) -> int:
         return len(self.senders)
@@ -63,12 +89,6 @@ class TrialColumns:
         """Number of trials stored in the batch."""
         return len(self.senders)
 
-    def mean_length(self) -> float:
-        """Mean sampled path length over the batch (0.0 for an empty batch)."""
-        if not self.lengths:
-            return 0.0
-        return sum(self.lengths) / len(self.lengths)
-
     def as_numpy(self):
         """Zero-copy NumPy views ``(senders, lengths, positions)`` of the columns.
 
@@ -76,17 +96,7 @@ class TrialColumns:
         available; callers on the pure-Python path iterate the columns
         directly instead.
         """
-        np = numpy_or_none()
-        if np is None:
-            raise ConfigurationError(
-                "TrialColumns.as_numpy requires numpy; use the pure-Python "
-                "column iteration path instead"
-            )
-        return (
-            np.frombuffer(self.senders, dtype=np.int64),
-            np.frombuffer(self.lengths, dtype=np.int64),
-            np.frombuffer(self.positions, dtype=np.int64),
-        )
+        return _numpy_views(self.senders, self.lengths, self.positions)
 
     def row(self, index: int) -> tuple[int, int, int | None]:
         """One trial as ``(sender, length, position-or-None)`` (debug/test aid)."""
@@ -95,4 +105,46 @@ class TrialColumns:
             self.senders[index],
             self.lengths[index],
             None if position == ABSENT else position,
+        )
+
+
+@dataclass(frozen=True)
+class MultiTrialColumns:
+    """A batch of multi-compromised-node trials in structure-of-arrays layout.
+
+    ``masks[i]`` packs the set of 1-based hop positions occupied by compromised
+    nodes on trial ``i``'s path into one int64 bitmask (bit ``k`` set means a
+    compromised node sits at position ``k + 1``).  Which *identity* occupies
+    which position is deliberately not stored: by the relabelling symmetry of
+    uniform simple-path selection, the adversary's posterior entropy depends
+    only on the path length and the position set (plus whether the sender
+    itself is compromised), so the bitmask is a sufficient statistic.
+    """
+
+    senders: array
+    lengths: array
+    masks: array
+
+    def __post_init__(self) -> None:
+        _check_equal_lengths(
+            senders=self.senders, lengths=self.lengths, masks=self.masks
+        )
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials stored in the batch."""
+        return len(self.senders)
+
+    def as_numpy(self):
+        """Zero-copy NumPy views ``(senders, lengths, masks)`` of the columns."""
+        return _numpy_views(self.senders, self.lengths, self.masks)
+
+    def positions(self, index: int) -> tuple[int, ...]:
+        """Decoded 1-based compromised positions of one trial (debug/test aid)."""
+        mask = self.masks[index]
+        return tuple(
+            bit + 1 for bit in range(self.lengths[index]) if mask >> bit & 1
         )

@@ -1,46 +1,143 @@
 """The vectorized Monte-Carlo anonymity estimator.
 
 :class:`BatchMonteCarlo` is a drop-in, statistically identical replacement for
-:class:`repro.simulation.experiment.StrategyMonteCarlo` on the paper's
-single-compromised-node domain.  Where the hop-by-hop estimator builds one
-message, one observation, and one exact Bayesian posterior per trial, the
-batch estimator exploits the symmetry result of the paper: the posterior
-entropy of a trial depends *only* on which of the five observation classes the
-trial falls into.  One run therefore decomposes into three columnar passes:
+:class:`repro.simulation.experiment.StrategyMonteCarlo` on simple paths.
+Where the hop-by-hop estimator builds one message, one observation, and one
+exact Bayesian posterior per trial, the batch estimator exploits the symmetry
+result of the paper: the posterior entropy of a trial depends *only* on which
+symmetric observation class the trial falls into.  One run therefore
+decomposes into three columnar passes:
 
 1. **sample** — draw senders, path lengths (inverse-CDF bulk sampler), and the
-   compromised node's position as parallel int64 columns
-   (:class:`~repro.batch.sampler.BatchTrialSampler`);
-2. **classify** — map every trial to its observation class with array ops
-   (:func:`~repro.batch.classify.classify_columns`);
+   compromised hop positions as parallel int64 columns
+   (:class:`~repro.batch.sampler.BatchTrialSampler` /
+   :class:`~repro.batch.sampler.MultiTrialSampler`);
+2. **classify** — map every trial to its observation class with array ops.
+   On the paper's core domain (one compromised node, compromised receiver)
+   the classes are the five of :data:`repro.core.events.EVENT_ORDER`
+   (:func:`~repro.batch.classify.classify_columns`); on the general domain
+   (any ``C``, honest receiver allowed) they are ``(length, position-mask)``
+   keys (:func:`~repro.batch.multiclass.count_class_keys`);
 3. **score** — gather each trial's posterior entropy from the *exact*
-   per-class entropies computed once by
-   :class:`repro.core.anonymity.AnonymityAnalyzer`, and summarise.
+   per-class entropies, computed once per class by
+   :class:`repro.core.anonymity.AnonymityAnalyzer` (five-class domain) or by
+   :class:`~repro.batch.multiclass.ClassScoreTable` over the closed-form
+   arrangement counts of :mod:`repro.combinatorics` (general domain).
 
-Because step 3 reuses the closed-form per-class entropies, the per-trial
-entropy samples follow exactly the same law as the hop-by-hop estimator's —
-same mean, same variance, same confidence intervals in distribution — at a
-fraction of the interpreter cost (no per-trial objects, no per-hop loops).
-The estimator returns the same :class:`~repro.simulation.experiment.MonteCarloReport`.
+Because step 3 reuses exact per-class entropies, the per-trial entropy samples
+follow exactly the same law as the hop-by-hop estimator's — same mean, same
+variance, same confidence intervals in distribution — at a fraction of the
+interpreter cost (no per-trial objects, no per-hop loops).
+
+Runs reduce to a :class:`BatchAccumulator` — per-class counts plus a length
+sum — before becoming a :class:`~repro.simulation.experiment.MonteCarloReport`.
+The accumulator is the unit the ``sharded`` multiprocess backend ships between
+processes: shards merge by summing counts, never by pickling per-trial data.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.batch._accel import resolve_use_numpy
 from repro.batch.classify import class_counts, classify_columns
-from repro.batch.sampler import BatchTrialSampler
+from repro.batch.multiclass import ClassScoreTable, count_class_keys
+from repro.batch.sampler import BatchTrialSampler, MultiTrialSampler
 from repro.core.anonymity import AnonymityAnalyzer
 from repro.core.events import EVENT_ORDER
 from repro.core.model import PathModel, SystemModel
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
 from repro.routing.strategies import PathSelectionStrategy
-from repro.simulation.results import IDENTIFIED_THRESHOLD, summarize_samples
+from repro.simulation.results import IDENTIFIED_THRESHOLD, EstimateWithCI
 from repro.utils.rng import RandomSource, ensure_rng
 
-__all__ = ["BatchMonteCarlo"]
+__all__ = ["BatchMonteCarlo", "BatchAccumulator"]
+
+#: Relative tolerance when merging per-class entropies across shards; scores
+#: are deterministic functions of the class, so any real disagreement means
+#: the shards were configured inconsistently.
+_MERGE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class BatchAccumulator:
+    """Sufficient statistics of one batch run: per-class counts plus totals.
+
+    ``classes`` maps an opaque, hashable class key to
+    ``(count, entropy_bits, identified)``.  Because every trial of a class has
+    the same exact posterior entropy, these counts — together with the summed
+    path lengths — determine the full Monte-Carlo report: mean, sample
+    variance, confidence interval, and identification rate.  Accumulators are
+    tiny (a few dozen classes), picklable, and merge by summation, which is
+    what the ``sharded`` backend ships across process boundaries instead of
+    per-trial columns.
+    """
+
+    n_trials: int
+    length_sum: int
+    classes: dict[object, tuple[int, float, bool]]
+
+    @staticmethod
+    def merge(parts: "list[BatchAccumulator]") -> "BatchAccumulator":
+        """Sum accumulators from independent shards into one."""
+        if not parts:
+            raise ConfigurationError("cannot merge zero batch accumulators")
+        classes: dict[object, tuple[int, float, bool]] = {}
+        n_trials = 0
+        length_sum = 0
+        for part in parts:
+            n_trials += part.n_trials
+            length_sum += part.length_sum
+            for key, (count, entropy, identified) in part.classes.items():
+                existing = classes.get(key)
+                if existing is None:
+                    classes[key] = (count, entropy, identified)
+                    continue
+                if not math.isclose(existing[1], entropy, rel_tol=_MERGE_RTOL):
+                    raise ConfigurationError(
+                        f"shard accumulators disagree on the entropy of class "
+                        f"{key!r} ({existing[1]!r} vs {entropy!r}); shards must "
+                        "share one model/strategy configuration"
+                    )
+                classes[key] = (existing[0] + count, existing[1], existing[2])
+        return BatchAccumulator(
+            n_trials=n_trials, length_sum=length_sum, classes=classes
+        )
+
+    def report(self, model: SystemModel, distribution_name: str):
+        """Summarise into a :class:`~repro.simulation.experiment.MonteCarloReport`.
+
+        Per-trial entropy samples within a class are identical, so the sample
+        mean and (ddof=1) variance are computed exactly from the grouped
+        counts; keys are folded in sorted order so the result is independent
+        of dictionary insertion order.
+        """
+        from repro.simulation.experiment import MonteCarloReport
+
+        n = self.n_trials
+        if n < 1:
+            raise ConfigurationError("cannot report on an empty accumulator")
+        ordered = [self.classes[key] for key in sorted(self.classes, key=repr)]
+        mean = sum(count * entropy for count, entropy, _ in ordered) / n
+        if n == 1:
+            std_error = math.inf
+        else:
+            variance = (
+                sum(count * (entropy - mean) ** 2 for count, entropy, _ in ordered)
+                / (n - 1)
+            )
+            std_error = math.sqrt(variance / n)
+        identified = sum(count for count, _, flag in ordered if flag)
+        return MonteCarloReport(
+            estimate=EstimateWithCI(mean=mean, std_error=std_error, n_samples=n),
+            n_trials=n,
+            distribution=distribution_name,
+            model=model,
+            mean_path_length=self.length_sum / n,
+            identification_rate=identified / n,
+        )
 
 
 @dataclass
@@ -48,9 +145,17 @@ class BatchMonteCarlo:
     """Vectorized estimator of ``H*(S)`` for a path-selection strategy.
 
     Constructor-compatible with
-    :class:`~repro.simulation.experiment.StrategyMonteCarlo`; restricted to the
-    closed form's domain (one compromised node, simple paths, compromised
-    receiver), which is exactly where the per-class symmetry holds.
+    :class:`~repro.simulation.experiment.StrategyMonteCarlo`.  Simple paths
+    only; within that, two columnar engines cover the full domain:
+
+    * one compromised node with the paper's compromised receiver runs on the
+      five-class engine (the closed form's symmetry classes);
+    * any other ``C >= 0`` — including an honest receiver — runs on the
+      ``(length, position-mask)`` arrangement-class engine, whose per-class
+      entropies come from the exact fragment-arrangement counts in
+      :mod:`repro.combinatorics`.
+
+    Both engines sample only observations; posteriors are always exact.
     """
 
     model: SystemModel
@@ -59,32 +164,38 @@ class BatchMonteCarlo:
     #: Tri-state NumPy toggle, see :mod:`repro.batch._accel`.
     use_numpy: bool | None = None
 
-    _sampler: BatchTrialSampler = field(init=False, repr=False)
-    _entropy_by_code: tuple[float, ...] = field(init=False, repr=False)
-    _identified_codes: frozenset[int] = field(init=False, repr=False)
+    _sampler: BatchTrialSampler | None = field(init=False, repr=False, default=None)
+    _multi_sampler: MultiTrialSampler | None = field(
+        init=False, repr=False, default=None
+    )
+    _score_table: ClassScoreTable | None = field(init=False, repr=False, default=None)
+    _entropy_by_code: tuple[float, ...] = field(init=False, repr=False, default=())
+    _identified_codes: frozenset[int] = field(
+        init=False, repr=False, default=frozenset()
+    )
 
     def __post_init__(self) -> None:
         if self.compromised is None:
             self.compromised = self.model.compromised_nodes()
         self.compromised = frozenset(self.compromised)
-        if len(self.compromised) != 1:
-            raise ConfigurationError(
-                "BatchMonteCarlo vectorizes the single-compromised-node symmetry "
-                f"classes; got {len(self.compromised)} compromised nodes.  Use "
-                "StrategyMonteCarlo (the 'event' backend) for other cases."
-            )
         if self.strategy.path_model is not PathModel.SIMPLE:
             raise ConfigurationError(
                 "BatchMonteCarlo requires simple paths; cycle-path strategies "
                 "need the hop-by-hop machinery."
             )
-        if not self.model.receiver_compromised:
+        if any(not 0 <= node < self.model.n_nodes for node in self.compromised):
             raise ConfigurationError(
-                "BatchMonteCarlo assumes the paper's compromised receiver; use "
-                "StrategyMonteCarlo for honest-receiver sensitivity studies."
+                "compromised node identities must lie in [0, N)"
             )
-        (self._compromised_node,) = self.compromised
         self._distribution = self.strategy.effective_distribution(self.model.n_nodes)
+        if len(self.compromised) == 1 and self.model.receiver_compromised:
+            self._init_five_class_engine()
+        else:
+            self._init_arrangement_engine()
+
+    def _init_five_class_engine(self) -> None:
+        """The paper's core domain: five symmetric classes, one closed form."""
+        (self._compromised_node,) = self.compromised
         self._sampler = BatchTrialSampler(
             n_nodes=self.model.n_nodes,
             distribution=self._distribution,
@@ -105,6 +216,19 @@ class BatchMonteCarlo:
         self._entropy_by_code = tuple(entropies)
         self._identified_codes = frozenset(identified)
 
+    def _init_arrangement_engine(self) -> None:
+        """The general domain: ``(length, position-mask)`` classes."""
+        self._multi_sampler = MultiTrialSampler(
+            n_nodes=self.model.n_nodes,
+            distribution=self._distribution,
+            n_compromised=len(self.compromised),
+        )
+        self._score_table = ClassScoreTable(
+            model=self.model.with_compromised(len(self.compromised)),
+            distribution=self._distribution,
+            compromised=self.compromised,
+        )
+
     # ------------------------------------------------------------------ #
     # Estimation                                                          #
     # ------------------------------------------------------------------ #
@@ -116,11 +240,26 @@ class BatchMonteCarlo:
 
     def run(self, n_trials: int, rng: RandomSource = None):
         """Run ``n_trials`` vectorized trials and return a ``MonteCarloReport``."""
-        from repro.simulation.experiment import MonteCarloReport
+        accumulator = self.run_accumulate(n_trials, rng=rng)
+        return accumulator.report(self.model, self._distribution.name)
 
+    def run_accumulate(
+        self, n_trials: int, rng: RandomSource = None
+    ) -> BatchAccumulator:
+        """Run ``n_trials`` vectorized trials and return the raw accumulator.
+
+        This is the shard-sized unit of work of the ``sharded`` backend: the
+        returned accumulator is a columnar reduction (per-class counts plus a
+        length sum), cheap to pickle and mergeable by summation.
+        """
         if n_trials < 1:
             raise ConfigurationError("n_trials must be >= 1")
         generator = ensure_rng(rng)
+        if self._sampler is not None:
+            return self._accumulate_five_class(n_trials, generator)
+        return self._accumulate_arrangement(n_trials, generator)
+
+    def _accumulate_five_class(self, n_trials: int, generator) -> BatchAccumulator:
         columns = self._sampler.draw(n_trials, generator, use_numpy=self.use_numpy)
         codes = classify_columns(
             columns,
@@ -128,31 +267,48 @@ class BatchMonteCarlo:
             adversary=self.model.adversary,
             use_numpy=self.use_numpy,
         )
-        lut = self._entropy_by_code
         if resolve_use_numpy(self.use_numpy):
             import numpy as np
 
             codes_np = np.frombuffer(codes, dtype=np.int8)
-            entropies = np.asarray(lut, dtype=float)[codes_np]
             histogram = np.bincount(codes_np, minlength=len(EVENT_ORDER))
             counts = {
                 cls: int(histogram[code]) for code, cls in enumerate(EVENT_ORDER)
             }
-            mean_length = float(columns.as_numpy()[1].mean())
+            length_sum = int(columns.as_numpy()[1].sum())
         else:
-            entropies = [lut[code] for code in codes]
             counts = class_counts(codes)
-            mean_length = columns.mean_length()
-        identified = sum(
-            counts[EVENT_ORDER[code]] for code in self._identified_codes
+            length_sum = sum(columns.lengths)
+        classes = {
+            code: (
+                counts[cls],
+                self._entropy_by_code[code],
+                code in self._identified_codes,
+            )
+            for code, cls in enumerate(EVENT_ORDER)
+            if counts[cls]
+        }
+        return BatchAccumulator(
+            n_trials=n_trials, length_sum=length_sum, classes=classes
         )
-        return MonteCarloReport(
-            estimate=summarize_samples(entropies),
-            n_trials=n_trials,
-            distribution=self._distribution.name,
-            model=self.model,
-            mean_path_length=mean_length,
-            identification_rate=identified / n_trials,
+
+    def _accumulate_arrangement(self, n_trials: int, generator) -> BatchAccumulator:
+        columns = self._multi_sampler.draw(
+            n_trials, generator, use_numpy=self.use_numpy
+        )
+        keyed = count_class_keys(
+            columns, self.compromised, use_numpy=self.use_numpy
+        )
+        if resolve_use_numpy(self.use_numpy):
+            length_sum = int(columns.as_numpy()[1].sum())
+        else:
+            length_sum = sum(columns.lengths)
+        classes = {}
+        for key, count in keyed.items():
+            score = self._score_table.score(key)
+            classes[key] = (count, score.entropy_bits, score.identified)
+        return BatchAccumulator(
+            n_trials=n_trials, length_sum=length_sum, classes=classes
         )
 
     # ------------------------------------------------------------------ #

@@ -17,10 +17,19 @@ sampler draws all three *in bulk*:
   reproduces the exact joint law of the hop-by-hop path builder — without
   materialising any of the other ``l - 1`` node identities.
 
-Exactly three bulk draws are consumed from the generator per batch
-(senders, length uniforms, slots), in a fixed order, so results are
-deterministic under a fixed seed no matter which post-processing path
-(pure-Python or NumPy) consumes the columns afterwards.
+:class:`MultiTrialSampler` generalises the slot trick to ``C >= 0``
+compromised nodes: extend the rerouting path to a uniformly random
+permutation of all ``N - 1`` non-sender nodes (the first ``l`` entries *are*
+the path), and the compromised nodes occupy ``C`` distinct, uniformly random
+slots of that permutation.  Drawing ``C`` distinct slots — via the classic
+"draw ``r_j ∈ {0 .. N-2-j}`` and map to the ``r_j``-th untaken slot" decode —
+and keeping those ``< l`` reproduces the exact joint law of the compromised
+*position set*, again without materialising any honest node identity.
+
+A fixed number of bulk draws is consumed from the generator per batch
+(senders, length uniforms, then one slot column per compromised node), in a
+fixed order, so results are deterministic under a fixed seed no matter which
+post-processing path (pure-Python or NumPy) consumes the columns afterwards.
 """
 
 from __future__ import annotations
@@ -28,12 +37,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.batch._accel import resolve_use_numpy
-from repro.batch.columns import ABSENT, TrialColumns, int64_column
+from repro.batch.columns import (
+    ABSENT,
+    MultiTrialColumns,
+    TrialColumns,
+    int64_column,
+)
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import RandomSource, ensure_rng
 
-__all__ = ["BatchTrialSampler"]
+__all__ = ["BatchTrialSampler", "MultiTrialSampler", "MAX_MASK_LENGTH"]
+
+#: Longest path representable in a position bitmask (int64, one bit of
+#: headroom).  Systems whose effective distribution exceeds this need the
+#: hop-by-hop ``event`` engine.
+MAX_MASK_LENGTH = 62
 
 
 @dataclass(frozen=True)
@@ -110,3 +129,135 @@ class BatchTrialSampler:
                 for slot, length in zip((int(s) for s in slots_raw), lengths)
             )
         return TrialColumns(senders=senders, lengths=lengths, positions=positions)
+
+
+@dataclass(frozen=True)
+class MultiTrialSampler:
+    """Draws batches of ``(sender, length, position-set)`` trial columns.
+
+    The multi-compromised generalisation of :class:`BatchTrialSampler`: instead
+    of one hop position, every trial carries the *bitmask* of 1-based hop
+    positions occupied by any of the ``C`` compromised nodes (see
+    :class:`~repro.batch.columns.MultiTrialColumns`).  The masks are drawn from
+    the exact joint law of uniform simple-path selection conditioned on an
+    honest sender; trials whose sender is compromised ignore the mask (the
+    adversary observes the origination directly).
+
+    Parameters
+    ----------
+    n_nodes:
+        System size ``N``.
+    distribution:
+        Path-length distribution to sample from; must be feasible for simple
+        paths *and* fit the position bitmask (``max_length <= 62``).
+    n_compromised:
+        Number of compromised nodes ``C`` (``0 <= C <= N``).  Identities are
+        irrelevant here — the position-set law is the same for any fixed set
+        of ``C`` non-sender nodes.
+    """
+
+    n_nodes: int
+    distribution: PathLengthDistribution
+    n_compromised: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ConfigurationError(
+                f"batch sampling needs at least 2 nodes, got n_nodes={self.n_nodes}"
+            )
+        if not 0 <= self.n_compromised <= self.n_nodes:
+            raise ConfigurationError(
+                f"n_compromised {self.n_compromised} outside [0, {self.n_nodes}]"
+            )
+        if self.distribution.max_length > self.n_nodes - 1:
+            raise ConfigurationError(
+                f"distribution {self.distribution.name} reaches length "
+                f"{self.distribution.max_length}, infeasible for simple paths on "
+                f"{self.n_nodes} nodes; truncate it first"
+            )
+        if self.distribution.max_length > MAX_MASK_LENGTH:
+            raise ConfigurationError(
+                f"distribution {self.distribution.name} reaches length "
+                f"{self.distribution.max_length}, beyond the {MAX_MASK_LENGTH}-hop "
+                "position bitmask; use the hop-by-hop 'event' engine"
+            )
+
+    @property
+    def _n_slot_columns(self) -> int:
+        # With C == N there is no honest sender, so masks are never consulted
+        # (and C distinct slots would not fit in the N - 1 slot range anyway).
+        return self.n_compromised if self.n_compromised < self.n_nodes else 0
+
+    def draw(
+        self,
+        n_trials: int,
+        rng: RandomSource = None,
+        use_numpy: bool | None = None,
+    ) -> MultiTrialColumns:
+        """Sample ``n_trials`` trials as one columnar batch."""
+        if n_trials < 1:
+            raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
+        generator = ensure_rng(rng)
+        accelerate = resolve_use_numpy(use_numpy)
+
+        senders_raw = generator.integers(0, self.n_nodes, size=n_trials)
+        lengths = self.distribution.sample_batch(n_trials, generator)
+        # One bulk column per compromised node: r_j is uniform over the
+        # N-1-j slots still untaken, decoded below to the r_j-th free slot.
+        raw_columns = [
+            generator.integers(0, self.n_nodes - 1 - j, size=n_trials)
+            for j in range(self._n_slot_columns)
+        ]
+
+        if accelerate:
+            return self._decode_numpy(senders_raw, lengths, raw_columns, n_trials)
+        return self._decode_pure(senders_raw, lengths, raw_columns, n_trials)
+
+    # ------------------------------------------------------------------ #
+    # Slot decoding kernels (same semantics, tested against each other)   #
+    # ------------------------------------------------------------------ #
+
+    def _decode_pure(self, senders_raw, lengths, raw_columns, n_trials):
+        masks = int64_column(bytes(8 * n_trials))
+        if raw_columns:
+            for i, (length, raws) in enumerate(
+                zip(lengths, zip(*(column.tolist() for column in raw_columns)))
+            ):
+                taken: list[int] = []
+                mask = 0
+                for raw in raws:
+                    slot = raw
+                    for occupied in sorted(taken):
+                        if slot >= occupied:
+                            slot += 1
+                    taken.append(slot)
+                    if slot < length:
+                        mask |= 1 << slot
+                masks[i] = mask
+        senders = int64_column(int(s) for s in senders_raw)
+        return MultiTrialColumns(senders=senders, lengths=lengths, masks=masks)
+
+    def _decode_numpy(self, senders_raw, lengths, raw_columns, n_trials):
+        import numpy as np
+
+        lengths_np = np.frombuffer(lengths, dtype=np.int64)
+        masks_np = np.zeros(n_trials, dtype=np.int64)
+        slots = np.empty((len(raw_columns), n_trials), dtype=np.int64)
+        for j, raw in enumerate(raw_columns):
+            values = raw.astype(np.int64)
+            if j:
+                # Shift past already-taken slots in ascending order — the
+                # vectorized twin of the pure kernel's insertion walk.
+                occupied = np.sort(slots[:j], axis=0)
+                for k in range(j):
+                    values += values >= occupied[k]
+            slots[j] = values
+            on_path = values < lengths_np
+            masks_np |= np.where(
+                on_path, np.int64(1) << np.minimum(values, MAX_MASK_LENGTH), 0
+            )
+        senders = int64_column()
+        senders.frombytes(senders_raw.astype(np.int64).tobytes())
+        masks = int64_column()
+        masks.frombytes(masks_np.tobytes())
+        return MultiTrialColumns(senders=senders, lengths=lengths, masks=masks)

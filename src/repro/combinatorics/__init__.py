@@ -13,9 +13,19 @@ that counting machinery:
 * :mod:`repro.combinatorics.arrangements` counts the simple paths of a given
   length that embed those fragments as blocks, which is exactly the likelihood
   numerator needed by :class:`repro.adversary.inference.BayesianPathInference`.
+
+Two estimation engines stand on this substrate: the hop-by-hop ``event``
+engine prices every sampled observation individually, and the vectorized
+multi-compromised batch engine (:mod:`repro.batch.multiclass`) prices each
+symmetric ``(length, position-set)`` observation class exactly once through
+the same counts.
 """
 
-from repro.combinatorics.arrangements import ArrangementProblem, count_arrangements
+from repro.combinatorics.arrangements import (
+    ArrangementProblem,
+    count_arrangements,
+    total_paths,
+)
 from repro.combinatorics.fragments import Fragment, FragmentSet
 
 __all__ = [
@@ -23,4 +33,5 @@ __all__ = [
     "FragmentSet",
     "ArrangementProblem",
     "count_arrangements",
+    "total_paths",
 ]

@@ -28,6 +28,12 @@ anchored blocks (a stars-and-bars count) and fill them with distinct nodes
 from the free pool (a falling factorial).  Both factors are exact integers, so
 likelihood ratios computed from them are exact up to the final floating-point
 division.
+
+Consumers: :class:`repro.adversary.inference.BayesianPathInference` evaluates
+these counts per observation (the ``event`` engine), and the vectorized batch
+classifier for ``C > 1`` (:mod:`repro.batch.multiclass`) evaluates them once
+per symmetric ``(length, compromised-position-set)`` class and amortises the
+result over every trial in the class.
 """
 
 from __future__ import annotations

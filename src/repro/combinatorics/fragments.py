@@ -23,8 +23,10 @@ this knowledge:
   *not* on the path).
 
 Fragments deal purely in node identities (integers); they are produced from
-raw observations by :mod:`repro.adversary.observation` and consumed by the
-arrangement counter in :mod:`repro.combinatorics.arrangements`.
+raw observations by :mod:`repro.adversary.observation` — including the
+canonical class representatives the multi-compromised batch engine scores in
+:mod:`repro.batch.multiclass` — and consumed by the arrangement counter in
+:mod:`repro.combinatorics.arrangements`.
 """
 
 from __future__ import annotations

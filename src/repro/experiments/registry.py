@@ -16,6 +16,7 @@ from repro.experiments.extensions import (
     compromised_sweep,
     predecessor_attack_rounds,
     protocol_comparison,
+    sharded_validation,
     simulation_validation,
 )
 from repro.experiments.fig3 import figure3a, figure3b
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentData]] = {
     "ext-sim": simulation_validation,
     "ext-pred": predecessor_attack_rounds,
     "ext-batch": batch_validation,
+    "ext-shard": sharded_validation,
 }
 
 

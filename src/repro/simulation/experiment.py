@@ -131,20 +131,24 @@ def monte_carlo_with_backend(
     n_trials: int,
     rng: RandomSource = None,
     backend: str = "event",
+    **backend_options,
 ) -> MonteCarloReport:
     """Run one strategy-level Monte-Carlo estimate through a named backend.
 
     ``backend`` selects the estimation engine from the registry in
     :mod:`repro.batch.backends`: ``"event"`` (the default) is the hop-by-hop
     :class:`StrategyMonteCarlo` above, ``"batch"`` is the vectorized columnar
-    estimator, and ``"exact"`` short-circuits to the closed form.  The import
-    is deferred because the batch subsystem itself builds on this module's
-    report type.
+    estimator, ``"sharded"`` fans batch kernels across worker processes, and
+    ``"exact"`` short-circuits to the closed form.  ``backend_options`` are
+    forwarded to the backend factory (e.g. ``workers=8`` for ``sharded``).
+    The import is deferred because the batch subsystem itself builds on this
+    module's report type.
     """
     from repro.batch.backends import estimate_anonymity
 
     return estimate_anonymity(
-        model, strategy, n_trials=n_trials, rng=rng, backend=backend
+        model, strategy, n_trials=n_trials, rng=rng, backend=backend,
+        **backend_options,
     )
 
 

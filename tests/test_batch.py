@@ -275,14 +275,6 @@ class TestBatchEstimatorParity:
         assert report.estimate.contains(exact)
 
     def test_domain_restrictions_are_enforced(self):
-        multi = SystemModel(n_nodes=10, n_compromised=2)
-        with pytest.raises(ConfigurationError, match="single-compromised-node"):
-            BatchMonteCarlo.from_distribution(multi, FixedLength(3))
-        honest_receiver = SystemModel(
-            n_nodes=10, n_compromised=1, receiver_compromised=False
-        )
-        with pytest.raises(ConfigurationError, match="receiver"):
-            BatchMonteCarlo.from_distribution(honest_receiver, FixedLength(3))
         cycle_strategy = PathSelectionStrategy(
             "cycles", FixedLength(3), path_model=PathModel.CYCLE_ALLOWED
         )
@@ -293,6 +285,28 @@ class TestBatchEstimatorParity:
         )
         with pytest.raises(ConfigurationError):
             estimator.run(0)
+        bad_compromised = SystemModel(n_nodes=10, n_compromised=1)
+        with pytest.raises(ConfigurationError, match=r"\[0, N\)"):
+            BatchMonteCarlo(
+                bad_compromised,
+                PathSelectionStrategy("F(3)", FixedLength(3)),
+                compromised=frozenset({10}),
+            )
+
+    def test_formerly_restricted_domains_now_run(self):
+        """C != 1 and honest receivers route onto the arrangement-class engine."""
+        multi = SystemModel(n_nodes=10, n_compromised=2)
+        report = BatchMonteCarlo.from_distribution(multi, FixedLength(3)).run(
+            2_000, rng=1
+        )
+        assert 0.0 < report.degree_bits < math.log2(10)
+        honest_receiver = SystemModel(
+            n_nodes=10, n_compromised=1, receiver_compromised=False
+        )
+        report = BatchMonteCarlo.from_distribution(
+            honest_receiver, FixedLength(3)
+        ).run(2_000, rng=1)
+        assert 0.0 < report.degree_bits <= math.log2(10)
 
 
 class TestBackends:

@@ -1,0 +1,285 @@
+"""Tests for the sharded multiprocess backend (``repro.batch.sharded``).
+
+The load-bearing properties:
+
+* the shard plan is a pure function of ``(seed, shards)``: chunk sizes are
+  balanced and positive, sub-seeds reproduce, and the merged report is
+  bit-identical run to run;
+* the worker *count* never changes results — it only sizes the pool — so a
+  spawn-backed pool reproduces the inline (``workers=1``) report exactly;
+* merged estimates keep the statistical contract of the single-process batch
+  engine on both the C=1 closed-form domain and the C>1 exhaustive domain;
+* the backend is reachable everywhere backends are: the registry, sweeps,
+  ``monte_carlo_with_backend``, the ``ext-shard`` experiment, and the
+  ``repro-anon batch --backend sharded`` CLI round-trip.
+
+The spawn pool is exercised once (it costs ~a second of interpreter start-up
+per worker); every other property is checked through the inline path, which
+runs the identical shard code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import fixed_length_sweep
+from repro.batch import (
+    BatchAccumulator,
+    ShardedBackend,
+    estimate_anonymity,
+    get_backend,
+    split_trials,
+)
+from repro.cli import main
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.enumeration import ExhaustiveAnalyzer
+from repro.core.model import SystemModel
+from repro.distributions import FixedLength, UniformLength
+from repro.exceptions import ConfigurationError
+from repro.experiments.registry import run_experiment
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation import monte_carlo_with_backend
+
+
+class TestSplitTrials:
+    def test_balanced_and_exact(self):
+        assert split_trials(10, 3) == (4, 3, 3)
+        assert split_trials(9, 3) == (3, 3, 3)
+        assert split_trials(1, 1) == (1,)
+
+    def test_more_shards_than_trials_drops_empty_chunks(self):
+        assert split_trials(2, 5) == (1, 1)
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ConfigurationError):
+            split_trials(0, 2)
+        with pytest.raises(ConfigurationError):
+            split_trials(10, 0)
+
+
+class TestShardPlanDeterminism:
+    def test_plan_is_a_pure_function_of_seed_and_shards(self):
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        strategy = PathSelectionStrategy("U(2, 8)", UniformLength(2, 8))
+        backend = ShardedBackend(workers=1, shards=3)
+        first = backend.plan(model, strategy, 10_000, rng=42)
+        second = backend.plan(model, strategy, 10_000, rng=42)
+        assert [task.seed for task in first] == [task.seed for task in second]
+        assert [task.n_trials for task in first] == [task.n_trials for task in second]
+        assert sum(task.n_trials for task in first) == 10_000
+
+    def test_fixed_seed_and_shards_reproduce_the_report(self):
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        backend = ShardedBackend(workers=1, shards=4)
+        strategy = PathSelectionStrategy("U(2, 8)", UniformLength(2, 8))
+        first = backend.estimate(model, strategy, n_trials=8_000, rng=11)
+        second = backend.estimate(model, strategy, n_trials=8_000, rng=11)
+        assert first.estimate == second.estimate
+        assert first.mean_path_length == second.mean_path_length
+        assert first.identification_rate == second.identification_rate
+
+    def test_shard_count_changes_the_stream_but_not_the_statistics(self):
+        model = SystemModel(n_nodes=15, n_compromised=1)
+        strategy = PathSelectionStrategy("F(3)", FixedLength(3))
+        exact = AnonymityAnalyzer(model).anonymity_degree(FixedLength(3))
+        for shards in (1, 2, 5):
+            report = ShardedBackend(workers=1, shards=shards).estimate(
+                model, strategy, n_trials=30_000, rng=9
+            )
+            assert report.n_trials == 30_000
+            assert report.estimate.contains(exact, slack=0.01)
+
+    def test_worker_pool_reproduces_the_inline_report(self):
+        """workers only size the pool: a spawn pool matches workers=1 exactly."""
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        strategy = PathSelectionStrategy("U(2, 8)", UniformLength(2, 8))
+        inline = ShardedBackend(workers=1, shards=4).estimate(
+            model, strategy, n_trials=8_000, rng=42
+        )
+        pooled = ShardedBackend(workers=2, shards=4).estimate(
+            model, strategy, n_trials=8_000, rng=42
+        )
+        assert pooled.estimate == inline.estimate
+        assert pooled.mean_path_length == inline.mean_path_length
+        assert pooled.identification_rate == inline.identification_rate
+
+
+class TestAccumulatorMerge:
+    def test_merge_sums_counts_and_lengths(self):
+        a = BatchAccumulator(
+            n_trials=3, length_sum=9, classes={1: (3, 0.5, False)}
+        )
+        b = BatchAccumulator(
+            n_trials=2, length_sum=4, classes={1: (1, 0.5, False), 2: (1, 0.0, True)}
+        )
+        merged = BatchAccumulator.merge([a, b])
+        assert merged.n_trials == 5
+        assert merged.length_sum == 13
+        assert merged.classes == {1: (4, 0.5, False), 2: (1, 0.0, True)}
+        report = merged.report(SystemModel(n_nodes=10), "F(3)")
+        assert report.mean_path_length == pytest.approx(13 / 5)
+        assert report.identification_rate == pytest.approx(1 / 5)
+        assert report.degree_bits == pytest.approx(4 * 0.5 / 5)
+
+    def test_merge_rejects_inconsistent_entropies(self):
+        a = BatchAccumulator(n_trials=1, length_sum=1, classes={1: (1, 0.5, False)})
+        b = BatchAccumulator(n_trials=1, length_sum=1, classes={1: (1, 0.7, False)})
+        with pytest.raises(ConfigurationError, match="disagree"):
+            BatchAccumulator.merge([a, b])
+
+    def test_merge_rejects_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            BatchAccumulator.merge([])
+
+
+class TestShardedStatistics:
+    def test_ci_covers_closed_form_at_c1(self):
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        exact = AnonymityAnalyzer(model).anonymity_degree(UniformLength(2, 8))
+        report = estimate_anonymity(
+            model,
+            UniformLength(2, 8),
+            n_trials=30_000,
+            rng=202,
+            backend="sharded",
+            workers=1,
+            shards=4,
+        )
+        assert report.estimate.contains(exact, slack=0.01)
+        assert report.n_trials == 30_000
+
+    def test_ci_covers_exhaustive_at_c2(self):
+        model = SystemModel(n_nodes=7, n_compromised=2)
+        exact = ExhaustiveAnalyzer(model).anonymity_degree(UniformLength(1, 4))
+        report = estimate_anonymity(
+            model,
+            UniformLength(1, 4),
+            n_trials=30_000,
+            rng=13,
+            backend="sharded",
+            workers=1,
+            shards=3,
+        )
+        assert report.estimate.contains(exact, slack=0.01)
+
+
+class TestShardedWiring:
+    def test_registry_exposes_and_configures_the_backend(self):
+        backend = get_backend("sharded", workers=2, shards=6)
+        assert isinstance(backend, ShardedBackend)
+        assert backend.workers == 2
+        assert backend.shards == 6
+
+    def test_invalid_worker_counts_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=1, shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedBackend(workers=1_000)
+
+    def test_monte_carlo_with_backend_forwards_options(self):
+        model = SystemModel(n_nodes=12, n_compromised=1)
+        strategy = PathSelectionStrategy("F(2)", FixedLength(2))
+        report = monte_carlo_with_backend(
+            model, strategy, n_trials=10_000, rng=1,
+            backend="sharded", workers=1, shards=2,
+        )
+        exact = AnonymityAnalyzer(model).anonymity_degree(FixedLength(2))
+        assert report.estimate.contains(exact, slack=0.01)
+
+    def test_sweeps_accept_backend_options(self):
+        model = SystemModel(n_nodes=15, n_compromised=1)
+        reference = fixed_length_sweep(model, [2, 5])
+        sampled = fixed_length_sweep(
+            model,
+            [2, 5],
+            backend="sharded",
+            n_trials=20_000,
+            rng=77,
+            backend_options={"workers": 1, "shards": 3},
+        )
+        for exact, estimated in zip(
+            reference.series[0].values, sampled.series[0].values
+        ):
+            assert estimated == pytest.approx(exact, abs=0.05)
+
+    def test_sweeps_reject_options_on_the_exact_backend(self):
+        model = SystemModel(n_nodes=15, n_compromised=1)
+        with pytest.raises(ConfigurationError, match="sampling backends"):
+            fixed_length_sweep(
+                model, [2], backend_options={"workers": 8}
+            )
+
+    def test_ext_shard_experiment_checks_pass(self):
+        data = run_experiment("ext-shard")
+        assert data.experiment_id == "ext-shard"
+        assert data.all_checks_pass, data.checks
+
+    def test_cli_round_trip(self, capsys):
+        exit_code = main(
+            [
+                "batch",
+                "--n", "15",
+                "--strategy", "fixed",
+                "--length", "3",
+                "--trials", "8000",
+                "--seed", "4",
+                "--backend", "sharded",
+                "--workers", "1",
+                "--shards", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "backend" in captured and "sharded" in captured
+        assert "closed form inside the 95% CI" in captured
+        assert "PASS" not in captured  # key-points table, not checks
+
+    def test_cli_rejects_workers_on_other_backends(self, capsys):
+        exit_code = main(
+            ["batch", "--n", "15", "--trials", "100", "--backend", "batch",
+             "--workers", "4"]
+        )
+        assert exit_code == 2
+        assert "sharded" in capsys.readouterr().err
+
+    def test_cli_rejects_exact_backend_off_its_domain(self, capsys):
+        exit_code = main(
+            ["batch", "--n", "15", "--compromised", "2",
+             "--backend", "exact", "--trials", "100"]
+        )
+        assert exit_code == 2
+        assert "C=1 domain" in capsys.readouterr().err
+
+    def test_pool_is_reused_and_closable(self):
+        model = SystemModel(n_nodes=15, n_compromised=1)
+        strategy = PathSelectionStrategy("F(3)", FixedLength(3))
+        with ShardedBackend(workers=2, shards=2) as backend:
+            first = backend.estimate(model, strategy, n_trials=4_000, rng=3)
+            pool = backend._pool
+            second = backend.estimate(model, strategy, n_trials=4_000, rng=3)
+            assert backend._pool is pool  # one pool across calls
+            assert first.estimate == second.estimate
+        assert backend._pool is None  # context exit released it
+
+    def test_cli_round_trip_multi_compromised(self, capsys):
+        exit_code = main(
+            [
+                "batch",
+                "--n", "12",
+                "--compromised", "2",
+                "--strategy", "uniform",
+                "--low", "1",
+                "--high", "4",
+                "--trials", "8000",
+                "--seed", "4",
+                "--backend", "sharded",
+                "--workers", "1",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "C=2" in captured
+        # No closed form exists off the C=1 domain; the CLI must not print one.
+        assert "closed-form H*" not in captured
