@@ -12,6 +12,11 @@ measured ratio (hundreds to thousands of x) so the benchmark documents the
 speedup without being timing-flaky; future PRs that regress the fast path
 will still trip it long before users notice.
 
+The headline measurement also writes a machine-readable ``BENCH_batch.json``
+record (see :mod:`perf_record`) so the perf trajectory is tracked across PRs.
+Under ``--smoke`` the workload shrinks and the floor is not asserted — the
+record is still written, flagged ``"smoke": true``.
+
 Run with::
 
     pytest benchmarks/bench_batch.py --benchmark-only -q
@@ -20,6 +25,8 @@ Run with::
 from __future__ import annotations
 
 import time
+
+from perf_record import write_record
 
 from repro.batch import BatchMonteCarlo
 from repro.core.anonymity import AnonymityAnalyzer
@@ -31,6 +38,7 @@ from repro.simulation.experiment import StrategyMonteCarlo
 #: The workload of the acceptance criterion: 10k trials, N=20, uniform lengths.
 N_NODES = 20
 N_TRIALS = 10_000
+SMOKE_TRIALS = 2_000
 DISTRIBUTION = UniformLength(2, 8)
 #: Minimum required speedup of the pure-Python batch core over the
 #: per-observation estimator (the measured ratio is far larger).
@@ -43,64 +51,70 @@ def _workload():
     return model, strategy
 
 
+def _trials(smoke: bool) -> int:
+    return SMOKE_TRIALS if smoke else N_TRIALS
+
+
 def _trials_per_second(run, n_trials: int) -> float:
     started = time.perf_counter()
     run()
     return n_trials / (time.perf_counter() - started)
 
 
-def test_event_backend_throughput(benchmark):
+def test_event_backend_throughput(benchmark, smoke):
     """Baseline: the hop-by-hop StrategyMonteCarlo at the benchmark workload."""
     model, strategy = _workload()
     estimator = StrategyMonteCarlo(model, strategy)
     report = benchmark.pedantic(
-        lambda: estimator.run(N_TRIALS, rng=0), rounds=1, iterations=1
+        lambda: estimator.run(_trials(smoke), rng=0), rounds=1, iterations=1
     )
     exact = AnonymityAnalyzer(model).anonymity_degree(DISTRIBUTION)
     assert report.estimate.contains(exact, slack=0.02)
 
 
-def test_batch_backend_throughput_pure_python(benchmark):
+def test_batch_backend_throughput_pure_python(benchmark, smoke):
     """The pure-Python columnar core at the same workload."""
     model, strategy = _workload()
     estimator = BatchMonteCarlo(model, strategy, use_numpy=False)
     report = benchmark.pedantic(
-        lambda: estimator.run(N_TRIALS, rng=0), rounds=3, iterations=1
+        lambda: estimator.run(_trials(smoke), rng=0), rounds=3, iterations=1
     )
     exact = AnonymityAnalyzer(model).anonymity_degree(DISTRIBUTION)
     assert report.estimate.contains(exact, slack=0.02)
 
 
-def test_batch_backend_throughput_numpy(benchmark):
+def test_batch_backend_throughput_numpy(benchmark, smoke):
     """The NumPy-accelerated kernels at the same workload."""
     model, strategy = _workload()
     estimator = BatchMonteCarlo(model, strategy, use_numpy=True)
     report = benchmark.pedantic(
-        lambda: estimator.run(N_TRIALS, rng=0), rounds=3, iterations=1
+        lambda: estimator.run(_trials(smoke), rng=0), rounds=3, iterations=1
     )
     exact = AnonymityAnalyzer(model).anonymity_degree(DISTRIBUTION)
     assert report.estimate.contains(exact, slack=0.02)
 
 
-def test_batch_speedup_floor():
+def test_batch_speedup_floor(smoke):
     """The acceptance criterion: pure-Python batch >= 10x hop-by-hop trials/sec.
 
     Measured directly (not via pytest-benchmark) so the ratio is computed in
-    one process run and printed into the benchmark log as the perf record.
+    one process run, printed into the benchmark log, and written to
+    ``BENCH_batch.json`` as the machine-readable perf record.
     """
+    n_trials = _trials(smoke)
     model, strategy = _workload()
     exact = AnonymityAnalyzer(model).anonymity_degree(DISTRIBUTION)
 
     event = StrategyMonteCarlo(model, strategy)
-    event_tps = _trials_per_second(lambda: event.run(N_TRIALS, rng=0), N_TRIALS)
+    event_tps = _trials_per_second(lambda: event.run(n_trials, rng=0), n_trials)
 
     pure = BatchMonteCarlo(model, strategy, use_numpy=False)
-    pure_tps = _trials_per_second(lambda: pure.run(N_TRIALS, rng=0), N_TRIALS)
+    pure_tps = _trials_per_second(lambda: pure.run(n_trials, rng=0), n_trials)
 
     fast = BatchMonteCarlo(model, strategy, use_numpy=True)
-    fast_tps = _trials_per_second(lambda: fast.run(N_TRIALS, rng=0), N_TRIALS)
+    fast_tps = _trials_per_second(lambda: fast.run(n_trials, rng=0), n_trials)
 
-    report = fast.run(N_TRIALS, rng=0)
+    report = fast.run(n_trials, rng=0)
     print()
     print(f"event (hop-by-hop)     : {event_tps:>12,.0f} trials/sec")
     print(f"batch (pure Python)    : {pure_tps:>12,.0f} trials/sec "
@@ -109,7 +123,25 @@ def test_batch_speedup_floor():
           f"({fast_tps / event_tps:,.0f}x)")
     print(f"estimate {report.estimate} vs exact {exact:.4f}")
 
+    write_record(
+        "batch",
+        smoke=smoke,
+        config={
+            "n_nodes": N_NODES,
+            "n_trials": n_trials,
+            "distribution": DISTRIBUTION.name,
+            "floor_speedup": MIN_SPEEDUP,
+        },
+        event_trials_per_sec=round(event_tps, 1),
+        batch_pure_trials_per_sec=round(pure_tps, 1),
+        batch_numpy_trials_per_sec=round(fast_tps, 1),
+        speedup_pure=round(pure_tps / event_tps, 2),
+        speedup_numpy=round(fast_tps / event_tps, 2),
+    )
+
     assert report.estimate.contains(exact, slack=0.02)
+    if smoke:
+        return  # floors are only meaningful on the full workload
     assert pure_tps >= MIN_SPEEDUP * event_tps, (
         f"pure-Python batch core is only {pure_tps / event_tps:.1f}x the "
         f"hop-by-hop estimator; the floor is {MIN_SPEEDUP}x"

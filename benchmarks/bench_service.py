@@ -1,0 +1,126 @@
+"""Service benchmark: what the cache and the adaptive scheduler actually buy.
+
+Two headline numbers for the ``repro.service`` subsystem, both written to the
+machine-readable ``BENCH_service.json`` record (see :mod:`perf_record`):
+
+* **cold vs warm cache** — the same content-addressed request answered twice
+  through one :class:`~repro.service.EstimationService` backed by an on-disk
+  cache, and a third time by a *fresh* service over the same directory (a
+  pure disk hit).  The warm path must return the bit-identical report and be
+  dramatically cheaper than computing;
+* **adaptive vs fixed budget** — the trials the adaptive scheduler spends to
+  reach the target CI half-width on the reference configuration
+  (uniform lengths 3–8, N=50, C=1, target ±0.01 bits) against the fixed
+  200k-trial budget a precision-blind caller would burn.
+
+The asserted floors — warm-cache hits return identical bits, and the
+adaptive run converges within **half** the fixed budget — are correctness
+and efficiency guarantees rather than timing races, so they hold in
+``--smoke`` mode too (smoke only shrinks the fixed reference budget).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q -s
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from perf_record import write_record
+
+from repro.batch.backends import estimate_anonymity
+from repro.core.model import SystemModel
+from repro.distributions import UniformLength
+from repro.service import DistributionSpec, EstimateRequest, EstimationService
+
+#: The reference configuration of the service acceptance criterion.
+N_NODES = 50
+DISTRIBUTION = UniformLength(3, 8)
+PRECISION = 0.01
+BLOCK_SIZE = 5_000
+FIXED_TRIALS = 200_000
+SMOKE_FIXED_TRIALS = 50_000
+SEED = 7
+
+
+def _request(max_trials: int) -> EstimateRequest:
+    return EstimateRequest(
+        n_nodes=N_NODES,
+        distribution=DistributionSpec.from_distribution(DISTRIBUTION),
+        precision=PRECISION,
+        block_size=BLOCK_SIZE,
+        max_trials=max_trials,
+        seed=SEED,
+    )
+
+
+def test_service_cold_warm_and_adaptive_savings(smoke):
+    """Cold compute vs warm cache, and adaptive vs fixed trial spend."""
+    fixed_trials = SMOKE_FIXED_TRIALS if smoke else FIXED_TRIALS
+    request = _request(fixed_trials)
+    model = request.model()
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with EstimationService(cache_dir=cache_dir) as service:
+            started = time.perf_counter()
+            cold = service.estimate(request)
+            cold_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            warm = service.estimate(request)
+            warm_seconds = time.perf_counter() - started
+
+        # A fresh service over the same directory: the pure disk-hit path.
+        with EstimationService(cache_dir=cache_dir) as fresh:
+            started = time.perf_counter()
+            disk = fresh.estimate(request)
+            disk_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fixed = estimate_anonymity(
+        model, DISTRIBUTION, n_trials=fixed_trials, rng=SEED, backend="batch"
+    )
+    fixed_seconds = time.perf_counter() - started
+
+    half_width = cold.report.estimate.ci_high - cold.report.estimate.mean
+    print()
+    print(f"cold (computed)   : {cold_seconds:8.4f}s "
+          f"({cold.n_trials:,} trials, {cold.rounds} rounds)")
+    print(f"warm (memory hit) : {warm_seconds:8.4f}s")
+    print(f"warm (disk hit)   : {disk_seconds:8.4f}s")
+    print(f"fixed {fixed_trials:,}-trial budget: {fixed_seconds:8.4f}s")
+    print(f"adaptive estimate {cold.report.estimate} (±{half_width:.4f} bits)")
+    print(f"fixed estimate    {fixed.estimate}")
+
+    write_record(
+        "service",
+        smoke=smoke,
+        config={
+            "n_nodes": N_NODES,
+            "distribution": DISTRIBUTION.name,
+            "precision": PRECISION,
+            "block_size": BLOCK_SIZE,
+            "fixed_trials": fixed_trials,
+            "seed": SEED,
+        },
+        cold_seconds=round(cold_seconds, 5),
+        warm_memory_seconds=round(warm_seconds, 6),
+        warm_disk_seconds=round(disk_seconds, 6),
+        fixed_budget_seconds=round(fixed_seconds, 5),
+        adaptive_trials=cold.n_trials,
+        adaptive_rounds=cold.rounds,
+        achieved_half_width=round(half_width, 6),
+        trials_saved_vs_fixed=round(1.0 - cold.n_trials / fixed_trials, 4),
+    )
+
+    # Correctness floors (not timing races): identical bits from both cache
+    # tiers, convergence, and a measurable trial saving.
+    assert cold.converged and half_width <= PRECISION
+    assert warm.from_cache and warm.report == cold.report
+    assert disk.from_cache and disk.report == cold.report
+    assert cold.n_trials * 2 <= fixed_trials, (
+        f"adaptive spent {cold.n_trials} trials; expected at most half the "
+        f"fixed budget of {fixed_trials}"
+    )

@@ -22,6 +22,11 @@ CPUs (the backend still runs there — shards just queue on the available
 cores — but timing it proves nothing), so the floor is enforced where it is
 meaningful: the CI benchmark job.  The statistical-parity test always runs.
 
+The measurement writes a machine-readable ``BENCH_sharded.json`` record (see
+:mod:`perf_record`).  Under ``--smoke`` the trial budget shrinks to a size
+where process spawn overhead is comparable to compute, so the record is
+written but the 2x floor is not asserted.
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_sharded.py -q -s
@@ -33,6 +38,7 @@ import os
 import time
 
 import pytest
+from perf_record import write_record
 
 from repro.batch import BatchMonteCarlo, ShardedBackend
 from repro.core.model import SystemModel
@@ -44,6 +50,7 @@ N_NODES = 30
 N_COMPROMISED = 3
 DISTRIBUTION = UniformLength(1, 8)
 N_TRIALS = 6_000_000
+SMOKE_TRIALS = 400_000
 WORKERS = 4
 #: Acceptance floor for the 4-worker pool over the single-process run.
 MIN_SPEEDUP = 2.0
@@ -70,35 +77,58 @@ def test_sharded_matches_single_process_statistics():
     )
 
 
-def test_sharded_speedup_floor():
+def test_sharded_speedup_floor(smoke):
     """The acceptance criterion: 4 sharded workers >= 2x single-process batch."""
     cpus = os.cpu_count() or 1
-    if cpus < WORKERS:
+    if cpus < WORKERS and not smoke:
         pytest.skip(
             f"only {cpus} CPU(s) visible; the {MIN_SPEEDUP}x floor is enforced "
             f"on >= {WORKERS}-core machines (CI)"
         )
+    # Smoke mode never asserts the floor, so it can still record a number on
+    # small machines by shrinking the pool to the visible cores.
+    workers = min(WORKERS, cpus) if smoke else WORKERS
+    n_trials = SMOKE_TRIALS if smoke else N_TRIALS
     model, strategy = _workload()
 
     single_estimator = BatchMonteCarlo(model, strategy, use_numpy=False)
     started = time.perf_counter()
-    single_report = single_estimator.run(N_TRIALS, rng=0)
+    single_report = single_estimator.run(n_trials, rng=0)
     single_seconds = time.perf_counter() - started
 
-    backend = ShardedBackend(workers=WORKERS, shards=WORKERS, use_numpy=False)
+    backend = ShardedBackend(workers=workers, shards=WORKERS, use_numpy=False)
     started = time.perf_counter()
-    sharded_report = backend.estimate(model, strategy, n_trials=N_TRIALS, rng=0)
+    sharded_report = backend.estimate(model, strategy, n_trials=n_trials, rng=0)
     sharded_seconds = time.perf_counter() - started
 
     speedup = single_seconds / sharded_seconds
     print()
     print(f"batch  (1 process)  : {single_seconds:8.2f}s "
-          f"({N_TRIALS / single_seconds:,.0f} trials/sec)")
-    print(f"sharded ({WORKERS} workers) : {sharded_seconds:8.2f}s "
-          f"({N_TRIALS / sharded_seconds:,.0f} trials/sec)")
+          f"({n_trials / single_seconds:,.0f} trials/sec)")
+    print(f"sharded ({workers} workers) : {sharded_seconds:8.2f}s "
+          f"({n_trials / sharded_seconds:,.0f} trials/sec)")
     print(f"speedup             : {speedup:8.2f}x")
     print(f"batch estimate   {single_report.estimate}")
     print(f"sharded estimate {sharded_report.estimate}")
+
+    write_record(
+        "sharded",
+        smoke=smoke,
+        config={
+            "n_nodes": N_NODES,
+            "n_compromised": N_COMPROMISED,
+            "n_trials": n_trials,
+            "workers": workers,
+            "shards": WORKERS,
+            "distribution": DISTRIBUTION.name,
+            "floor_speedup": MIN_SPEEDUP,
+        },
+        single_seconds=round(single_seconds, 3),
+        sharded_seconds=round(sharded_seconds, 3),
+        single_trials_per_sec=round(n_trials / single_seconds, 1),
+        sharded_trials_per_sec=round(n_trials / sharded_seconds, 1),
+        speedup=round(speedup, 2),
+    )
 
     gap = abs(single_report.degree_bits - sharded_report.degree_bits)
     tolerance = 3.0 * (
@@ -106,6 +136,8 @@ def test_sharded_speedup_floor():
     )
     assert gap <= tolerance
 
+    if smoke:
+        return  # spawn overhead dominates the reduced budget; record only
     assert speedup >= MIN_SPEEDUP, (
         f"sharded backend reached only {speedup:.2f}x over single-process "
         f"batch; the floor at {WORKERS} workers is {MIN_SPEEDUP}x"

@@ -15,6 +15,29 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    """``--smoke``: reduced workloads for the CI smoke job.
+
+    In smoke mode the headline benchmarks (``bench_batch``, ``bench_sharded``,
+    ``bench_service``) shrink their trial counts so the whole run takes
+    seconds, still exercising every code path and still writing their
+    ``BENCH_*.json`` records — but performance *floors* are only asserted on
+    the full workloads, where timing is meaningful.
+    """
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run reduced benchmark workloads (records written, floors not asserted)",
+    )
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """Whether ``--smoke`` was passed on the command line."""
+    return bool(request.config.getoption("--smoke"))
+
+
 def report(data) -> None:
     """Print one experiment's rendered tables, fenced for readability."""
     print()

@@ -1,0 +1,44 @@
+"""Machine-readable benchmark records.
+
+Each headline benchmark writes one ``BENCH_<name>.json`` file next to the
+working directory it runs in (CI uploads them as artifacts), so the perf
+trajectory — trials/sec, speedups, and the configuration that produced them —
+is tracked *across PRs* instead of living only in scrolled-away job logs.
+
+The schema is deliberately flat: a ``benchmark`` name, a ``smoke`` flag
+(reduced workloads used by the CI smoke job; floors are only asserted on the
+full workloads), a ``config`` mapping, and top-level numeric results.  Keep
+keys stable — downstream tooling diffs these files between runs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+__all__ = ["write_record"]
+
+
+def write_record(name: str, smoke: bool, config: dict, **results) -> Path:
+    """Write ``BENCH_<name>.json`` in the current directory; returns the path.
+
+    ``config`` holds the workload parameters (trial counts, system size,
+    distribution); ``results`` the measured numbers.  A small ``environment``
+    block records the interpreter and machine the numbers came from.
+    """
+    payload = {
+        "benchmark": name,
+        "smoke": bool(smoke),
+        "config": config,
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        **results,
+    }
+    path = Path(f"BENCH_{name}.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    print(f"\n[perf_record] wrote {path.resolve()}")
+    return path

@@ -15,6 +15,16 @@ Backend-specific options (e.g. ``{"workers": 8}`` for ``sharded``) pass
 through ``backend_options``.  Monte-Carlo backends draw one independent child
 stream per sweep point from ``rng``, so a fixed seed reproduces the whole
 sweep.
+
+Sweeps can also run **precision-driven and cache-warm** through the
+estimation service (:mod:`repro.service`): passing ``precision`` (a target
+95% CI half-width in bits) and/or a shared
+:class:`~repro.service.service.EstimationService` routes every point through
+content-addressed :class:`~repro.service.request.EstimateRequest`\\ s.  Each
+point then spends only the trials its precision target needs (``n_trials``
+becomes the per-point ceiling), and repeating a sweep against the same
+service — or a service backed by the same ``cache_dir`` — serves repeated
+points from the cache bit-identically instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -39,6 +49,8 @@ def _degree_evaluator(
     n_trials: int,
     rng: RandomSource,
     backend_options: dict | None = None,
+    precision: float | None = None,
+    service=None,
 ) -> Callable[[PathLengthDistribution], float]:
     """Build the per-distribution degree function for one sweep.
 
@@ -46,7 +58,20 @@ def _degree_evaluator(
     of calling the closed form directly; any other name is resolved through
     the backend registry and evaluated with ``n_trials`` samples per point,
     with ``backend_options`` forwarded to the backend factory.
+
+    When ``precision`` and/or ``service`` is given the sweep goes through the
+    estimation service instead: each point becomes an ``EstimateRequest``
+    (precision target, ``n_trials`` as the trial ceiling, per-point seeds
+    drawn from ``rng`` in point order) answered adaptively and cached by
+    content digest.  Passing only ``service`` keeps the fixed ``n_trials``
+    budget per point — the same sweep, just cache-warm.  ``backend="exact"``
+    is promoted to ``"batch"`` in this mode — a zero-variance engine has
+    nothing to adapt.
     """
+    if precision is not None or service is not None:
+        return _service_evaluator(
+            model, backend, n_trials, rng, backend_options, precision, service
+        )
     if backend == "exact":
         if backend_options:
             raise ConfigurationError(
@@ -71,6 +96,51 @@ def _degree_evaluator(
             rng=spawn_child_rng(generator),
         )
         return report.degree_bits
+
+    return evaluate
+
+
+def _service_evaluator(
+    model: SystemModel,
+    backend: str,
+    n_trials: int,
+    rng: RandomSource,
+    backend_options: dict | None,
+    precision: float | None,
+    service,
+) -> Callable[[PathLengthDistribution], float]:
+    """Per-distribution degree function routed through the estimation service."""
+    from repro.service import DistributionSpec, EstimateRequest, EstimationService
+
+    if service is None:
+        # An ephemeral, memory-only service still deduplicates points that
+        # recur within this one sweep; pass a shared service for cross-sweep
+        # (or on-disk) cache warmth.
+        service = EstimationService()
+    if not isinstance(service, EstimationService):
+        raise ConfigurationError(
+            f"service must be an EstimationService, got {service!r}"
+        )
+    backend_name = "batch" if backend == "exact" else backend
+    generator = ensure_rng(rng)
+
+    def evaluate(distribution: PathLengthDistribution) -> float:
+        request = EstimateRequest(
+            n_nodes=model.n_nodes,
+            distribution=DistributionSpec.from_distribution(distribution),
+            n_compromised=model.n_compromised,
+            adversary=model.adversary.value,
+            receiver_compromised=model.receiver_compromised,
+            backend=backend_name,
+            backend_options=tuple(sorted((backend_options or {}).items())),
+            # precision=None keeps the sweep's fixed n_trials budget — passing
+            # only service= means "the same sweep, but cache-warm".
+            precision=precision,
+            block_size=min(10_000, n_trials),
+            max_trials=n_trials,
+            seed=int(generator.integers(0, 2**63 - 1)),
+        )
+        return service.estimate(request).degree_bits
 
     return evaluate
 
@@ -110,9 +180,13 @@ def fixed_length_sweep(
     n_trials: int = 10_000,
     rng: RandomSource = None,
     backend_options: dict | None = None,
+    precision: float | None = None,
+    service=None,
 ) -> SweepResult:
     """Anonymity degree of ``F(l)`` for every ``l`` in ``lengths``."""
-    degree = _degree_evaluator(model, backend, n_trials, rng, backend_options)
+    degree = _degree_evaluator(
+        model, backend, n_trials, rng, backend_options, precision, service
+    )
     lengths = tuple(int(length) for length in lengths)
     values = tuple(degree(FixedLength(length)) for length in lengths)
     return SweepResult(
@@ -130,6 +204,8 @@ def uniform_width_sweep(
     n_trials: int = 10_000,
     rng: RandomSource = None,
     backend_options: dict | None = None,
+    precision: float | None = None,
+    service=None,
 ) -> SweepResult:
     """Anonymity degree of ``U(a, a + w)`` for each lower bound ``a`` and width ``w``.
 
@@ -137,7 +213,9 @@ def uniform_width_sweep(
     curve over the shared width axis.  Widths that would exceed the longest
     feasible simple path are reported as ``nan`` so curves remain aligned.
     """
-    degree = _degree_evaluator(model, backend, n_trials, rng, backend_options)
+    degree = _degree_evaluator(
+        model, backend, n_trials, rng, backend_options, precision, service
+    )
     widths = tuple(int(w) for w in widths)
     series = []
     for low in lower_bounds:
@@ -165,6 +243,8 @@ def uniform_mean_sweep(
     n_trials: int = 10_000,
     rng: RandomSource = None,
     backend_options: dict | None = None,
+    precision: float | None = None,
+    service=None,
 ) -> SweepResult:
     """Anonymity degree at equal expected length for fixed vs uniform strategies.
 
@@ -174,7 +254,9 @@ def uniform_mean_sweep(
     lower bound ``a``.  Combinations where the implied upper bound is
     infeasible or below the lower bound are reported as ``nan``.
     """
-    degree = _degree_evaluator(model, backend, n_trials, rng, backend_options)
+    degree = _degree_evaluator(
+        model, backend, n_trials, rng, backend_options, precision, service
+    )
     means = tuple(int(mean) for mean in means)
     series = []
     if include_fixed:
@@ -209,6 +291,8 @@ def adversary_model_sweep(
     n_trials: int = 10_000,
     rng: RandomSource = None,
     backend_options: dict | None = None,
+    precision: float | None = None,
+    service=None,
 ) -> dict[str, float]:
     """Anonymity degree of one distribution under each adversary model."""
     models = lengths_or_models or list(AdversaryModel)
@@ -219,6 +303,6 @@ def adversary_model_sweep(
     for adversary in models:
         system = SystemModel(n_nodes=n_nodes, n_compromised=1, adversary=adversary)
         results[adversary.value] = _degree_evaluator(
-            system, backend, n_trials, generator, backend_options
+            system, backend, n_trials, generator, backend_options, precision, service
         )(distribution)
     return results

@@ -148,6 +148,16 @@ class BatchBackend(EstimatorBackend):
         estimator = BatchMonteCarlo(model, strategy, use_numpy=self._use_numpy)
         return estimator.run(n_trials, rng=rng)
 
+    def accumulate_runner(self, model: SystemModel, strategy: PathSelectionStrategy):
+        """Bind one kernel for block accumulation (the adaptive-service hook).
+
+        Returns a callable ``(n_trials, rng) -> BatchAccumulator``.  The
+        kernel — including its exact per-class score table — is built once
+        here and reused across every block of an adaptive run.
+        """
+        estimator = BatchMonteCarlo(model, strategy, use_numpy=self._use_numpy)
+        return estimator.run_accumulate
+
 
 # ---------------------------------------------------------------------- #
 # Registry                                                                #

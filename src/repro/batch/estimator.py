@@ -106,30 +106,38 @@ class BatchAccumulator:
             n_trials=n_trials, length_sum=length_sum, classes=classes
         )
 
-    def report(self, model: SystemModel, distribution_name: str):
-        """Summarise into a :class:`~repro.simulation.experiment.MonteCarloReport`.
+    def grouped_moments(self) -> tuple[float, float]:
+        """Exact sample mean and ddof-1 standard error from the grouped counts.
 
-        Per-trial entropy samples within a class are identical, so the sample
-        mean and (ddof=1) variance are computed exactly from the grouped
-        counts; keys are folded in sorted order so the result is independent
-        of dictionary insertion order.
+        Per-trial entropy samples within a class are identical, so both
+        moments follow exactly from the per-class counts; keys are folded in
+        sorted order so the result is independent of dictionary insertion
+        order.  This is the single source of the estimate's statistics —
+        :meth:`report` and the adaptive scheduler's stopping rule both read
+        it, so they can never disagree on the confidence interval.
         """
-        from repro.simulation.experiment import MonteCarloReport
-
         n = self.n_trials
         if n < 1:
-            raise ConfigurationError("cannot report on an empty accumulator")
+            raise ConfigurationError("cannot summarise an empty accumulator")
         ordered = [self.classes[key] for key in sorted(self.classes, key=repr)]
         mean = sum(count * entropy for count, entropy, _ in ordered) / n
         if n == 1:
-            std_error = math.inf
-        else:
-            variance = (
-                sum(count * (entropy - mean) ** 2 for count, entropy, _ in ordered)
-                / (n - 1)
-            )
-            std_error = math.sqrt(variance / n)
-        identified = sum(count for count, _, flag in ordered if flag)
+            return mean, math.inf
+        variance = (
+            sum(count * (entropy - mean) ** 2 for count, entropy, _ in ordered)
+            / (n - 1)
+        )
+        return mean, math.sqrt(variance / n)
+
+    def report(self, model: SystemModel, distribution_name: str):
+        """Summarise into a :class:`~repro.simulation.experiment.MonteCarloReport`."""
+        from repro.simulation.experiment import MonteCarloReport
+
+        n = self.n_trials
+        mean, std_error = self.grouped_moments()
+        identified = sum(
+            count for count, _, flag in self.classes.values() if flag
+        )
         return MonteCarloReport(
             estimate=EstimateWithCI(mean=mean, std_error=std_error, n_samples=n),
             n_trials=n,

@@ -177,6 +177,22 @@ class ShardedBackend(EstimatorBackend):
         distribution = strategy.effective_distribution(model.n_nodes)
         return BatchAccumulator.merge(accumulators).report(model, distribution.name)
 
+    def accumulate_runner(self, model: SystemModel, strategy: PathSelectionStrategy):
+        """Block-accumulation hook for the adaptive service.
+
+        Returns a callable ``(n_trials, rng) -> BatchAccumulator`` that runs
+        one block across the worker pool and merges it to a single
+        accumulator.  Each block is planned from its own ``rng`` exactly like
+        a standalone :meth:`estimate`, so a block remains deterministic per
+        ``(seed, shards)`` and independent of the worker count.
+        """
+
+        def run_block(n_trials: int, rng: RandomSource = None) -> BatchAccumulator:
+            tasks = self.plan(model, strategy, n_trials, rng=rng)
+            return BatchAccumulator.merge(self._execute(tasks))
+
+        return run_block
+
     def plan(
         self,
         model: SystemModel,

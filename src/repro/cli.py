@@ -18,7 +18,18 @@ exposes the library's main entry points without writing any Python:
   estimate and throughput with the closed form; ``--backend sharded
   --workers 8`` fans the trials across worker processes, and
   ``--compromised 2`` switches to the multi-compromised arrangement-class
-  engine.
+  engine;
+* ``repro-anon estimate --n 100 --strategy uniform --precision 0.01
+  --cache-dir ~/.repro-cache`` — adaptive-precision estimation through the
+  caching service of :mod:`repro.service`: trials run in blocks until the
+  95% CI half-width reaches ``--precision``, and an identical request is
+  served bit-identically from the content-addressed result cache;
+* ``repro-anon cache stats|clear --cache-dir ~/.repro-cache`` — inspect or
+  empty that on-disk cache.
+
+Numeric sanity (positive trial counts, worker counts, precisions) is
+enforced by ``argparse`` type callbacks, so misuse exits with a one-line
+usage error instead of a traceback.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ import time
 from repro.analysis.compare import compare_deployed_systems
 from repro.analysis.report import render_comparison, render_event_breakdown, render_key_points
 from repro.batch.backends import available_backends, estimate_anonymity
+from repro.exceptions import ConfigurationError
 from repro.core.anonymity import AnonymityAnalyzer
 from repro.core.model import AdversaryModel, SystemModel
 from repro.core.optimizer import best_fixed_length, best_uniform_for_mean, optimize_distribution
@@ -60,6 +72,69 @@ _PROTOCOL_FACTORIES = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (one-line error, no traceback)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a finite float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not value > 0.0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _add_strategy_arguments(
+    parser: argparse.ArgumentParser, default_strategy: str
+) -> None:
+    """The shared model/strategy flags of degree, batch, and estimate."""
+    parser.add_argument("--n", type=_positive_int, default=100, help="number of nodes")
+    parser.add_argument(
+        "--adversary",
+        choices=[a.value for a in AdversaryModel],
+        default=AdversaryModel.FULL_BAYES.value,
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=["fixed", "uniform", "geometric"],
+        default=default_strategy,
+    )
+    parser.add_argument(
+        "--length", type=_non_negative_int, default=5, help="fixed path length"
+    )
+    parser.add_argument(
+        "--low", type=_non_negative_int, default=2, help="uniform lower bound"
+    )
+    parser.add_argument(
+        "--high", type=_non_negative_int, default=8, help="uniform upper bound"
+    )
+    parser.add_argument(
+        "--p-forward", type=float, default=0.75,
+        help="geometric forwarding probability",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -77,21 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("experiment_id", help="experiment identifier, e.g. fig3a")
 
     degree = subparsers.add_parser("degree", help="anonymity degree of one strategy")
-    degree.add_argument("--n", type=int, default=100, help="number of nodes")
-    degree.add_argument(
-        "--adversary",
-        choices=[a.value for a in AdversaryModel],
-        default=AdversaryModel.FULL_BAYES.value,
-    )
-    degree.add_argument(
-        "--strategy", choices=["fixed", "uniform", "geometric"], default="fixed"
-    )
-    degree.add_argument("--length", type=int, default=5, help="fixed path length")
-    degree.add_argument("--low", type=int, default=2, help="uniform lower bound")
-    degree.add_argument("--high", type=int, default=8, help="uniform upper bound")
-    degree.add_argument(
-        "--p-forward", type=float, default=0.75, help="geometric forwarding probability"
-    )
+    _add_strategy_arguments(degree, default_strategy="fixed")
 
     optimize = subparsers.add_parser("optimize", help="optimal path-length distribution")
     optimize.add_argument("--n", type=int, default=100)
@@ -108,33 +169,19 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--n", type=int, default=100)
 
     simulate = subparsers.add_parser("simulate", help="discrete-event simulation")
-    simulate.add_argument("--n", type=int, default=40)
-    simulate.add_argument("--compromised", type=int, default=1)
+    simulate.add_argument("--n", type=_positive_int, default=40)
+    simulate.add_argument("--compromised", type=_non_negative_int, default=1)
     simulate.add_argument(
         "--protocol", choices=sorted(_PROTOCOL_FACTORIES), default="freedom"
     )
-    simulate.add_argument("--trials", type=int, default=500)
+    simulate.add_argument("--trials", type=_positive_int, default=500)
     simulate.add_argument("--seed", type=int, default=0)
 
     batch = subparsers.add_parser(
         "batch", help="vectorized Monte-Carlo estimate via a pluggable backend"
     )
-    batch.add_argument("--n", type=int, default=100, help="number of nodes")
-    batch.add_argument(
-        "--adversary",
-        choices=[a.value for a in AdversaryModel],
-        default=AdversaryModel.FULL_BAYES.value,
-    )
-    batch.add_argument(
-        "--strategy", choices=["fixed", "uniform", "geometric"], default="uniform"
-    )
-    batch.add_argument("--length", type=int, default=5, help="fixed path length")
-    batch.add_argument("--low", type=int, default=2, help="uniform lower bound")
-    batch.add_argument("--high", type=int, default=8, help="uniform upper bound")
-    batch.add_argument(
-        "--p-forward", type=float, default=0.75, help="geometric forwarding probability"
-    )
-    batch.add_argument("--trials", type=int, default=100_000)
+    _add_strategy_arguments(batch, default_strategy="uniform")
+    batch.add_argument("--trials", type=_positive_int, default=100_000)
     batch.add_argument("--seed", type=int, default=0)
     batch.add_argument(
         "--backend",
@@ -144,22 +191,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--compromised",
-        type=int,
+        type=_non_negative_int,
         default=1,
         help="number of compromised nodes C (C != 1 uses the arrangement-class engine)",
     )
     batch.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="worker processes for --backend sharded (default: CPU count)",
     )
     batch.add_argument(
         "--shards",
-        type=int,
+        type=_positive_int,
         default=None,
         help="seed streams for --backend sharded (default: workers); fixing "
         "this makes results independent of the worker count",
+    )
+
+    estimate = subparsers.add_parser(
+        "estimate",
+        help="adaptive-precision estimate through the caching service",
+    )
+    _add_strategy_arguments(estimate, default_strategy="uniform")
+    estimate.add_argument(
+        "--compromised",
+        type=_non_negative_int,
+        default=1,
+        help="number of compromised nodes C",
+    )
+    estimate.add_argument(
+        "--precision",
+        type=_positive_float,
+        default=0.01,
+        help="target 95%% CI half-width in bits (stop as soon as reached)",
+    )
+    estimate.add_argument(
+        "--block-size",
+        type=_positive_int,
+        default=10_000,
+        help="trials per adaptive round (part of the determinism contract)",
+    )
+    estimate.add_argument(
+        "--max-trials",
+        type=_positive_int,
+        default=1_000_000,
+        help="hard ceiling on total trials",
+    )
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="batch",
+        help="accumulating estimator engine (batch | sharded | exact)",
+    )
+    estimate.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker processes for --backend sharded",
+    )
+    estimate.add_argument(
+        "--shards", type=_positive_int, default=None,
+        help="seed streams for --backend sharded",
+    )
+    estimate.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk result cache (omit for memory-only)",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear an on-disk result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir", required=True, help="directory of the result cache"
     )
 
     return parser
@@ -252,14 +357,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
 
 def _command_batch(args: argparse.Namespace) -> int:
-    if args.backend != "sharded" and (
-        args.workers is not None or args.shards is not None
-    ):
-        print(
-            f"error: --workers/--shards only apply to --backend sharded "
-            f"(got --backend {args.backend})",
-            file=sys.stderr,
-        )
+    backend_options = _sharded_options(args)
+    if backend_options is None:
         return 2
     if args.backend == "exact" and args.compromised != 1:
         print(
@@ -277,12 +376,6 @@ def _command_batch(args: argparse.Namespace) -> int:
     distribution = _strategy_distribution(args)
     if distribution.max_length > model.max_simple_path_length:
         distribution = distribution.truncated(model.max_simple_path_length)
-    backend_options: dict[str, object] = {}
-    if args.backend == "sharded":
-        if args.workers is not None:
-            backend_options["workers"] = args.workers
-        if args.shards is not None:
-            backend_options["shards"] = args.shards
     started = time.perf_counter()
     report = estimate_anonymity(
         model,
@@ -329,6 +422,111 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharded_options(args: argparse.Namespace) -> dict[str, int] | None:
+    """Collect --workers/--shards, rejecting them for non-sharded backends."""
+    if args.backend != "sharded" and (
+        args.workers is not None or args.shards is not None
+    ):
+        print(
+            f"error: --workers/--shards only apply to --backend sharded "
+            f"(got --backend {args.backend})",
+            file=sys.stderr,
+        )
+        return None
+    options: dict[str, int] = {}
+    if args.backend == "sharded":
+        if args.workers is not None:
+            options["workers"] = args.workers
+        if args.shards is not None:
+            options["shards"] = args.shards
+    return options
+
+
+def _command_estimate(args: argparse.Namespace) -> int:
+    from repro.service import DistributionSpec, EstimateRequest, EstimationService
+
+    backend_options = _sharded_options(args)
+    if backend_options is None:
+        return 2
+    distribution = _strategy_distribution(args)
+    try:
+        request = EstimateRequest(
+            n_nodes=args.n,
+            distribution=DistributionSpec.from_distribution(distribution),
+            n_compromised=args.compromised,
+            adversary=args.adversary,
+            backend=args.backend,
+            backend_options=tuple(sorted(backend_options.items())),
+            precision=args.precision,
+            block_size=args.block_size,
+            max_trials=args.max_trials,
+            seed=args.seed,
+        )
+        with EstimationService(cache_dir=args.cache_dir) as service:
+            result = service.estimate(request)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = result.report
+    half_width = report.estimate.ci_high - report.estimate.mean
+    lines: dict[str, object] = {
+        "backend": args.backend,
+        "distribution": report.distribution,
+        "precision target (bits)": args.precision,
+        "achieved CI half-width": round(half_width, 5),
+        "trials used": report.n_trials,
+        "adaptive rounds": result.rounds,
+        "converged": result.converged,
+        "served from cache": result.from_cache,
+        "request digest": result.digest[:16],
+        "estimated H*": str(report.estimate),
+    }
+    if args.compromised == 1:
+        exact = AnonymityAnalyzer(request.model()).anonymity_degree(
+            request.strategy().effective_distribution(args.n)
+        )
+        lines["closed-form H*"] = round(exact, 5)
+        lines["closed form inside the 95% CI"] = report.estimate.contains(
+            exact, slack=1e-9
+        )
+    lines["elapsed seconds"] = round(result.elapsed_seconds, 4)
+    lines["cache"] = args.cache_dir or "(memory only)"
+    model = request.model()
+    print(
+        render_key_points(
+            lines,
+            title=f"Adaptive estimation ({model.describe()}, backend={args.backend})",
+        )
+    )
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    import os.path
+
+    from repro.service import ResultCache
+
+    if not os.path.isdir(args.cache_dir):
+        print(
+            f"error: cache directory {args.cache_dir!r} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(cache_dir=args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {args.cache_dir}")
+        return 0
+    stats = cache.stats()
+    lines = {
+        "cache dir": stats.cache_dir,
+        "disk entries": stats.disk_entries,
+        "disk bytes": stats.disk_bytes,
+    }
+    print(render_key_points(lines, title="Result cache"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -347,6 +545,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_simulate(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "estimate":
+        return _command_estimate(args)
+    if args.command == "cache":
+        return _command_cache(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -11,6 +11,7 @@ from collections.abc import Callable
 
 from repro.experiments.base import ExperimentData
 from repro.experiments.extensions import (
+    adaptive_validation,
     adversary_ablation,
     batch_validation,
     compromised_sweep,
@@ -50,6 +51,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentData]] = {
     "ext-pred": predecessor_attack_rounds,
     "ext-batch": batch_validation,
     "ext-shard": sharded_validation,
+    "ext-adaptive": adaptive_validation,
 }
 
 

@@ -1,0 +1,215 @@
+"""Adaptive-precision scheduling: run until the estimate is good enough.
+
+Fixed trial budgets waste work in both directions — easy configurations are
+over-sampled, hard ones under-sampled.  The :class:`AdaptiveScheduler`
+replaces the budget with a *precision target*: it runs successive **blocks**
+of trials through an accumulating estimator backend, merges the per-block
+:class:`~repro.batch.estimator.BatchAccumulator`\\ s, and stops as soon as the
+95% confidence-interval half-width of the entropy estimate falls below the
+target (or a trial / wall-clock ceiling is hit).
+
+Determinism
+-----------
+The trial sequence is a pure function of ``(seed, block_size)``: block ``i``
+runs on the ``i``-th sub-seed drawn from the parent generator, and blocks are
+merged in round order.  Because the per-block kernels are themselves
+deterministic (see ``docs/backends.md``), two runs with the same
+``(seed, block_size)`` — and, for the ``sharded`` backend, the same
+``shards`` — produce bit-identical reports, which is what lets the service
+cache results by content digest.  The stopping rule reads only merged
+statistics, so it, too, is deterministic; a ``max_seconds`` ceiling is the
+one escape hatch, and runs stopped by it are flagged so they are never
+cached.
+
+Backends opt in by exposing ``accumulate_runner(model, strategy)`` — a
+callable ``(n_trials, rng) -> BatchAccumulator`` — as ``batch`` and
+``sharded`` do.  The ``exact`` backend short-circuits (zero variance, zero
+trials); backends without accumulation (e.g. ``event``) are rejected with a
+clear error instead of a silent statistical downgrade.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.batch.backends import EstimatorBackend, get_backend
+from repro.batch.estimator import BatchAccumulator
+from repro.core.model import SystemModel
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation.results import _Z_95 as Z_95
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["AdaptiveRun", "AdaptiveScheduler", "STOP_PRECISION", "STOP_BUDGET", "STOP_WALL_CLOCK", "STOP_EXACT"]
+
+#: Stop reasons reported by :class:`AdaptiveRun`.
+STOP_PRECISION = "precision"      #: the CI half-width target was reached
+STOP_BUDGET = "max_trials"        #: the trial ceiling was exhausted first
+STOP_WALL_CLOCK = "max_seconds"   #: the wall-clock ceiling fired (not cacheable)
+STOP_EXACT = "exact"              #: a zero-variance backend answered directly
+
+
+@dataclass(frozen=True)
+class AdaptiveRun:
+    """Outcome of one adaptive estimation: the report plus how it stopped."""
+
+    report: "MonteCarloReport"
+    rounds: int
+    converged: bool
+    stop_reason: str
+    #: ``(cumulative trials, CI half-width)`` after each round, in order.
+    trajectory: tuple[tuple[int, float], ...]
+    elapsed_seconds: float
+
+    @property
+    def n_trials(self) -> int:
+        """Trials actually spent."""
+        return self.report.n_trials
+
+    @property
+    def half_width(self) -> float:
+        """Achieved 95% CI half-width in bits."""
+        return Z_95 * self.report.estimate.std_error
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether the outcome is a pure function of ``(seed, block_size)``."""
+        return self.stop_reason != STOP_WALL_CLOCK
+
+
+class AdaptiveScheduler:
+    """Run trial blocks through a backend until the CI is narrow enough.
+
+    Parameters
+    ----------
+    backend:
+        Backend name (resolved through the registry with
+        ``backend_options``) or a ready :class:`EstimatorBackend` instance.
+    precision:
+        Target 95% CI half-width in bits, or ``None`` to always spend the
+        full ``max_trials`` budget (useful for apples-to-apples comparisons).
+    block_size:
+        Trials per round.  Part of the determinism contract: changing it
+        changes the sub-seed sequence and therefore the bits of the result.
+    max_trials:
+        Hard ceiling on total trials; reaching it stops the run un-converged.
+    max_seconds:
+        Optional wall-clock ceiling, checked between rounds.  Runs stopped by
+        it are marked non-deterministic (:attr:`AdaptiveRun.deterministic`).
+    """
+
+    def __init__(
+        self,
+        backend: str | EstimatorBackend = "batch",
+        precision: float | None = 0.01,
+        block_size: int = 10_000,
+        max_trials: int = 1_000_000,
+        max_seconds: float | None = None,
+        **backend_options,
+    ) -> None:
+        if precision is not None and precision <= 0.0:
+            raise ConfigurationError(f"precision must be > 0, got {precision}")
+        if block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+        if max_trials < 1:
+            raise ConfigurationError(f"max_trials must be >= 1, got {max_trials}")
+        if max_seconds is not None and max_seconds <= 0.0:
+            raise ConfigurationError(f"max_seconds must be > 0, got {max_seconds}")
+        if isinstance(backend, EstimatorBackend):
+            if backend_options:
+                raise ConfigurationError(
+                    "backend_options only apply when the backend is given by "
+                    "name; configure the instance directly instead"
+                )
+            self.backend = backend
+        else:
+            self.backend = get_backend(backend, **backend_options)
+        self.precision = precision
+        self.block_size = block_size
+        self.max_trials = max_trials
+        self.max_seconds = max_seconds
+
+    def run(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy | PathLengthDistribution,
+        rng: RandomSource = None,
+    ) -> AdaptiveRun:
+        """Estimate ``H*(S)`` adaptively; returns the report plus stop metadata."""
+        if isinstance(strategy, PathLengthDistribution):
+            strategy = PathSelectionStrategy(
+                name=strategy.name, distribution=strategy
+            )
+        started = time.perf_counter()
+        if getattr(self.backend, "name", None) == "exact":
+            report = self.backend.estimate(model, strategy, rng=rng)
+            return AdaptiveRun(
+                report=report,
+                rounds=0,
+                converged=True,
+                stop_reason=STOP_EXACT,
+                trajectory=(),
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        runner = getattr(self.backend, "accumulate_runner", None)
+        if runner is None:
+            raise ConfigurationError(
+                f"backend {getattr(self.backend, 'name', self.backend)!r} does "
+                "not support block accumulation; adaptive estimation needs an "
+                "accumulating backend ('batch', 'sharded', or a registered "
+                "engine exposing accumulate_runner(model, strategy))"
+            )
+        accumulate = runner(model, strategy)
+        distribution = strategy.effective_distribution(model.n_nodes)
+
+        generator = ensure_rng(rng)
+        merged: BatchAccumulator | None = None
+        trajectory: list[tuple[int, float]] = []
+        rounds = 0
+        converged = False
+        stop_reason = STOP_BUDGET
+        while True:
+            block = min(self.block_size, self.max_trials - (merged.n_trials if merged else 0))
+            sub_seed = int(generator.integers(0, 2**63 - 1))
+            part = accumulate(block, rng=sub_seed)
+            merged = part if merged is None else BatchAccumulator.merge([merged, part])
+            rounds += 1
+            half_width = self._half_width(merged)
+            trajectory.append((merged.n_trials, half_width))
+            if self.precision is not None and half_width <= self.precision:
+                converged = True
+                stop_reason = STOP_PRECISION
+                break
+            if merged.n_trials >= self.max_trials:
+                # With no precision target the full budget *is* the plan.
+                converged = self.precision is None
+                stop_reason = STOP_BUDGET
+                break
+            if (
+                self.max_seconds is not None
+                and time.perf_counter() - started > self.max_seconds
+            ):
+                stop_reason = STOP_WALL_CLOCK
+                break
+        report = merged.report(model, distribution.name)
+        return AdaptiveRun(
+            report=report,
+            rounds=rounds,
+            converged=converged,
+            stop_reason=stop_reason,
+            trajectory=tuple(trajectory),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    @staticmethod
+    def _half_width(accumulator: BatchAccumulator) -> float:
+        """95% CI half-width of the merged accumulator, without a full report.
+
+        Reads :meth:`BatchAccumulator.grouped_moments` — the same statistics
+        the final report is built from — so the stopping rule and the cached
+        report can never disagree on the achieved precision.
+        """
+        _, std_error = accumulator.grouped_moments()
+        return Z_95 * std_error

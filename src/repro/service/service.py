@@ -1,0 +1,264 @@
+"""The estimation service: adaptive precision behind a content-addressed cache.
+
+:class:`EstimationService` is the front door the ROADMAP's serving story
+plugs into: callers describe *what* they want as an
+:class:`~repro.service.request.EstimateRequest` (model, distribution,
+backend, seed policy, precision target) and the service decides *how much
+work* that costs — zero, when the request's content digest is already cached;
+otherwise the adaptive scheduler's minimum.  Properties:
+
+* **idempotence** — identical requests return bit-identical reports, whether
+  computed or served from either cache tier;
+* **single-flight** — concurrent identical requests are coalesced onto one
+  computation (the second caller waits on the first's future);
+* **bounded concurrency** — independent requests dispatch onto a fixed-size
+  worker pool (:meth:`submit` / :meth:`estimate_many`); the heavy backends
+  either release the GIL in their NumPy kernels (``batch``) or run in worker
+  processes (``sharded``), so threads are the right dispatch unit;
+* **backend reuse** — one backend instance per ``(name, options)`` is shared
+  across requests, so e.g. the sharded worker pool spawns once per service,
+  not once per request.
+
+Results that are not a pure function of the request — runs cut short by the
+service's wall-clock ceiling — are returned but never cached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.batch.backends import get_backend
+from repro.exceptions import ConfigurationError
+from repro.service.adaptive import AdaptiveRun, AdaptiveScheduler
+from repro.service.cache import CachedEstimate, CacheStats, ResultCache
+from repro.service.request import EstimateRequest
+
+__all__ = ["EstimationService", "ServiceResult"]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One answered request: the report, its provenance, and its cost."""
+
+    digest: str
+    report: "MonteCarloReport"
+    rounds: int
+    converged: bool
+    stop_reason: str
+    from_cache: bool
+    elapsed_seconds: float
+    #: Per-round ``(cumulative trials, CI half-width)``; empty on cache hits.
+    trajectory: tuple[tuple[int, float], ...] = ()
+
+    @property
+    def n_trials(self) -> int:
+        """Trials spent producing the report (0 for the exact backend)."""
+        return self.report.n_trials
+
+    @property
+    def degree_bits(self) -> float:
+        """Point estimate of the anonymity degree in bits."""
+        return self.report.estimate.mean
+
+
+class EstimationService:
+    """Facade: cached, adaptive, concurrently-dispatched anonymity estimates.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the durable cache tier; ``None`` keeps the cache
+        in-memory only (still deduplicates within the service's lifetime).
+    memory_entries:
+        Capacity of the in-memory LRU tier.
+    max_workers:
+        Size of the dispatch pool used by :meth:`submit` /
+        :meth:`estimate_many`.  Synchronous :meth:`estimate` calls run on the
+        caller's thread and are not queued.
+    max_seconds:
+        Optional per-request wall-clock ceiling.  Requests stopped by it
+        return their best estimate so far, un-converged and un-cached.
+    """
+
+    def __init__(
+        self,
+        cache_dir=None,
+        memory_entries: int = 256,
+        max_workers: int = 4,
+        max_seconds: float | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self._cache = ResultCache(cache_dir=cache_dir, memory_entries=memory_entries)
+        self._max_seconds = max_seconds
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._backends: dict[tuple, object] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Estimation                                                          #
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, request: EstimateRequest) -> ServiceResult:
+        """Answer one request synchronously (cache first, compute on miss).
+
+        Identical concurrent requests are coalesced: if another thread is
+        already computing this digest, the call waits for that result
+        instead of recomputing it.
+        """
+        started = time.perf_counter()
+        digest = request.digest()
+        cached = self._cache.get(digest)
+        if cached is not None:
+            return self._from_cache(digest, cached, started)
+        with self._lock:
+            pending = self._inflight.get(digest)
+            if pending is None:
+                owner = True
+                pending = Future()
+                self._inflight[digest] = pending
+            else:
+                owner = False
+        if not owner:
+            result: ServiceResult = pending.result()
+            # Re-stamp the wait as this caller's elapsed time, from cache's
+            # point of view: the bits were computed exactly once.
+            return ServiceResult(
+                digest=result.digest,
+                report=result.report,
+                rounds=result.rounds,
+                converged=result.converged,
+                stop_reason=result.stop_reason,
+                from_cache=True,
+                elapsed_seconds=time.perf_counter() - started,
+                trajectory=(),
+            )
+        try:
+            result = self._compute(request, digest, started)
+        except BaseException as error:
+            pending.set_exception(error)
+            raise
+        else:
+            pending.set_result(result)
+            return result
+        finally:
+            with self._lock:
+                self._inflight.pop(digest, None)
+
+    def submit(self, request: EstimateRequest) -> "Future[ServiceResult]":
+        """Queue one request on the bounded worker pool; returns a future."""
+        if self._closed:
+            raise ConfigurationError("the estimation service has been closed")
+        return self._pool.submit(self.estimate, request)
+
+    def estimate_many(
+        self, requests: Iterable[EstimateRequest]
+    ) -> list[ServiceResult]:
+        """Answer many requests in parallel, preserving input order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _from_cache(
+        self, digest: str, cached: CachedEstimate, started: float
+    ) -> ServiceResult:
+        return ServiceResult(
+            digest=digest,
+            report=cached.report,
+            rounds=cached.rounds,
+            converged=cached.converged,
+            stop_reason=cached.stop_reason,
+            from_cache=True,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _backend(self, request: EstimateRequest):
+        key = (request.backend, request.backend_options)
+        with self._lock:
+            backend = self._backends.get(key)
+            if backend is None:
+                backend = get_backend(
+                    request.backend, **dict(request.backend_options)
+                )
+                self._backends[key] = backend
+        return backend
+
+    def _compute(
+        self, request: EstimateRequest, digest: str, started: float
+    ) -> ServiceResult:
+        scheduler = AdaptiveScheduler(
+            backend=self._backend(request),
+            precision=request.precision,
+            block_size=request.block_size,
+            max_trials=request.max_trials,
+            max_seconds=self._max_seconds,
+        )
+        run: AdaptiveRun = scheduler.run(
+            request.model(), request.strategy(), rng=request.seed
+        )
+        if run.deterministic:
+            self._cache.put(
+                request,
+                CachedEstimate(
+                    report=run.report,
+                    rounds=run.rounds,
+                    converged=run.converged,
+                    stop_reason=run.stop_reason,
+                ),
+            )
+        return ServiceResult(
+            digest=digest,
+            report=run.report,
+            rounds=run.rounds,
+            converged=run.converged,
+            stop_reason=run.stop_reason,
+            from_cache=False,
+            elapsed_seconds=time.perf_counter() - started,
+            trajectory=run.trajectory,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cache maintenance and lifecycle                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cache(self) -> ResultCache:
+        """The underlying two-tier result cache."""
+        return self._cache
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters and tier sizes."""
+        return self._cache.stats()
+
+    def clear_cache(self) -> int:
+        """Drop every cached result; returns the number of entries removed."""
+        return self._cache.clear()
+
+    def close(self) -> None:
+        """Shut the dispatch pool down and release pooled backends."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        with self._lock:
+            backends = list(self._backends.values())
+            self._backends.clear()
+        for backend in backends:
+            close = getattr(backend, "close", None)
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
