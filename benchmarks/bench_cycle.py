@@ -1,0 +1,133 @@
+"""Throughput benchmark: the vectorized cycle engine vs the hop-by-hop engine.
+
+This is the perf record for the cycle-allowed fast path of
+:mod:`repro.batch.cycleengine`: the Crowds reference configuration — ``N=20``
+nodes, the original deployment's coin-flip strategy (``p_forward=3/4``,
+cycles allowed), one compromised node, the full-Bayes adversary — estimated
+
+* hop by hop through :class:`~repro.simulation.experiment.StrategyMonteCarlo`
+  (one concrete path, one observation, one exact cycle posterior per trial),
+  and
+* through the columnar :class:`~repro.batch.estimator.BatchMonteCarlo` cycle
+  engine (blockwise Markov transition sampling, vectorized classification,
+  one exact posterior per *class*).
+
+The asserted floor — **batch >= 25x the event engine's trials/sec** — is the
+acceptance criterion of the engine; two to three orders of magnitude is
+typical because the event engine prices every trial individually while the
+cycle engine prices each of the few dozen observation classes once.
+
+Both engines are statistically identical (their per-trial entropies follow
+the same law), which the parity test checks before anything is timed.
+
+The measurement writes a machine-readable ``BENCH_cycle.json`` record (see
+:mod:`perf_record`).  Under ``--smoke`` the budgets shrink so the whole run
+takes seconds; the record is written but the floor is not asserted.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cycle.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from perf_record import write_record
+
+from repro.batch import BatchMonteCarlo
+from repro.core.model import PathModel, SystemModel
+from repro.distributions import GeometricLength
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation.experiment import StrategyMonteCarlo
+
+#: The workload: the Crowds reference configuration on cycle-allowed paths.
+N_NODES = 20
+P_FORWARD = 0.75
+EVENT_TRIALS = 2_000
+BATCH_TRIALS = 2_000_000
+SMOKE_EVENT_TRIALS = 300
+SMOKE_BATCH_TRIALS = 100_000
+#: Acceptance floor for the cycle engine over hop-by-hop estimation.
+MIN_SPEEDUP = 25.0
+
+
+def _workload():
+    model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+    strategy = PathSelectionStrategy(
+        "Crowds",
+        GeometricLength(p_forward=P_FORWARD, minimum=1),
+        path_model=PathModel.CYCLE_ALLOWED,
+    )
+    return model, strategy
+
+
+def test_cycle_batch_matches_event_statistics():
+    """Sanity before speed: the two cycle engines agree statistically."""
+    model, strategy = _workload()
+    event = StrategyMonteCarlo(model, strategy).run(1_500, rng=0)
+    batch = BatchMonteCarlo(model, strategy).run(150_000, rng=0)
+    gap = abs(event.degree_bits - batch.degree_bits)
+    tolerance = 3.0 * (event.estimate.std_error + batch.estimate.std_error)
+    assert gap <= tolerance, (
+        f"event {event.estimate} vs batch {batch.estimate} differ by {gap:.5f}"
+    )
+
+
+def test_cycle_speedup_floor(smoke):
+    """The acceptance criterion: the cycle engine >= 25x hop-by-hop trials/sec."""
+    event_trials = SMOKE_EVENT_TRIALS if smoke else EVENT_TRIALS
+    batch_trials = SMOKE_BATCH_TRIALS if smoke else BATCH_TRIALS
+    model, strategy = _workload()
+
+    event_engine = StrategyMonteCarlo(model, strategy)
+    started = time.perf_counter()
+    event_report = event_engine.run(event_trials, rng=0)
+    event_seconds = time.perf_counter() - started
+
+    batch_engine = BatchMonteCarlo(model, strategy)
+    started = time.perf_counter()
+    batch_report = batch_engine.run(batch_trials, rng=0)
+    batch_seconds = time.perf_counter() - started
+
+    event_tps = event_trials / event_seconds
+    batch_tps = batch_trials / batch_seconds
+    speedup = batch_tps / event_tps
+    print()
+    print(f"event (hop-by-hop) : {event_seconds:8.2f}s ({event_tps:,.0f} trials/sec)")
+    print(f"batch (cycle eng.) : {batch_seconds:8.2f}s ({batch_tps:,.0f} trials/sec)")
+    print(f"speedup            : {speedup:8.1f}x")
+    print(f"event estimate {event_report.estimate}")
+    print(f"batch estimate {batch_report.estimate}")
+
+    write_record(
+        "cycle",
+        smoke=smoke,
+        config={
+            "n_nodes": N_NODES,
+            "n_compromised": 1,
+            "p_forward": P_FORWARD,
+            "path_model": "cycle_allowed",
+            "event_trials": event_trials,
+            "batch_trials": batch_trials,
+            "floor_speedup": MIN_SPEEDUP,
+        },
+        event_seconds=round(event_seconds, 3),
+        batch_seconds=round(batch_seconds, 3),
+        event_trials_per_sec=round(event_tps, 1),
+        batch_trials_per_sec=round(batch_tps, 1),
+        speedup=round(speedup, 1),
+    )
+
+    gap = abs(event_report.degree_bits - batch_report.degree_bits)
+    tolerance = 3.0 * (
+        event_report.estimate.std_error + batch_report.estimate.std_error
+    )
+    assert gap <= tolerance
+
+    if smoke:
+        return  # tiny budgets; record only
+    assert speedup >= MIN_SPEEDUP, (
+        f"cycle batch engine reached only {speedup:.1f}x over the hop-by-hop "
+        f"event engine; the floor is {MIN_SPEEDUP}x"
+    )

@@ -22,10 +22,22 @@ model:
 * the adversary knows which nodes it has compromised, so silence of those
   nodes is used as negative evidence (they are not on the path).
 
-The engine supports the ``FULL_BAYES`` and ``POSITION_AWARE`` adversaries of
-:class:`repro.core.model.AdversaryModel` on simple paths, plus the weaker
-``PREDECESSOR_ONLY`` (Crowds-style) posterior.  It is exact, not sampled; the
-Monte-Carlo machinery only samples *observations*, never posteriors.
+The engine supports all three adversaries of
+:class:`repro.core.model.AdversaryModel` on two path models:
+
+* **simple paths** (any number of compromised nodes) via the block-arrangement
+  counts of :mod:`repro.combinatorics.arrangements`;
+* **cycle-allowed paths** (one compromised node ``m``) via clique *walk*
+  counts (:mod:`repro.combinatorics.walks`): a cycle path is a uniform walk on
+  ``K_N`` without self-loops, the hops between occurrences of ``m`` are walks
+  in the honest sub-clique ``K_{N-1}``, and the likelihood of an observation
+  is a convolution of per-segment walk counts over the unknown segment
+  lengths.  Only the *first* segment depends on the candidate sender (through
+  whether the candidate coincides with the first observed predecessor), which
+  is what keeps cycle posteriors two-valued and therefore cheap.
+
+It is exact, not sampled; the Monte-Carlo machinery only samples
+*observations*, never posteriors.
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ from dataclasses import dataclass
 from repro.adversary.observation import Observation, RECEIVER
 from repro.combinatorics.arrangements import count_arrangements, total_paths
 from repro.combinatorics.fragments import FragmentSet
+from repro.combinatorics.walks import normalized_clique_walks
 from repro.core.model import AdversaryModel, PathModel, SystemModel
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError, InferenceError
@@ -87,12 +100,15 @@ class BayesianPathInference:
         distribution: PathLengthDistribution,
         compromised: frozenset[int] | set[int] | None = None,
     ) -> None:
-        if model.path_model is not PathModel.SIMPLE:
-            raise ConfigurationError(
-                "BayesianPathInference counts simple paths; use the exhaustive "
-                "enumeration engine for cycle-allowed paths."
-            )
-        if distribution.max_length > model.max_simple_path_length:
+        if model.path_model is PathModel.CYCLE_ALLOWED:
+            if model.n_compromised != 1:
+                raise ConfigurationError(
+                    "cycle-allowed inference covers exactly one compromised "
+                    f"node; got n_compromised={model.n_compromised}. Use the "
+                    "exhaustive enumeration engine (small N) for multiple "
+                    "compromised nodes on cycle paths."
+                )
+        elif distribution.max_length > model.max_simple_path_length:
             raise ConfigurationError(
                 f"distribution {distribution.name} exceeds the maximum simple-path "
                 f"length for N={model.n_nodes}; truncate it first"
@@ -132,6 +148,8 @@ class BayesianPathInference:
     def posterior(self, observation: Observation) -> SenderPosterior:
         """Exact posterior over senders given one observation."""
         adversary = self._model.adversary
+        if self._model.path_model is PathModel.CYCLE_ALLOWED:
+            return self._posterior_cycle(observation)
         if adversary is AdversaryModel.FULL_BAYES:
             return self._posterior_full_bayes(observation.without_positions())
         if adversary is AdversaryModel.POSITION_AWARE:
@@ -361,6 +379,197 @@ class BayesianPathInference:
         return probability
 
     # ------------------------------------------------------------------ #
+    # CYCLE_ALLOWED paths (one compromised node)                          #
+    # ------------------------------------------------------------------ #
+    #
+    # A cycle path of length l from sender i is a uniform walk on K_N
+    # without self-loops: probability (N-1)**-l each.  The single
+    # compromised node m splits a consistent walk into honest segments
+    # (walks in the honest sub-clique K_{N-1}); the observation pins each
+    # segment's endpoints, so the likelihood of candidate i is a sum over
+    # segment-length compositions of products of clique walk counts.  Every
+    # factor except the first (i -> first observed predecessor) is
+    # candidate-independent, so posteriors are two-valued over the honest
+    # nodes: one weight for the first predecessor, one for everybody else.
+
+    def _posterior_cycle(self, observation: Observation) -> SenderPosterior:
+        if observation.origin_node is not None:
+            return self._delta_posterior(observation.origin_node)
+        (m,) = self._compromised
+        for report in observation.hop_reports:
+            if report.node != m:
+                raise InferenceError(
+                    f"cycle inference expects every hop report to come from the "
+                    f"single compromised node {m}, got a report from {report.node}"
+                )
+        adversary = self._model.adversary
+        if adversary is AdversaryModel.PREDECESSOR_ONLY:
+            return self._cycle_predecessor_only(observation, m)
+        if not observation.hop_reports:
+            return self._cycle_silent(observation, m)
+        if adversary is AdversaryModel.POSITION_AWARE:
+            return self._cycle_position_aware(observation, m)
+        return self._cycle_full_bayes(observation, m)
+
+    def _honest_walk(self, edges: int, closed: bool) -> float:
+        """Normalised walk count in the honest sub-clique ``K_{N-1}``."""
+        return normalized_clique_walks(self._model.n_nodes - 1, edges, closed)
+
+    def _cycle_silent(self, observation: Observation, m: int) -> SenderPosterior:
+        """m saw nothing: the whole path is one honest walk ending at the receiver's report."""
+        n = self._model.n_nodes
+        if observation.receiver_report is None:
+            # No evidence beyond m's silence: every honest sender explains it
+            # with the same probability sum(P(l) * ((N-2)/(N-1))**l).
+            return self._normalise(
+                {node: 0.0 if node == m else 1.0 for node in range(n)}
+            )
+        witness = observation.receiver_report.predecessor
+        special = 0.0
+        common = 0.0
+        for length, prob in self._distribution.items():
+            special += prob * self._honest_walk(length, closed=True)
+            common += prob * self._honest_walk(length, closed=False)
+        weights = {node: common for node in range(n)}
+        weights[witness] = special
+        weights[m] = 0.0
+        return self._normalise(weights)
+
+    def _cycle_full_bayes(self, observation: Observation, m: int) -> SenderPosterior:
+        n = self._model.n_nodes
+        reports = observation.hop_reports
+        k = len(reports)
+        for report in reports[:-1]:
+            if report.successor == RECEIVER:
+                raise InferenceError(
+                    "only the last hop report of the compromised node may hand "
+                    "the message to the receiver"
+                )
+        m_last = reports[-1].successor == RECEIVER
+        if m_last and observation.receiver_report is not None:
+            if observation.receiver_report.predecessor != m:
+                raise InferenceError(
+                    "the compromised node reports delivering to the receiver, "
+                    "but the receiver reports a different predecessor"
+                )
+
+        # Walks consume: one edge into and one out of each of the k
+        # occurrences of m, except that the final occurrence has no outgoing
+        # intermediate edge when it delivered to the receiver.
+        offset = 2 * k - 1 if m_last else 2 * k
+        max_free = self._distribution.max_length - offset
+        if max_free < 0:
+            raise InferenceError(
+                "the observation requires a longer path than the length "
+                "distribution supports"
+            )
+
+        # Candidate-independent factors: the honest segments between
+        # consecutive occurrences of m, plus the tail segment after the last
+        # occurrence (absent when m itself delivered to the receiver).
+        factors: list[list[float]] = []
+        for first, second in zip(reports, reports[1:]):
+            factors.append(
+                self._segment_factor(max_free, first.successor == second.predecessor)
+            )
+        if not m_last:
+            if observation.receiver_report is not None:
+                witness = observation.receiver_report.predecessor
+                factors.append(
+                    self._segment_factor(
+                        max_free, reports[-1].successor == witness
+                    )
+                )
+            else:
+                # Honest receiver: the tail walk may end anywhere honest, and
+                # there are (N-2)**e walks of e honest steps from a fixed
+                # start, i.e. ((N-2)/(N-1))**e after per-step normalisation.
+                ratio = (n - 2) / (n - 1)
+                factors.append([ratio**edges for edges in range(max_free + 1)])
+        rest = [1.0]
+        for factor in factors:
+            rest = _truncated_convolution(rest, factor, max_free)
+
+        first_predecessor = reports[0].predecessor
+        special_head = self._segment_factor(max_free, closed=True)
+        common_head = self._segment_factor(max_free, closed=False)
+        special_sums = _truncated_convolution(special_head, rest, max_free)
+        common_sums = _truncated_convolution(common_head, rest, max_free)
+
+        special = 0.0
+        common = 0.0
+        for length, prob in self._distribution.items():
+            free = length - offset
+            if free < 0:
+                continue
+            special += prob * special_sums[free]
+            common += prob * common_sums[free]
+        weights = {node: common for node in range(n)}
+        weights[first_predecessor] = special
+        weights[m] = 0.0
+        return self._normalise(weights)
+
+    def _segment_factor(self, max_free: int, closed: bool) -> list[float]:
+        """Normalised honest-walk counts for one pinned segment, by edge count."""
+        return [
+            self._honest_walk(edges, closed) for edges in range(max_free + 1)
+        ]
+
+    def _cycle_position_aware(self, observation: Observation, m: int) -> SenderPosterior:
+        n = self._model.n_nodes
+        first = observation.hop_reports[0]
+        if any(report.position is None for report in observation.hop_reports):
+            raise InferenceError(
+                "the position-aware adversary requires hop positions in every report"
+            )
+        if first.position == 1:
+            # The first hop's predecessor is the sender, and the adversary
+            # knows the position, so the sender is identified outright.
+            return self._delta_posterior(first.predecessor)
+        # Only the walk from the sender to the first occurrence of m depends
+        # on the candidate; every later segment has known, pinned endpoints
+        # and factors out of the posterior.
+        edges = first.position - 1
+        weights = {
+            node: self._honest_walk(edges, closed=(node == first.predecessor))
+            for node in range(n)
+        }
+        weights[m] = 0.0
+        return self._normalise(weights)
+
+    def _cycle_predecessor_only(
+        self, observation: Observation, m: int
+    ) -> SenderPosterior:
+        n = self._model.n_nodes
+        if not observation.hop_reports:
+            # The weak adversary ignores the receiver entirely; silence only
+            # says m is not the sender.
+            return self._normalise(
+                {node: 0.0 if node == m else 1.0 for node in range(n)}
+            )
+        predecessor = observation.hop_reports[0].predecessor
+        # Likelihood of "m's first occurrence had predecessor p" for sender
+        # i: the first q-1 hops are an honest walk i -> p, hop q is m, and
+        # the remaining hops are unconstrained; summed over q and lengths the
+        # per-candidate part is a running sum of honest walk counts.
+        special = 0.0
+        common = 0.0
+        closed_cumulative = 0.0
+        open_cumulative = 0.0
+        horizon = 0
+        for length, prob in self._distribution.items():
+            while horizon < length:
+                closed_cumulative += self._honest_walk(horizon, closed=True)
+                open_cumulative += self._honest_walk(horizon, closed=False)
+                horizon += 1
+            special += prob * closed_cumulative
+            common += prob * open_cumulative
+        weights = {node: common for node in range(n)}
+        weights[predecessor] = special
+        weights[m] = 0.0
+        return self._normalise(weights)
+
+    # ------------------------------------------------------------------ #
     # Helpers                                                             #
     # ------------------------------------------------------------------ #
 
@@ -377,3 +586,26 @@ class BayesianPathInference:
                 "check that the observation matches the system model"
             )
         return SenderPosterior({node: w / total for node, w in weights.items()})
+
+
+def _truncated_convolution(
+    a: list[float], b: list[float], max_edges: int
+) -> list[float]:
+    """Convolution of two edge-count series, truncated at ``max_edges``.
+
+    ``out[t] = sum(a[i] * b[t - i])`` — the walk-count series of two adjacent
+    honest segments whose combined edge budget is ``t``.  Entries beyond the
+    distribution's longest path can never contribute to a likelihood, so they
+    are dropped rather than computed.
+    """
+    out = [0.0] * (max_edges + 1)
+    for i, x in enumerate(a):
+        if i > max_edges:
+            break
+        if x == 0.0:
+            continue
+        for j, y in enumerate(b):
+            if i + j > max_edges:
+                break
+            out[i + j] += x * y
+    return out

@@ -86,8 +86,12 @@ def _degree_evaluator(
     engine = get_backend(backend, **(backend_options or {}))
 
     def evaluate(distribution: PathLengthDistribution) -> float:
+        # The model's path model rides along: a CYCLE_ALLOWED model sweeps
+        # Crowds-style walk strategies through the cycle engine.
         strategy = PathSelectionStrategy(
-            name=distribution.name, distribution=distribution
+            name=distribution.name,
+            distribution=distribution,
+            path_model=model.path_model,
         )
         report = engine.estimate(
             model,
@@ -131,6 +135,7 @@ def _service_evaluator(
             n_compromised=model.n_compromised,
             adversary=model.adversary.value,
             receiver_compromised=model.receiver_compromised,
+            path_model=model.path_model.value,
             backend=backend_name,
             backend_options=tuple(sorted((backend_options or {}).items())),
             # precision=None keeps the sweep's fixed n_trials budget — passing

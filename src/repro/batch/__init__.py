@@ -33,6 +33,15 @@ Layout
     codes (the ``C = 1`` engine).
 :mod:`repro.batch.multiclass`
     Arrangement-class keys and their exact score table (the general engine).
+:mod:`repro.batch.cyclesampler`
+    Columnar Markov hop-block sampling for cycle-allowed paths
+    (:class:`CycleTrialSampler`).
+:mod:`repro.batch.cycleclassify`
+    Cycle observation-class keys (:func:`classify_cycle_trials`).
+:mod:`repro.batch.cycleengine`
+    The cycle-allowed engine (:class:`CycleBatchEngine`) and its lazily
+    priced :class:`CycleScoreTable` (Crowds-style protocols, one compromised
+    node).
 :mod:`repro.batch.estimator`
     The drop-in estimator (:class:`BatchMonteCarlo`) and the mergeable
     :class:`BatchAccumulator` it reduces to.
@@ -58,6 +67,9 @@ from repro.batch.backends import (
 )
 from repro.batch.columns import ABSENT, MultiTrialColumns, TrialColumns
 from repro.batch.classify import class_counts, classify_columns
+from repro.batch.cycleclassify import classify_cycle_trials, cycle_trial_key
+from repro.batch.cycleengine import CycleBatchEngine, CycleScoreTable
+from repro.batch.cyclesampler import CycleTrialColumns, CycleTrialSampler
 from repro.batch.estimator import BatchAccumulator, BatchMonteCarlo
 from repro.batch.multiclass import ClassScoreTable, count_class_keys
 from repro.batch.sampler import BatchTrialSampler, MultiTrialSampler
@@ -68,12 +80,18 @@ __all__ = [
     "ABSENT",
     "TrialColumns",
     "MultiTrialColumns",
+    "CycleTrialColumns",
     "BatchTrialSampler",
     "MultiTrialSampler",
+    "CycleTrialSampler",
     "classify_columns",
     "class_counts",
     "count_class_keys",
+    "classify_cycle_trials",
+    "cycle_trial_key",
     "ClassScoreTable",
+    "CycleScoreTable",
+    "CycleBatchEngine",
     "BatchMonteCarlo",
     "BatchAccumulator",
     "EstimatorBackend",

@@ -1,0 +1,225 @@
+"""Columnar classification of cycle-path trials into observation classes.
+
+With one compromised node ``m`` on cycle-allowed paths, the adversary's
+posterior entropy for a trial depends only on a small *class key* — never on
+which concrete honest nodes played which role (see
+:mod:`repro.adversary.inference` for the proof sketch: only the first
+observed predecessor is special, and honest-segment walk counts depend only
+on whether segment endpoints coincide).  The keys, per adversary:
+
+``("origin",)``
+    The sender is ``m``: identified outright.
+``("silent",)``
+    ``m`` is not on the path.
+``("path",)``
+    Predecessor-only adversary, ``m`` on the path: one class — the weak
+    adversary cannot tell where its node sat.
+``("pos", q)``
+    Position-aware adversary: ``m``'s first occurrence sits at hop ``q``
+    (everything after the first occurrence factors out of the posterior).
+``("fb", k, bits, last)``
+    Full-Bayes adversary: ``k`` occurrences of ``m``; ``bits[j]`` records
+    whether the node ``m`` forwarded to at occurrence ``j`` coincides with
+    the predecessor it observed at occurrence ``j + 1`` (adjacent
+    occurrences share their honest bridge); ``last`` is ``"recv"`` when
+    ``m`` delivered to the receiver itself, ``"eq"``/``"ne"`` for whether
+    ``m``'s final successor coincides with the receiver's reported
+    predecessor, or ``"open"`` under an honest receiver.
+
+:func:`cycle_trial_key` is the scalar reference rule.  The NumPy kernel
+vectorises the overwhelmingly common cases (origin, silent, at most one
+occurrence of ``m``) and falls back to the scalar rule only for the rare
+multi-occurrence trials, so classification cost stays columnar.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.batch._accel import resolve_use_numpy
+from repro.batch.cyclesampler import CycleTrialColumns
+from repro.core.model import AdversaryModel
+
+__all__ = [
+    "ORIGIN_KEY",
+    "SILENT_KEY",
+    "PATH_KEY",
+    "cycle_trial_key",
+    "classify_cycle_trials",
+]
+
+#: Class key of a compromised sender (identified outright).
+ORIGIN_KEY = ("origin",)
+#: Class key of a path that never touches the compromised node.
+SILENT_KEY = ("silent",)
+#: Class key of every on-path trial under the predecessor-only adversary.
+PATH_KEY = ("path",)
+
+
+def cycle_trial_key(
+    sender: int,
+    hops: Sequence[int],
+    length: int,
+    compromised_node: int,
+    adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
+    receiver_compromised: bool = True,
+) -> tuple:
+    """Classify one cycle-path trial (scalar reference implementation).
+
+    ``hops`` must expose at least the first ``length`` hop identities of the
+    trial; extra cells (the sampler's chain continuation) are ignored.
+    """
+    if sender == compromised_node:
+        return ORIGIN_KEY
+    occurrences = [i for i in range(length) if hops[i] == compromised_node]
+    if not occurrences:
+        return SILENT_KEY
+    if adversary is AdversaryModel.PREDECESSOR_ONLY:
+        return PATH_KEY
+    if adversary is AdversaryModel.POSITION_AWARE:
+        return ("pos", occurrences[0] + 1)
+    bits = tuple(
+        hops[occurrences[j] + 1] == hops[occurrences[j + 1] - 1]
+        for j in range(len(occurrences) - 1)
+    )
+    if occurrences[-1] == length - 1:
+        last = "recv"
+    elif not receiver_compromised:
+        last = "open"
+    else:
+        last = "eq" if hops[occurrences[-1] + 1] == hops[length - 1] else "ne"
+    return ("fb", len(occurrences), bits, last)
+
+
+def classify_cycle_trials(
+    columns: CycleTrialColumns,
+    compromised_node: int,
+    adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
+    receiver_compromised: bool = True,
+    use_numpy: bool | None = None,
+) -> dict[tuple, tuple[int, int]]:
+    """Histogram a batch into class keys.
+
+    Returns ``{key: (count, representative)}`` where ``representative`` is
+    the index of the first trial of the class in the batch — the trial whose
+    concrete path the score table prices once for the whole class.  The pure
+    and NumPy kernels produce identical mappings.
+    """
+    if resolve_use_numpy(use_numpy):
+        return _classify_numpy(
+            columns, compromised_node, adversary, receiver_compromised
+        )
+    return _classify_pure(
+        columns, compromised_node, adversary, receiver_compromised
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Pure-Python kernel                                                      #
+# ---------------------------------------------------------------------- #
+
+
+def _classify_pure(
+    columns: CycleTrialColumns,
+    compromised_node: int,
+    adversary: AdversaryModel,
+    receiver_compromised: bool,
+) -> dict[tuple, tuple[int, int]]:
+    result: dict[tuple, tuple[int, int]] = {}
+    width = columns.width
+    hops = columns.hops
+    for index, (sender, length) in enumerate(
+        zip(columns.senders, columns.lengths)
+    ):
+        base = index * width
+        key = cycle_trial_key(
+            sender,
+            hops[base : base + length],
+            length,
+            compromised_node,
+            adversary,
+            receiver_compromised,
+        )
+        entry = result.get(key)
+        result[key] = (1, index) if entry is None else (entry[0] + 1, entry[1])
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# NumPy kernel                                                            #
+# ---------------------------------------------------------------------- #
+
+
+def _classify_numpy(
+    columns: CycleTrialColumns,
+    compromised_node: int,
+    adversary: AdversaryModel,
+    receiver_compromised: bool,
+) -> dict[tuple, tuple[int, int]]:
+    import numpy as np
+
+    senders, lengths, hops = columns.as_numpy()
+    n_trials = len(columns)
+    result: dict[tuple, tuple[int, int]] = {}
+
+    def add(mask, key) -> None:
+        count = int(mask.sum())
+        if count:
+            result[key] = (count, int(mask.argmax()))
+
+    valid = np.arange(columns.width) < lengths[:, None]
+    occurrences = valid & (hops == compromised_node)
+    hits = occurrences.sum(axis=1)
+    origin = senders == compromised_node
+    add(origin, ORIGIN_KEY)
+    add(~origin & (hits == 0), SILENT_KEY)
+    on_path = ~origin & (hits > 0)
+    if columns.width == 0:
+        return result  # every path is direct: only origin/silent occur
+
+    if adversary is AdversaryModel.PREDECESSOR_ONLY:
+        add(on_path, PATH_KEY)
+        return result
+
+    first = occurrences.argmax(axis=1)  # 0-based first occurrence, on-path only
+    if adversary is AdversaryModel.POSITION_AWARE:
+        for position in np.unique(first[on_path]):
+            add(on_path & (first == position), ("pos", int(position) + 1))
+        return result
+
+    # FULL_BAYES: vectorized single-occurrence fast path.
+    single = on_path & (hits == 1)
+    m_last = single & (first + 1 == lengths)
+    add(m_last, ("fb", 1, (), "recv"))
+    not_last = single & ~m_last
+    if not receiver_compromised:
+        add(not_last, ("fb", 1, (), "open"))
+    else:
+        rows = np.nonzero(not_last)[0]
+        if rows.size:
+            successors = hops[rows, first[rows] + 1]
+            witnesses = hops[rows, lengths[rows] - 1]
+            bridged = successors == witnesses
+            eq_mask = np.zeros(n_trials, dtype=bool)
+            eq_mask[rows[bridged]] = True
+            ne_mask = np.zeros(n_trials, dtype=bool)
+            ne_mask[rows[~bridged]] = True
+            add(eq_mask, ("fb", 1, (), "eq"))
+            add(ne_mask, ("fb", 1, (), "ne"))
+
+    # Rare multi-occurrence trials: the scalar reference rule, row by row in
+    # batch order so representatives match the pure kernel.
+    for index in np.nonzero(on_path & (hits >= 2))[0]:
+        index = int(index)
+        length = int(lengths[index])
+        key = cycle_trial_key(
+            int(senders[index]),
+            hops[index, :length],
+            length,
+            compromised_node,
+            adversary,
+            receiver_compromised,
+        )
+        entry = result.get(key)
+        result[key] = (1, index) if entry is None else (entry[0] + 1, entry[1])
+    return result

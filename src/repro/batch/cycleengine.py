@@ -1,0 +1,230 @@
+"""The vectorized estimator engine for cycle-allowed path strategies.
+
+This is the third columnar engine of :class:`repro.batch.estimator.BatchMonteCarlo`
+(after the five-class and arrangement-class simple-path engines): it brings
+Crowds-style protocols — one compromised node, cycles allowed — onto the
+batch fast path.  One run decomposes into the same three columnar passes as
+its siblings:
+
+1. **sample** — draw whole trial blocks of Markov-style hop transitions
+   (:class:`~repro.batch.cyclesampler.CycleTrialSampler`);
+2. **classify** — histogram every trial into its cycle observation class
+   (:func:`~repro.batch.cycleclassify.classify_cycle_trials`);
+3. **score** — price each *distinct* class exactly once with the cycle-aware
+   exact Bayesian engine (:class:`CycleScoreTable` over
+   :class:`repro.adversary.inference.BayesianPathInference`), then gather.
+
+Because step 3 reuses exact per-class entropies, the per-trial entropy
+samples follow exactly the same law as the hop-by-hop event engine's — the
+class key provably determines the posterior entropy (see
+:mod:`repro.adversary.inference`) — at a large multiple of its throughput:
+the event engine runs one exact inference per *trial*, this engine one per
+*class*, and the number of distinct classes is tiny.
+
+Scoring goes through a **canonical representative**: the class
+representative's concrete path is relabelled so honest nodes appear in first-
+appearance order.  Equal keys therefore price through bit-identical
+arithmetic, which keeps shard merges exact and cached service replays
+bit-stable no matter which concrete trial first exhibited a class.
+
+Trial blocks are processed in fixed-size chunks so the hop matrix of a
+multi-million-trial run never materialises at once; the chunk size is a
+constant, part of the determinism contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adversary.inference import BayesianPathInference
+from repro.adversary.observation import observation_from_path
+from repro.batch._accel import resolve_use_numpy
+from repro.batch.cycleclassify import classify_cycle_trials
+from repro.batch.cyclesampler import CycleTrialColumns, CycleTrialSampler
+from repro.core.model import PathModel, SystemModel
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation.results import IDENTIFIED_THRESHOLD
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["CycleScoreTable", "CycleBatchEngine", "CHUNK_TRIALS"]
+
+#: Trials sampled per columnar chunk.  A constant: chunk boundaries shape the
+#: generator consumption, so this is part of the (seed -> bits) contract.
+CHUNK_TRIALS = 65_536
+
+
+class CycleScoreTable:
+    """Lazily scored ``class key -> (entropy, identified)`` table.
+
+    Unlike the simple-path tables, cycle classes are discovered from the data
+    (how often the compromised node recurs, which anchors coincide), so the
+    table prices classes on first sight and memoises: build one canonical
+    representative observation for the class, hand it to the exact cycle
+    inference engine, and reuse the score for every later trial of the class.
+    """
+
+    def __init__(
+        self,
+        model: SystemModel,
+        distribution: PathLengthDistribution,
+        compromised: frozenset[int],
+    ) -> None:
+        if len(compromised) != 1:
+            raise ConfigurationError(
+                "the cycle engine covers exactly one compromised node, got "
+                f"{len(compromised)}"
+            )
+        (self._compromised_node,) = compromised
+        self._model = model.with_path_model(PathModel.CYCLE_ALLOWED)
+        self._inference = BayesianPathInference(
+            self._model, distribution, compromised
+        )
+        self._scores: dict[tuple, tuple[float, bool]] = {}
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes priced so far."""
+        return len(self._scores)
+
+    def score(
+        self, key: tuple, sender: int, path: tuple[int, ...]
+    ) -> tuple[float, bool]:
+        """Exact ``(entropy_bits, identified)`` of the class of ``key``.
+
+        ``sender``/``path`` are any concrete trial of the class; they are
+        canonicalised before pricing, so the returned floats depend only on
+        the key.
+        """
+        cached = self._scores.get(key)
+        if cached is not None:
+            return cached
+        sender, path = self._canonical(sender, path)
+        observation = observation_from_path(
+            sender,
+            path,
+            frozenset((self._compromised_node,)),
+            receiver_compromised=self._model.receiver_compromised,
+        )
+        posterior = self._inference.posterior(observation)
+        score = (
+            posterior.entropy_bits,
+            posterior.max_probability >= IDENTIFIED_THRESHOLD,
+        )
+        self._scores[key] = score
+        return score
+
+    def _canonical(
+        self, sender: int, path: tuple[int, ...]
+    ) -> tuple[int, tuple[int, ...]]:
+        """Relabel honest nodes in first-appearance order.
+
+        The posterior entropy is invariant under relabelling of honest nodes,
+        so mapping every representative onto the same canonical identities
+        makes the score arithmetic — hence its last-ulp floats — a pure
+        function of the class key.
+        """
+        compromised_node = self._compromised_node
+        fresh = iter(
+            node
+            for node in range(self._model.n_nodes)
+            if node != compromised_node
+        )
+        mapping = {compromised_node: compromised_node}
+        relabelled = []
+        for node in (sender, *path):
+            if node not in mapping:
+                mapping[node] = next(fresh)
+            relabelled.append(mapping[node])
+        return relabelled[0], tuple(relabelled[1:])
+
+
+@dataclass
+class CycleBatchEngine:
+    """Columnar Monte-Carlo kernel for one cycle-allowed strategy.
+
+    Constructed by :class:`~repro.batch.estimator.BatchMonteCarlo` when the
+    strategy's path model is :attr:`~repro.core.model.PathModel.CYCLE_ALLOWED`;
+    it produces the same :class:`~repro.batch.estimator.BatchAccumulator`
+    currency as the simple-path engines, so sharding, adaptive scheduling,
+    and the service cache compose with it unchanged.
+    """
+
+    model: SystemModel
+    strategy: PathSelectionStrategy
+    compromised: frozenset[int]
+    use_numpy: bool | None = None
+
+    _sampler: CycleTrialSampler = field(init=False, repr=False)
+    _score_table: CycleScoreTable = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.strategy.path_model is not PathModel.CYCLE_ALLOWED:
+            raise ConfigurationError(
+                "CycleBatchEngine requires a cycle-allowed strategy, got "
+                f"{self.strategy.path_model!r}"
+            )
+        self.compromised = frozenset(self.compromised)
+        distribution = self.strategy.effective_distribution(self.model.n_nodes)
+        self._distribution = distribution
+        self._sampler = CycleTrialSampler(
+            n_nodes=self.model.n_nodes, distribution=distribution
+        )
+        self._score_table = CycleScoreTable(
+            model=self.model.with_compromised(len(self.compromised)),
+            distribution=distribution,
+            compromised=self.compromised,
+        )
+
+    @property
+    def distribution(self) -> PathLengthDistribution:
+        """The (untruncated) length distribution being estimated."""
+        return self._distribution
+
+    def run_accumulate(self, n_trials: int, rng: RandomSource = None):
+        """Run ``n_trials`` columnar trials and return a ``BatchAccumulator``."""
+        from repro.batch.estimator import BatchAccumulator
+
+        if n_trials < 1:
+            raise ConfigurationError("n_trials must be >= 1")
+        generator = ensure_rng(rng)
+        (compromised_node,) = self.compromised
+        classes: dict[tuple, list] = {}
+        length_sum = 0
+        remaining = n_trials
+        while remaining:
+            chunk = min(CHUNK_TRIALS, remaining)
+            remaining -= chunk
+            columns = self._sampler.draw(
+                chunk, generator, use_numpy=self.use_numpy
+            )
+            length_sum += self._length_sum(columns)
+            keyed = classify_cycle_trials(
+                columns,
+                compromised_node,
+                adversary=self.model.adversary,
+                receiver_compromised=self.model.receiver_compromised,
+                use_numpy=self.use_numpy,
+            )
+            for key, (count, representative) in keyed.items():
+                entry = classes.get(key)
+                if entry is None:
+                    entropy, identified = self._score_table.score(
+                        key,
+                        columns.senders[representative],
+                        columns.path(representative),
+                    )
+                    classes[key] = [count, entropy, identified]
+                else:
+                    entry[0] += count
+        return BatchAccumulator(
+            n_trials=n_trials,
+            length_sum=length_sum,
+            classes={key: tuple(value) for key, value in classes.items()},
+        )
+
+    def _length_sum(self, columns: CycleTrialColumns) -> int:
+        if resolve_use_numpy(self.use_numpy):
+            return int(columns.as_numpy()[1].sum())
+        return sum(columns.lengths)

@@ -1,0 +1,186 @@
+"""Bulk sampling of cycle-allowed rerouting paths as hop columns.
+
+The simple-path samplers (:mod:`repro.batch.sampler`) never materialise node
+identities: symmetry reduces a simple-path trial to a handful of integers.
+Cycle-allowed paths (Crowds, Onion Routing II, Hordes) resist that reduction —
+the adversary's observation class depends on *coincidences* between hop
+identities (whether the node the compromised node forwarded to later shows up
+as another observed predecessor), so the sampler draws the hop sequences
+themselves, as one columnar block of Markov-style transitions:
+
+* senders are uniform over the ``N`` nodes;
+* lengths come from the distribution's inverse-CDF bulk sampler;
+* hop level ``h`` is drawn for *every* trial at once: one raw uniform column
+  over ``[0, N-1)`` per level, decoded as "the raw value, skipping the node
+  that currently holds the message" — exactly the uniform-over-``N-1``
+  no-self-forwarding rule of
+  :class:`~repro.routing.selection.CyclePathSelector`.
+
+Levels beyond a trial's sampled length are still drawn and decoded (the chain
+simply keeps walking); consumers mask them out by length.  This keeps the
+generator consumption a fixed function of ``(n_trials, sampled lengths)``, so
+the pure-Python and NumPy decoders are draw-for-draw identical and results
+are deterministic under a fixed seed — the same contract the simple-path
+samplers honour.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+
+from repro.batch._accel import resolve_use_numpy
+from repro.batch.columns import int64_column
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["CycleTrialColumns", "CycleTrialSampler"]
+
+
+@dataclass(frozen=True)
+class CycleTrialColumns:
+    """A batch of cycle-path trials: senders, lengths, and a hop matrix.
+
+    ``hops`` stores the row-major ``n_trials x width`` matrix of hop
+    identities: ``hops[t * width + h]`` is the 1-based hop ``h + 1`` of trial
+    ``t``.  ``width`` is the longest sampled length of the batch; cells at or
+    beyond a trial's own length hold the chain's continuation and carry no
+    meaning — every consumer masks by ``lengths``.
+    """
+
+    senders: array
+    lengths: array
+    hops: array
+    width: int
+
+    def __post_init__(self) -> None:
+        if len(self.senders) != len(self.lengths):
+            raise ConfigurationError(
+                f"trial columns must have equal lengths, got "
+                f"senders={len(self.senders)}, lengths={len(self.lengths)}"
+            )
+        if len(self.hops) != len(self.senders) * self.width:
+            raise ConfigurationError(
+                f"hop matrix holds {len(self.hops)} cells, expected "
+                f"{len(self.senders)} x {self.width}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials stored in the batch."""
+        return len(self.senders)
+
+    def as_numpy(self):
+        """Zero-copy views ``(senders, lengths, hops_2d)``; requires numpy."""
+        from repro.batch.columns import _numpy_views
+
+        senders, lengths = _numpy_views(self.senders, self.lengths)
+        if self.width:
+            (flat,) = _numpy_views(self.hops)
+            hops_2d = flat.reshape(len(self.senders), self.width)
+        else:
+            import numpy as np
+
+            hops_2d = np.empty((len(self.senders), 0), dtype=np.int64)
+        return senders, lengths, hops_2d
+
+    def path(self, index: int) -> tuple[int, ...]:
+        """The concrete rerouting path of one trial (its first ``length`` hops)."""
+        base = index * self.width
+        return tuple(self.hops[base : base + self.lengths[index]])
+
+
+@dataclass(frozen=True)
+class CycleTrialSampler:
+    """Draws batches of cycle-allowed trials as one columnar hop block.
+
+    Parameters
+    ----------
+    n_nodes:
+        System size ``N``.
+    distribution:
+        Path-length distribution to sample from.  Cycle paths have no
+        feasibility cap, but the support must be finite (all in-tree
+        distributions are, heavy tails being cut at negligible mass).
+    """
+
+    n_nodes: int
+    distribution: PathLengthDistribution
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ConfigurationError(
+                f"batch sampling needs at least 2 nodes, got n_nodes={self.n_nodes}"
+            )
+
+    def draw(
+        self,
+        n_trials: int,
+        rng: RandomSource = None,
+        use_numpy: bool | None = None,
+    ) -> CycleTrialColumns:
+        """Sample ``n_trials`` cycle-path trials as one columnar batch."""
+        if n_trials < 1:
+            raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
+        generator = ensure_rng(rng)
+        accelerate = resolve_use_numpy(use_numpy)
+
+        senders_raw = generator.integers(0, self.n_nodes, size=n_trials)
+        lengths = self.distribution.sample_batch(n_trials, generator)
+        width = max(lengths)
+        # One raw column per hop level, drawn in level order: the raw value
+        # r in [0, N-1) decodes to "r, skipping the current holder".
+        raw_columns = [
+            generator.integers(0, self.n_nodes - 1, size=n_trials)
+            for _ in range(width)
+        ]
+
+        if accelerate:
+            hops = self._decode_numpy(senders_raw, raw_columns, n_trials, width)
+            senders = int64_column()
+            import numpy as np
+
+            senders.frombytes(senders_raw.astype(np.int64).tobytes())
+        else:
+            senders = int64_column(int(s) for s in senders_raw)
+            hops = self._decode_pure(senders, raw_columns, n_trials, width)
+        return CycleTrialColumns(
+            senders=senders, lengths=lengths, hops=hops, width=width
+        )
+
+    # ------------------------------------------------------------------ #
+    # Transition decoders (same semantics, tested against each other)     #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _decode_numpy(senders_raw, raw_columns, n_trials: int, width: int) -> array:
+        import numpy as np
+
+        current = senders_raw.astype(np.int64)
+        levels = np.empty((width, n_trials), dtype=np.int64)
+        for h, raw in enumerate(raw_columns):
+            step = raw.astype(np.int64)
+            step += step >= current
+            levels[h] = step
+            current = step
+        hops = int64_column()
+        hops.frombytes(np.ascontiguousarray(levels.T).tobytes())
+        return hops
+
+    @staticmethod
+    def _decode_pure(senders, raw_columns, n_trials: int, width: int) -> array:
+        hops = int64_column(bytes(8 * n_trials * width))
+        for t in range(n_trials):
+            current = senders[t]
+            base = t * width
+            for h in range(width):
+                step = int(raw_columns[h][t])
+                if step >= current:
+                    step += 1
+                hops[base + h] = step
+                current = step
+        return hops

@@ -153,17 +153,22 @@ class BatchMonteCarlo:
     """Vectorized estimator of ``H*(S)`` for a path-selection strategy.
 
     Constructor-compatible with
-    :class:`~repro.simulation.experiment.StrategyMonteCarlo`.  Simple paths
-    only; within that, two columnar engines cover the full domain:
+    :class:`~repro.simulation.experiment.StrategyMonteCarlo`.  Three columnar
+    engines cover the domain, selected by the strategy and model:
 
-    * one compromised node with the paper's compromised receiver runs on the
-      five-class engine (the closed form's symmetry classes);
-    * any other ``C >= 0`` — including an honest receiver — runs on the
-      ``(length, position-mask)`` arrangement-class engine, whose per-class
-      entropies come from the exact fragment-arrangement counts in
-      :mod:`repro.combinatorics`.
+    * one compromised node with the paper's compromised receiver on simple
+      paths runs on the five-class engine (the closed form's symmetry
+      classes);
+    * any other ``C >= 0`` on simple paths — including an honest receiver —
+      runs on the ``(length, position-mask)`` arrangement-class engine, whose
+      per-class entropies come from the exact fragment-arrangement counts in
+      :mod:`repro.combinatorics`;
+    * cycle-allowed strategies (Crowds, Onion Routing II, Hordes; one
+      compromised node) run on the
+      :class:`~repro.batch.cycleengine.CycleBatchEngine`, whose classes are
+      priced by the cycle-aware walk-counting inference engine.
 
-    Both engines sample only observations; posteriors are always exact.
+    All engines sample only observations; posteriors are always exact.
     """
 
     model: SystemModel
@@ -177,6 +182,7 @@ class BatchMonteCarlo:
         init=False, repr=False, default=None
     )
     _score_table: ClassScoreTable | None = field(init=False, repr=False, default=None)
+    _cycle_engine: object | None = field(init=False, repr=False, default=None)
     _entropy_by_code: tuple[float, ...] = field(init=False, repr=False, default=())
     _identified_codes: frozenset[int] = field(
         init=False, repr=False, default=frozenset()
@@ -186,17 +192,14 @@ class BatchMonteCarlo:
         if self.compromised is None:
             self.compromised = self.model.compromised_nodes()
         self.compromised = frozenset(self.compromised)
-        if self.strategy.path_model is not PathModel.SIMPLE:
-            raise ConfigurationError(
-                "BatchMonteCarlo requires simple paths; cycle-path strategies "
-                "need the hop-by-hop machinery."
-            )
         if any(not 0 <= node < self.model.n_nodes for node in self.compromised):
             raise ConfigurationError(
                 "compromised node identities must lie in [0, N)"
             )
         self._distribution = self.strategy.effective_distribution(self.model.n_nodes)
-        if len(self.compromised) == 1 and self.model.receiver_compromised:
+        if self.strategy.path_model is PathModel.CYCLE_ALLOWED:
+            self._init_cycle_engine()
+        elif len(self.compromised) == 1 and self.model.receiver_compromised:
             self._init_five_class_engine()
         else:
             self._init_arrangement_engine()
@@ -237,6 +240,25 @@ class BatchMonteCarlo:
             compromised=self.compromised,
         )
 
+    def _init_cycle_engine(self) -> None:
+        """The cycle-allowed domain: Crowds-style walks, one compromised node."""
+        # Deferred import: the cycle engine consumes this module's accumulator.
+        from repro.batch.cycleengine import CycleBatchEngine
+
+        if len(self.compromised) != 1:
+            raise ConfigurationError(
+                "the vectorized cycle engine covers exactly one compromised "
+                f"node (got C={len(self.compromised)}); use the exhaustive "
+                "enumeration engine (small N) for multiple compromised nodes "
+                "on cycle paths."
+            )
+        self._cycle_engine = CycleBatchEngine(
+            model=self.model,
+            strategy=self.strategy,
+            compromised=self.compromised,
+            use_numpy=self.use_numpy,
+        )
+
     # ------------------------------------------------------------------ #
     # Estimation                                                          #
     # ------------------------------------------------------------------ #
@@ -263,6 +285,8 @@ class BatchMonteCarlo:
         if n_trials < 1:
             raise ConfigurationError("n_trials must be >= 1")
         generator = ensure_rng(rng)
+        if self._cycle_engine is not None:
+            return self._cycle_engine.run_accumulate(n_trials, rng=generator)
         if self._sampler is not None:
             return self._accumulate_five_class(n_trials, generator)
         return self._accumulate_arrangement(n_trials, generator)

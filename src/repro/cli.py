@@ -16,9 +16,13 @@ exposes the library's main entry points without writing any Python:
 * ``repro-anon batch --n 100 --strategy uniform --trials 100000`` — run the
   vectorized batch estimator (or any registered backend) and compare its
   estimate and throughput with the closed form; ``--backend sharded
-  --workers 8`` fans the trials across worker processes, and
+  --workers 8`` fans the trials across worker processes,
   ``--compromised 2`` switches to the multi-compromised arrangement-class
-  engine;
+  engine, and ``--strategy`` also accepts the named strategies of the
+  deployed-system catalogue: ``crowds`` (the paper's simple-path length
+  strategy) plus the cycle-allowed ``crowds-cycles``,
+  ``onion-routing-2-cycles``, and ``hordes``, which run on the vectorized
+  cycle engine;
 * ``repro-anon estimate --n 100 --strategy uniform --precision 0.01
   --cache-dir ~/.repro-cache`` — adaptive-precision estimation through the
   caching service of :mod:`repro.service`: trials run in blocks until the
@@ -28,8 +32,11 @@ exposes the library's main entry points without writing any Python:
   empty that on-disk cache.
 
 Numeric sanity (positive trial counts, worker counts, precisions) is
-enforced by ``argparse`` type callbacks, so misuse exits with a one-line
-usage error instead of a traceback.
+enforced by ``argparse`` type callbacks, and every
+:class:`~repro.exceptions.ConfigurationError` raised by the engines (an
+out-of-range ``--compromised``, an infeasible distribution, a backend
+refusing its domain) is reported the same way, so misuse exits with a
+one-line usage error instead of a traceback.
 """
 
 from __future__ import annotations
@@ -51,13 +58,20 @@ from repro.distributions import (
     PathLengthDistribution,
     UniformLength,
 )
+from repro.core.model import PathModel
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.protocols import (
     AnonymizerProtocol,
+    CrowdsProtocol,
     FreedomProtocol,
+    HordesProtocol,
     OnionRoutingI,
     PipeNetProtocol,
     RemailerChainProtocol,
+)
+from repro.routing.strategies import (
+    PathSelectionStrategy,
+    deployed_system_strategies,
 )
 from repro.simulation.experiment import ProtocolMonteCarlo
 
@@ -69,7 +83,18 @@ _PROTOCOL_FACTORIES = {
     "pipenet": PipeNetProtocol,
     "anonymizer": AnonymizerProtocol,
     "remailer": RemailerChainProtocol,
+    "crowds": CrowdsProtocol,
+    "hordes": HordesProtocol,
 }
+
+#: Named strategies of the deployed-system catalogue accepted by --strategy.
+#: The cycle-allowed ones run on the vectorized cycle engine.
+_NAMED_STRATEGIES = (
+    "crowds",
+    "crowds-cycles",
+    "onion-routing-2-cycles",
+    "hordes",
+)
 
 
 def _positive_int(text: str) -> int:
@@ -117,8 +142,10 @@ def _add_strategy_arguments(
     )
     parser.add_argument(
         "--strategy",
-        choices=["fixed", "uniform", "geometric"],
+        choices=["fixed", "uniform", "geometric", *_NAMED_STRATEGIES],
         default=default_strategy,
+        help="parametric family (fixed | uniform | geometric) or a named "
+        "deployed-system strategy (cycle-allowed ones run on the cycle engine)",
     )
     parser.add_argument(
         "--length", type=_non_negative_int, default=5, help="fixed path length"
@@ -271,11 +298,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _strategy_distribution(args: argparse.Namespace) -> PathLengthDistribution:
+    if args.strategy in _NAMED_STRATEGIES:
+        return _resolve_strategy(args).distribution
     if args.strategy == "fixed":
         return FixedLength(args.length)
     if args.strategy == "uniform":
         return UniformLength(args.low, args.high)
     return GeometricLength(p_forward=args.p_forward, minimum=1, max_length=args.n - 1)
+
+
+def _resolve_strategy(args: argparse.Namespace) -> PathSelectionStrategy:
+    """The complete path-selection strategy requested on the command line."""
+    if args.strategy in _NAMED_STRATEGIES:
+        return deployed_system_strategies(include_cycle_variants=True)[args.strategy]
+    distribution = _strategy_distribution(args)
+    return PathSelectionStrategy(name=distribution.name, distribution=distribution)
 
 
 def _command_list() -> int:
@@ -335,8 +372,15 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    model = SystemModel(n_nodes=args.n, n_compromised=args.compromised)
     factory_cls = _PROTOCOL_FACTORIES[args.protocol]
+    strategy = factory_cls(args.n).strategy()
+    # Carry the protocol's path model on the model so the report and the
+    # header describe what was actually sampled (crowds/hordes build walks).
+    model = SystemModel(
+        n_nodes=args.n,
+        n_compromised=args.compromised,
+        path_model=strategy.path_model,
+    )
     experiment = ProtocolMonteCarlo(model, lambda: factory_cls(args.n))
     report = experiment.run(args.trials, rng=args.seed)
     lines = {
@@ -346,9 +390,10 @@ def _command_simulate(args: argparse.Namespace) -> int:
         "mean path length": round(report.mean_path_length, 3),
         "identification rate": round(report.identification_rate, 4),
     }
-    if args.compromised == 1:
+    if args.compromised == 1 and strategy.path_model is PathModel.SIMPLE:
+        # Cycle protocols (crowds, hordes) have no closed form to compare to.
         exact = AnonymityAnalyzer(model).anonymity_degree(
-            factory_cls(args.n).strategy().effective_distribution(args.n)
+            strategy.effective_distribution(args.n)
         )
         lines["closed-form H*"] = round(exact, 5)
         lines["closed form inside the 95% CI"] = report.estimate.contains(exact, slack=0.02)
@@ -368,18 +413,18 @@ def _command_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    strategy = _resolve_strategy(args)
     model = SystemModel(
         n_nodes=args.n,
         n_compromised=args.compromised,
+        path_model=strategy.path_model,
         adversary=AdversaryModel(args.adversary),
     )
-    distribution = _strategy_distribution(args)
-    if distribution.max_length > model.max_simple_path_length:
-        distribution = distribution.truncated(model.max_simple_path_length)
+    distribution = strategy.effective_distribution(args.n)
     started = time.perf_counter()
     report = estimate_anonymity(
         model,
-        distribution,
+        strategy,
         n_trials=args.trials,
         rng=args.seed,
         backend=args.backend,
@@ -388,16 +433,18 @@ def _command_batch(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - started
     lines = {
         "backend": args.backend,
-        "distribution": distribution.name,
+        "strategy": strategy.describe(),
         # The exact backend runs zero trials; report what actually happened.
         "trials": report.n_trials,
         "estimated H*": str(report.estimate),
     }
     if args.workers is not None and args.backend == "sharded":
         lines["workers"] = args.workers
-    if model.n_compromised == 1:
-        # The closed form covers the paper's C=1 domain only.
-        exact = AnonymityAnalyzer(model).anonymity_degree(distribution)
+    if model.n_compromised == 1 and strategy.path_model is PathModel.SIMPLE:
+        # The closed form covers the paper's C=1 simple-path domain only.
+        exact = AnonymityAnalyzer(
+            model.with_path_model(PathModel.SIMPLE)
+        ).anonymity_degree(distribution)
         lines["closed-form H*"] = round(exact, 5)
         lines["closed form inside the 95% CI"] = report.estimate.contains(
             exact, slack=1e-9
@@ -448,25 +495,22 @@ def _command_estimate(args: argparse.Namespace) -> int:
     backend_options = _sharded_options(args)
     if backend_options is None:
         return 2
-    distribution = _strategy_distribution(args)
-    try:
-        request = EstimateRequest(
-            n_nodes=args.n,
-            distribution=DistributionSpec.from_distribution(distribution),
-            n_compromised=args.compromised,
-            adversary=args.adversary,
-            backend=args.backend,
-            backend_options=tuple(sorted(backend_options.items())),
-            precision=args.precision,
-            block_size=args.block_size,
-            max_trials=args.max_trials,
-            seed=args.seed,
-        )
-        with EstimationService(cache_dir=args.cache_dir) as service:
-            result = service.estimate(request)
-    except ConfigurationError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    strategy = _resolve_strategy(args)
+    request = EstimateRequest(
+        n_nodes=args.n,
+        distribution=DistributionSpec.from_distribution(strategy.distribution),
+        n_compromised=args.compromised,
+        adversary=args.adversary,
+        path_model=strategy.path_model.value,
+        backend=args.backend,
+        backend_options=tuple(sorted(backend_options.items())),
+        precision=args.precision,
+        block_size=args.block_size,
+        max_trials=args.max_trials,
+        seed=args.seed,
+    )
+    with EstimationService(cache_dir=args.cache_dir) as service:
+        result = service.estimate(request)
     report = result.report
     half_width = report.estimate.ci_high - report.estimate.mean
     lines: dict[str, object] = {
@@ -481,7 +525,7 @@ def _command_estimate(args: argparse.Namespace) -> int:
         "request digest": result.digest[:16],
         "estimated H*": str(report.estimate),
     }
-    if args.compromised == 1:
+    if args.compromised == 1 and strategy.path_model is PathModel.SIMPLE:
         exact = AnonymityAnalyzer(request.model()).anonymity_degree(
             request.strategy().effective_distribution(args.n)
         )
@@ -531,26 +575,29 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "figure":
-        return _command_figure(args)
-    if args.command == "degree":
-        return _command_degree(args)
-    if args.command == "optimize":
-        return _command_optimize(args)
-    if args.command == "compare":
-        return _command_compare(args)
-    if args.command == "simulate":
-        return _command_simulate(args)
-    if args.command == "batch":
-        return _command_batch(args)
-    if args.command == "estimate":
-        return _command_estimate(args)
-    if args.command == "cache":
-        return _command_cache(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    commands = {
+        "list": lambda: _command_list(),
+        "figure": lambda: _command_figure(args),
+        "degree": lambda: _command_degree(args),
+        "optimize": lambda: _command_optimize(args),
+        "compare": lambda: _command_compare(args),
+        "simulate": lambda: _command_simulate(args),
+        "batch": lambda: _command_batch(args),
+        "estimate": lambda: _command_estimate(args),
+        "cache": lambda: _command_cache(args),
+    }
+    command = commands.get(args.command)
+    if command is None:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return command()
+    except ConfigurationError as error:
+        # Configuration problems (an engine refusing a domain, out-of-range
+        # --compromised, an infeasible distribution, ...) are usage errors:
+        # one line on stderr and exit code 2, never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

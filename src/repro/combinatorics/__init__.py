@@ -12,13 +12,17 @@ that counting machinery:
   ordered path fragments (maximal known contiguous runs of the path);
 * :mod:`repro.combinatorics.arrangements` counts the simple paths of a given
   length that embed those fragments as blocks, which is exactly the likelihood
-  numerator needed by :class:`repro.adversary.inference.BayesianPathInference`.
+  numerator needed by :class:`repro.adversary.inference.BayesianPathInference`;
+* :mod:`repro.combinatorics.walks` counts cycle-allowed paths (walks on the
+  clique without self-loops), the counting substrate of the cycle-aware
+  posterior for Crowds-style protocols.
 
-Two estimation engines stand on this substrate: the hop-by-hop ``event``
-engine prices every sampled observation individually, and the vectorized
-multi-compromised batch engine (:mod:`repro.batch.multiclass`) prices each
-symmetric ``(length, position-set)`` observation class exactly once through
-the same counts.
+The estimation engines stand on this substrate: the hop-by-hop ``event``
+engine prices every sampled observation individually, while the vectorized
+batch engines price each symmetric observation class exactly once through
+the same counts — ``(length, position-set)`` arrangement classes on simple
+paths (:mod:`repro.batch.multiclass`), walk-pattern classes on cycle paths
+(:mod:`repro.batch.cycleengine`).
 """
 
 from repro.combinatorics.arrangements import (
@@ -27,6 +31,11 @@ from repro.combinatorics.arrangements import (
     total_paths,
 )
 from repro.combinatorics.fragments import Fragment, FragmentSet
+from repro.combinatorics.walks import (
+    clique_walks,
+    normalized_clique_walks,
+    total_cycle_paths,
+)
 
 __all__ = [
     "Fragment",
@@ -34,4 +43,7 @@ __all__ = [
     "ArrangementProblem",
     "count_arrangements",
     "total_paths",
+    "clique_walks",
+    "normalized_clique_walks",
+    "total_cycle_paths",
 ]

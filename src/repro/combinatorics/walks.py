@@ -1,0 +1,106 @@
+"""Counting cycle-allowed rerouting paths (walks on the clique).
+
+Under the cycle-allowed path model (Crowds, Onion Routing II, Hordes) a
+rerouting path of length ``l`` starting at the sender is exactly a *walk* of
+``l`` steps on the complete graph ``K_N`` without self-loops: every hop is
+uniform over the ``N - 1`` nodes other than the current holder, so each of
+the ``(N - 1)**l`` walks is equally likely.  Posterior inference for such
+paths therefore reduces to counting walks consistent with the adversary's
+observation — the cycle-path counterpart of the simple-path block-arrangement
+counts in :mod:`repro.combinatorics.arrangements`.
+
+The workhorse is the classic closed form for walks on a complete graph.  In
+``K_M`` (no self-loops) the adjacency spectrum is ``M - 1`` (once) and ``-1``
+(``M - 1`` times), so the number of ``e``-step walks between two fixed
+vertices is
+
+* ``((M-1)**e + (M-1) * (-1)**e) / M``  when the endpoints coincide,
+* ``((M-1)**e - (-1)**e) / M``          when they differ.
+
+A single compromised node ``m`` splits an observed cycle path into *honest
+segments* — maximal runs of hops avoiding ``m`` — and every segment is a walk
+in the clique ``K_{N-1}`` over the honest nodes.  The inference engine
+(:mod:`repro.adversary.inference`) multiplies one factor per segment and
+convolves over the unknown segment lengths.
+
+To keep very long walks (heavy-tailed Crowds strategies on large systems)
+inside floating-point range, the module also exposes the *normalised* counts
+``walks / M**e`` — each bounded by one — which is the form the inference
+engine consumes: the path-probability normalisation ``(N-1)**-l`` is then
+absorbed factor by factor instead of being applied as one astronomically
+small multiplier at the end.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "clique_walks",
+    "normalized_clique_walks",
+    "total_cycle_paths",
+]
+
+
+def total_cycle_paths(n_nodes: int, length: int) -> int:
+    """Number of cycle-allowed rerouting paths of ``length`` hops from a fixed sender.
+
+    Every hop is one of the ``N - 1`` nodes other than the current holder, so
+    the count is ``(N - 1)**length`` (``1`` for the direct path of length 0).
+    """
+    if n_nodes < 2:
+        raise ConfigurationError(f"cycle paths need at least 2 nodes, got {n_nodes}")
+    if length < 0:
+        raise ConfigurationError(f"path length must be >= 0, got {length}")
+    return (n_nodes - 1) ** length
+
+
+def clique_walks(m_vertices: int, edges: int, closed: bool) -> int:
+    """Exact number of ``edges``-step walks between fixed vertices of ``K_M``.
+
+    ``closed=True`` counts walks returning to their start vertex,
+    ``closed=False`` walks between two distinct fixed vertices.  Walks live on
+    the complete graph with ``m_vertices`` vertices and no self-loops; the
+    zero-step walk exists only for coinciding endpoints.
+    """
+    if m_vertices < 1:
+        raise ConfigurationError(
+            f"clique walks need at least 1 vertex, got {m_vertices}"
+        )
+    if edges < 0:
+        raise ConfigurationError(f"edge count must be >= 0, got {edges}")
+    sign = -1 if edges % 2 else 1
+    if closed:
+        count = (m_vertices - 1) ** edges + sign * (m_vertices - 1)
+    else:
+        if m_vertices < 2:
+            return 0
+        count = (m_vertices - 1) ** edges - sign
+    # The spectral closed form is always divisible by M; integer division
+    # keeps the count exact at any size.
+    return count // m_vertices
+
+
+def normalized_clique_walks(m_vertices: int, edges: int, closed: bool) -> float:
+    """``clique_walks(M, e, closed) / M**e`` computed without overflow.
+
+    This is the per-step-normalised walk count the cycle inference engine
+    multiplies into likelihoods: with every hop of a cycle path uniform over
+    ``M = N - 1`` choices, an ``e``-edge honest segment contributes exactly
+    this factor to the probability of the observation.  Values lie in
+    ``[0, 1]``, so products over many segments stay representable even when
+    the raw integer counts would overflow a float.
+    """
+    if m_vertices < 1:
+        raise ConfigurationError(
+            f"clique walks need at least 1 vertex, got {m_vertices}"
+        )
+    if edges < 0:
+        raise ConfigurationError(f"edge count must be >= 0, got {edges}")
+    if not closed and m_vertices < 2:
+        return 0.0
+    ratio = (m_vertices - 1) / m_vertices
+    alternating = (-1.0 / m_vertices) ** edges
+    if closed:
+        return (ratio**edges + (m_vertices - 1) * alternating) / m_vertices
+    return (ratio**edges - alternating) / m_vertices

@@ -141,6 +141,16 @@ class SystemModel:
         """Copy of this model with a different number of compromised nodes."""
         return replace(self, n_compromised=n_compromised)
 
+    def with_path_model(self, path_model: PathModel) -> "SystemModel":
+        """Copy of this model under a different path model.
+
+        Estimators use this to align the inference engine's model with the
+        path model of the strategy actually being sampled, so a caller can
+        hand a default (simple-path) model plus a cycle-allowed strategy and
+        still get cycle-aware posteriors.
+        """
+        return replace(self, path_model=path_model)
+
     def describe(self) -> str:
         """One-line human-readable description used in reports and benchmarks."""
         return (

@@ -15,6 +15,7 @@ from repro.experiments.extensions import (
     adversary_ablation,
     batch_validation,
     compromised_sweep,
+    cycle_validation,
     predecessor_attack_rounds,
     protocol_comparison,
     sharded_validation,
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentData]] = {
     "ext-batch": batch_validation,
     "ext-shard": sharded_validation,
     "ext-adaptive": adaptive_validation,
+    "ext-cycle": cycle_validation,
 }
 
 

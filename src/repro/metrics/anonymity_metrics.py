@@ -121,6 +121,11 @@ def normalized_entropy(values: Iterable[float], base_count: int | None = None) -
     concentration on one member scores ``0.0``.  Pass an explicit
     ``base_count`` (e.g. the total population size ``N``) to measure evenness
     against a fixed reference instead of the observed support.
+
+    The degenerate one-member case — ``base_count=1``, whether passed
+    explicitly or defaulted from a single positive entry — returns ``0.0``
+    rather than dividing by ``log2(1) == 0``: a population of one has no
+    spread to measure.  Empty or all-zero input likewise returns ``0.0``.
     """
     as_floats = [float(v) for v in values]
     if any(v < 0.0 for v in as_floats):

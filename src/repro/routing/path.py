@@ -54,6 +54,22 @@ class ReroutingPath:
         return len(set(nodes)) == len(nodes)
 
     @property
+    def follows_no_self_forwarding(self) -> bool:
+        """True when no hop forwards the message to its current holder.
+
+        This is the one structural rule of the cycle-allowed path model (the
+        rule :class:`~repro.routing.selection.CyclePathSelector` enforces hop
+        by hop): the first intermediate differs from the sender and no two
+        consecutive intermediates coincide.
+        """
+        if self.intermediates and self.intermediates[0] == self.sender:
+            return False
+        return all(
+            first != second
+            for first, second in zip(self.intermediates, self.intermediates[1:])
+        )
+
+    @property
     def nodes_on_path(self) -> frozenset[int]:
         """All node identities appearing on the path (sender included)."""
         return frozenset((self.sender, *self.intermediates))
@@ -85,10 +101,19 @@ class ReroutingPath:
     # ------------------------------------------------------------------ #
 
     def conforms_to(self, path_model: PathModel) -> bool:
-        """True when the path is legal under the given path model."""
+        """True when the path is legal under the given path model.
+
+        The cycle-allowed check is real validation, not a constant: it
+        re-verifies the no-self-forwarding rule so that validation agrees
+        with :class:`~repro.routing.selection.CyclePathSelector` even for
+        instances built around the constructor invariants (deserialisation,
+        ``__new__``-based copies, future relaxations of ``__post_init__``).
+        """
         if path_model is PathModel.SIMPLE:
+            # A simple path has all-distinct nodes, which already implies the
+            # no-self-forwarding rule.
             return self.is_simple
-        return True  # the dataclass invariants already enforce the cycle rules
+        return self.follows_no_self_forwarding
 
     def routable_on(self, topology: Topology) -> bool:
         """True when every consecutive hop is a direct link of the topology."""

@@ -85,6 +85,13 @@ def deployed_system_strategies(include_cycle_variants: bool = False) -> dict[str
     * **Onion Routing II / Crowds** — hop-by-hop coin flipping, i.e. geometric
       lengths; Crowds' default forwarding probability is 3/4, and cycles are
       allowed.
+
+    ``include_cycle_variants=True`` adds the cycle-allowed forms of the
+    coin-flip systems (``crowds-cycles``, ``onion-routing-2-cycles``, and
+    ``hordes`` — Shields & Levine's multicast-reply variant of Crowds), which
+    the batch/sharded estimators and the estimation service handle through
+    the cycle engine; the default catalogue keeps the simple-path length
+    strategies the closed-form ranking of Section 2 evaluates.
     """
     strategies = {
         "anonymizer": PathSelectionStrategy("Anonymizer", FixedLength(1)),
@@ -108,6 +115,14 @@ def deployed_system_strategies(include_cycle_variants: bool = False) -> dict[str
         strategies["onion-routing-2-cycles"] = PathSelectionStrategy(
             "Onion Routing II (cycle paths)",
             GeometricLength(p_forward=0.5, minimum=1),
+            path_model=PathModel.CYCLE_ALLOWED,
+        )
+        # Hordes borrows Crowds' coin-flip forward path verbatim (replies go
+        # over multicast, which the sender-anonymity metric never sees), so
+        # its strategy is the cycle-allowed geometric walk.
+        strategies["hordes"] = PathSelectionStrategy(
+            "Hordes",
+            GeometricLength(p_forward=0.75, minimum=1),
             path_model=PathModel.CYCLE_ALLOWED,
         )
     return strategies

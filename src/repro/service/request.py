@@ -29,7 +29,7 @@ import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field, fields
 
-from repro.core.model import AdversaryModel, SystemModel
+from repro.core.model import AdversaryModel, PathModel, SystemModel
 from repro.distributions import (
     BinomialLength,
     CategoricalLength,
@@ -48,8 +48,9 @@ __all__ = ["DistributionSpec", "EstimateRequest", "SPEC_FAMILIES"]
 
 #: Schema version baked into every canonical form.  Bump it whenever the
 #: canonical serialisation changes incompatibly: old cache entries then stop
-#: matching by digest instead of being misread.
-CANONICAL_VERSION = 1
+#: matching by digest instead of being misread.  Version 2 added the
+#: ``path_model`` field (cycle-allowed requests).
+CANONICAL_VERSION = 2
 
 #: Backend options that only change *how fast* the bits are produced, never
 #: which bits: kept on the request for execution, excluded from the digest.
@@ -261,6 +262,11 @@ class EstimateRequest:
         identities explicitly; the canonical set ``{0, .., C-1}`` is
         normalised to ``None`` (they are the same executed configuration,
         and the anonymity degree is invariant under node relabelling).
+    path_model:
+        ``"simple"`` (the default) or ``"cycle_allowed"`` — whether the
+        strategy builds simple paths or Crowds-style walks.  Cycle requests
+        run on the vectorized cycle engine and cache exactly like any other
+        request (they require ``n_compromised=1``).
     distribution:
         The :class:`DistributionSpec` of the path-length strategy (a live
         ``PathLengthDistribution`` is accepted and converted).
@@ -286,6 +292,7 @@ class EstimateRequest:
     compromised: tuple[int, ...] | None = None
     adversary: str = AdversaryModel.FULL_BAYES.value
     receiver_compromised: bool = True
+    path_model: str = PathModel.SIMPLE.value
     backend: str = "batch"
     backend_options: tuple[tuple[str, object], ...] = ()
     precision: float | None = 0.01
@@ -307,6 +314,7 @@ class EstimateRequest:
             )
         object.__setattr__(self, "n_nodes", int(self.n_nodes))
         object.__setattr__(self, "adversary", AdversaryModel(self.adversary).value)
+        object.__setattr__(self, "path_model", PathModel(self.path_model).value)
         object.__setattr__(self, "backend", str(self.backend))
         object.__setattr__(
             self, "backend_options", _canonical_options(dict(self.backend_options))
@@ -338,6 +346,14 @@ class EstimateRequest:
             raise ConfigurationError(f"block_size must be >= 1, got {self.block_size}")
         if self.max_trials < 1:
             raise ConfigurationError(f"max_trials must be >= 1, got {self.max_trials}")
+        if (
+            self.path_model == PathModel.CYCLE_ALLOWED.value
+            and self.n_compromised != 1
+        ):
+            raise ConfigurationError(
+                "cycle-allowed requests cover exactly one compromised node, "
+                f"got n_compromised={self.n_compromised}"
+            )
         # Build the model now: its validation (N >= 2, C <= N, ...) applies.
         model = self.model()
         if self.compromised is not None and any(
@@ -356,14 +372,19 @@ class EstimateRequest:
         return SystemModel(
             n_nodes=self.n_nodes,
             n_compromised=self.n_compromised,
+            path_model=PathModel(self.path_model),
             adversary=AdversaryModel(self.adversary),
             receiver_compromised=self.receiver_compromised,
         )
 
     def strategy(self) -> PathSelectionStrategy:
-        """The simple-path strategy of the requested distribution."""
+        """The strategy of the requested distribution under the requested path model."""
         distribution = self.distribution.build()
-        return PathSelectionStrategy(name=distribution.name, distribution=distribution)
+        return PathSelectionStrategy(
+            name=distribution.name,
+            distribution=distribution,
+            path_model=PathModel(self.path_model),
+        )
 
     # ------------------------------------------------------------------ #
     # Canonical form and digest                                           #
@@ -380,6 +401,7 @@ class EstimateRequest:
             ),
             "adversary": self.adversary,
             "receiver_compromised": self.receiver_compromised,
+            "path_model": self.path_model,
             "distribution": {
                 "family": self.distribution.family,
                 "params": {

@@ -82,11 +82,15 @@ class StrategyMonteCarlo:
         if self.compromised is None:
             self.compromised = self.model.compromised_nodes()
         self.compromised = frozenset(self.compromised)
-        if self.strategy.path_model is not PathModel.SIMPLE:
+        if (
+            self.strategy.path_model is not PathModel.SIMPLE
+            and len(self.compromised) != 1
+        ):
             raise ConfigurationError(
-                "StrategyMonteCarlo requires simple paths because the exact "
-                "posterior engine counts simple paths; use ProtocolMonteCarlo "
-                "with a small system (exhaustive posteriors) for cycle paths."
+                "cycle-allowed estimation covers exactly one compromised node "
+                f"(got C={len(self.compromised)}); use the exhaustive "
+                "enumeration engine (small N) for multiple compromised nodes "
+                "on cycle paths."
             )
 
     def run(self, n_trials: int, rng: RandomSource = None) -> MonteCarloReport:
@@ -95,7 +99,13 @@ class StrategyMonteCarlo:
             raise ConfigurationError("n_trials must be >= 1")
         generator = ensure_rng(rng)
         distribution = self.strategy.effective_distribution(self.model.n_nodes)
-        inference = BayesianPathInference(self.model, distribution, self.compromised)
+        # The inference engine keys its path-counting rules off the model's
+        # path_model; align it with the strategy actually being sampled.
+        inference = BayesianPathInference(
+            self.model.with_path_model(self.strategy.path_model),
+            distribution,
+            self.compromised,
+        )
 
         entropies: list[float] = []
         lengths: list[int] = []
@@ -177,18 +187,23 @@ class ProtocolMonteCarlo:
 
         probe_protocol = self.protocol_factory()
         strategy = probe_protocol.strategy()
-        if strategy.path_model is not PathModel.SIMPLE:
+        if (
+            strategy.path_model is not PathModel.SIMPLE
+            and self.model.n_compromised != 1
+        ):
             raise ConfigurationError(
-                f"{probe_protocol.name} builds cycle-allowed paths; the exact "
-                "posterior engine counts simple paths only.  Use the exhaustive "
-                "enumeration engine (small systems) or the predecessor-attack "
-                "machinery for cycle-path protocols."
+                f"{probe_protocol.name} builds cycle-allowed paths, for which "
+                "exact posteriors cover exactly one compromised node.  Use the "
+                "exhaustive enumeration engine (small systems) or the "
+                "predecessor-attack machinery for C > 1 on cycle paths."
             )
         distribution = self.inference_distribution
         if distribution is None:
             distribution = strategy.effective_distribution(self.model.n_nodes)
         inference = BayesianPathInference(
-            self.model, distribution, self.model.compromised_nodes()
+            self.model.with_path_model(strategy.path_model),
+            distribution,
+            self.model.compromised_nodes(),
         )
 
         entropies: list[float] = []

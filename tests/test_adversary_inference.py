@@ -46,10 +46,24 @@ class TestSenderPosterior:
 
 
 class TestInferenceConstruction:
-    def test_rejects_cycle_paths(self):
+    def test_cycle_paths_accepted_for_one_compromised_node(self):
         model = SystemModel(n_nodes=8, path_model=PathModel.CYCLE_ALLOWED)
+        inference = BayesianPathInference(model, FixedLength(3))
+        assert inference.model.path_model is PathModel.CYCLE_ALLOWED
+
+    def test_rejects_cycle_paths_with_multiple_compromised(self):
+        model = SystemModel(
+            n_nodes=8, n_compromised=2, path_model=PathModel.CYCLE_ALLOWED
+        )
         with pytest.raises(ConfigurationError):
             BayesianPathInference(model, FixedLength(3))
+
+    def test_cycle_distribution_not_length_capped(self):
+        # Cycle paths have no simple-path feasibility cap: lengths beyond
+        # N - 1 are fine.
+        model = SystemModel(n_nodes=4, path_model=PathModel.CYCLE_ALLOWED)
+        inference = BayesianPathInference(model, FixedLength(9))
+        assert inference.distribution.max_length == 9
 
     def test_rejects_too_long_distribution(self):
         model = SystemModel(n_nodes=6)

@@ -278,8 +278,12 @@ class TestBatchEstimatorParity:
         cycle_strategy = PathSelectionStrategy(
             "cycles", FixedLength(3), path_model=PathModel.CYCLE_ALLOWED
         )
-        with pytest.raises(ConfigurationError, match="simple paths"):
-            BatchMonteCarlo(SystemModel(n_nodes=10), cycle_strategy)
+        # Cycle strategies run on the cycle engine for C = 1 but stay
+        # rejected for multiple compromised nodes.
+        with pytest.raises(ConfigurationError, match="one compromised"):
+            BatchMonteCarlo(
+                SystemModel(n_nodes=10, n_compromised=2), cycle_strategy
+            )
         estimator = BatchMonteCarlo.from_distribution(
             SystemModel(n_nodes=10), FixedLength(3)
         )

@@ -1,0 +1,552 @@
+"""Tests for the cycle-allowed path machinery.
+
+Covers the full vertical slice the cycle engine rests on: clique walk counts
+(:mod:`repro.combinatorics.walks`), the cycle-aware exact inference
+(:mod:`repro.adversary.inference`), the columnar sampler/classifier/engine
+(:mod:`repro.batch.cyclesampler` / ``cycleclassify`` / ``cycleengine``), the
+backend/sharding/determinism contracts, and the service round-trip.
+
+The ground truth throughout is :class:`repro.core.enumeration.ExhaustiveAnalyzer`,
+the only pre-existing exact engine for cycle-allowed paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.adversary.inference import BayesianPathInference
+from repro.adversary.observation import observation_from_path
+from repro.batch import (
+    BatchMonteCarlo,
+    CycleBatchEngine,
+    CycleScoreTable,
+    CycleTrialSampler,
+    ShardedBackend,
+    classify_cycle_trials,
+    cycle_trial_key,
+    estimate_anonymity,
+)
+from repro.cli import main
+from repro.combinatorics.walks import (
+    clique_walks,
+    normalized_clique_walks,
+    total_cycle_paths,
+)
+from repro.core.enumeration import ExhaustiveAnalyzer
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.distributions import FixedLength, GeometricLength, UniformLength
+from repro.exceptions import ConfigurationError
+from repro.experiments.registry import list_experiments
+from repro.routing.strategies import (
+    PathSelectionStrategy,
+    deployed_system_strategies,
+)
+from repro.service import DistributionSpec, EstimateRequest, EstimationService
+from repro.service.adaptive import AdaptiveScheduler
+from repro.simulation.experiment import StrategyMonteCarlo
+
+
+def cycle_strategy(
+    p_forward: float = 0.6, minimum: int = 1, max_length: int = 6
+) -> PathSelectionStrategy:
+    return PathSelectionStrategy(
+        "cycle walk",
+        GeometricLength(p_forward=p_forward, minimum=minimum, max_length=max_length),
+        path_model=PathModel.CYCLE_ALLOWED,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Walk counting                                                           #
+# ---------------------------------------------------------------------- #
+
+
+class TestCliqueWalks:
+    @pytest.mark.parametrize("m_vertices", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("edges", [0, 1, 2, 3, 4, 5])
+    def test_matches_brute_force(self, m_vertices, edges):
+        """The spectral closed form equals explicit walk enumeration."""
+
+        def brute(closed: bool) -> int:
+            start, end = 0, 0 if closed else 1
+            if end >= m_vertices:
+                return 0
+            count = 0
+            for steps in itertools.product(range(m_vertices), repeat=edges):
+                sequence = (start, *steps)
+                if sequence[-1] != end:
+                    continue
+                if all(a != b for a, b in zip(sequence, sequence[1:])):
+                    count += 1
+            return count
+
+        assert clique_walks(m_vertices, edges, closed=True) == brute(True)
+        if m_vertices >= 2:
+            assert clique_walks(m_vertices, edges, closed=False) == brute(False)
+
+    @pytest.mark.parametrize("m_vertices", [2, 4, 9])
+    @pytest.mark.parametrize("edges", [0, 1, 3, 7])
+    @pytest.mark.parametrize("closed", [True, False])
+    def test_normalized_form_consistent(self, m_vertices, edges, closed):
+        expected = clique_walks(m_vertices, edges, closed) / m_vertices**edges
+        assert normalized_clique_walks(m_vertices, edges, closed) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_normalized_form_stays_finite_for_huge_systems(self):
+        # The raw integer count overflows a float here; the normalised form
+        # must not.
+        value = normalized_clique_walks(9_999, 400, closed=False)
+        assert 0.0 < value < 1.0
+
+    def test_total_cycle_paths(self):
+        assert total_cycle_paths(5, 0) == 1
+        assert total_cycle_paths(5, 3) == 4**3
+        with pytest.raises(ConfigurationError):
+            total_cycle_paths(1, 2)
+        with pytest.raises(ConfigurationError):
+            clique_walks(3, -1, closed=True)
+
+
+# ---------------------------------------------------------------------- #
+# Exact cycle inference vs exhaustive enumeration                         #
+# ---------------------------------------------------------------------- #
+
+
+def enumerate_degree_via_inference(model, distribution) -> float:
+    """Exact H*(S) by enumerating every path and pricing it with the inference engine."""
+    analyzer = ExhaustiveAnalyzer(model)
+    inference = BayesianPathInference(model, distribution)
+    degree = 0.0
+    n = model.n_nodes
+    for sender in range(n):
+        for length, length_prob in distribution.items():
+            paths = list(analyzer._paths(sender, length))
+            if not paths:
+                continue
+            path_prob = length_prob / (n * len(paths))
+            for path in paths:
+                observation = observation_from_path(
+                    sender,
+                    path,
+                    model.compromised_nodes(),
+                    receiver_compromised=model.receiver_compromised,
+                )
+                posterior = inference.posterior(observation)
+                degree += path_prob * posterior.entropy_bits
+    return degree
+
+
+class TestCycleInference:
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    @pytest.mark.parametrize(
+        "distribution",
+        [UniformLength(0, 3), GeometricLength(0.6, minimum=1, max_length=5)],
+        ids=["uniform", "geometric"],
+    )
+    def test_degree_matches_exhaustive(self, adversary, distribution):
+        model = SystemModel(
+            n_nodes=5,
+            n_compromised=1,
+            path_model=PathModel.CYCLE_ALLOWED,
+            adversary=adversary,
+        )
+        truth = ExhaustiveAnalyzer(model).anonymity_degree(distribution)
+        via_inference = enumerate_degree_via_inference(model, distribution)
+        assert via_inference == pytest.approx(truth, abs=1e-10)
+
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    def test_degree_matches_exhaustive_honest_receiver(self, adversary):
+        model = SystemModel(
+            n_nodes=5,
+            n_compromised=1,
+            path_model=PathModel.CYCLE_ALLOWED,
+            adversary=adversary,
+            receiver_compromised=False,
+        )
+        distribution = UniformLength(1, 3)
+        truth = ExhaustiveAnalyzer(model).anonymity_degree(distribution)
+        via_inference = enumerate_degree_via_inference(model, distribution)
+        assert via_inference == pytest.approx(truth, abs=1e-10)
+
+    def test_origin_observation_identifies_the_sender(self):
+        model = SystemModel(
+            n_nodes=6, n_compromised=1, path_model=PathModel.CYCLE_ALLOWED
+        )
+        inference = BayesianPathInference(model, FixedLength(3))
+        observation = observation_from_path(0, (1, 2, 1), frozenset({0}))
+        posterior = inference.posterior(observation)
+        assert posterior.probability(0) == 1.0
+        assert posterior.entropy_bits == 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Columnar sampler                                                        #
+# ---------------------------------------------------------------------- #
+
+
+class TestCycleTrialSampler:
+    def test_paths_follow_the_selector_rules(self, rng):
+        sampler = CycleTrialSampler(
+            n_nodes=7, distribution=UniformLength(0, 9)
+        )
+        columns = sampler.draw(500, rng)
+        for index in range(len(columns)):
+            sender = columns.senders[index]
+            path = columns.path(index)
+            assert len(path) == columns.lengths[index]
+            if path:
+                assert path[0] != sender
+            for first, second in zip(path, path[1:]):
+                assert first != second
+            assert all(0 <= node < 7 for node in path)
+
+    def test_pure_and_numpy_columns_identical(self):
+        sampler = CycleTrialSampler(
+            n_nodes=6, distribution=GeometricLength(0.7, minimum=1, max_length=12)
+        )
+        fast = sampler.draw(2_000, rng=42, use_numpy=True)
+        slow = sampler.draw(2_000, rng=42, use_numpy=False)
+        assert fast.senders == slow.senders
+        assert fast.lengths == slow.lengths
+        assert fast.width == slow.width
+        assert fast.hops == slow.hops
+
+    def test_lengths_can_exceed_the_simple_path_cap(self, rng):
+        # The whole point of the cycle model: no N - 1 feasibility cap.
+        sampler = CycleTrialSampler(n_nodes=3, distribution=FixedLength(8))
+        columns = sampler.draw(10, rng)
+        assert columns.width == 8
+        assert all(length == 8 for length in columns.lengths)
+
+    def test_rejects_degenerate_configurations(self, rng):
+        with pytest.raises(ConfigurationError):
+            CycleTrialSampler(n_nodes=1, distribution=FixedLength(2))
+        sampler = CycleTrialSampler(n_nodes=4, distribution=FixedLength(2))
+        with pytest.raises(ConfigurationError):
+            sampler.draw(0, rng)
+
+
+# ---------------------------------------------------------------------- #
+# Classifier                                                              #
+# ---------------------------------------------------------------------- #
+
+
+class TestCycleClassifier:
+    def test_scalar_reference_keys(self):
+        m = 0
+        # sender compromised
+        assert cycle_trial_key(0, (1, 2), 2, m) == ("origin",)
+        # m absent
+        assert cycle_trial_key(1, (2, 3, 2), 3, m) == ("silent",)
+        # single occurrence, m last
+        assert cycle_trial_key(1, (2, 0), 2, m) == ("fb", 1, (), "recv")
+        # single occurrence, successor bridges to the receiver's witness
+        assert cycle_trial_key(1, (0, 2), 2, m) == ("fb", 1, (), "eq")
+        assert cycle_trial_key(1, (0, 2, 3), 3, m) == ("fb", 1, (), "ne")
+        assert cycle_trial_key(1, (0, 2, 3), 3, m, receiver_compromised=False) == (
+            "fb", 1, (), "open",
+        )
+        # two occurrences sharing their honest bridge: 2 -> m -> 3 -> m -> 2
+        assert cycle_trial_key(1, (2, 0, 3, 0, 2), 5, m) == (
+            "fb", 2, (True,), "eq",
+        )
+        # adversaries that do not see the full pattern
+        assert cycle_trial_key(
+            1, (2, 0, 3), 3, m, adversary=AdversaryModel.PREDECESSOR_ONLY
+        ) == ("path",)
+        assert cycle_trial_key(
+            1, (2, 0, 3), 3, m, adversary=AdversaryModel.POSITION_AWARE
+        ) == ("pos", 2)
+
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    @pytest.mark.parametrize("receiver_compromised", [True, False])
+    def test_pure_and_numpy_kernels_identical(self, adversary, receiver_compromised):
+        sampler = CycleTrialSampler(
+            n_nodes=4, distribution=GeometricLength(0.7, minimum=1, max_length=10)
+        )
+        columns = sampler.draw(4_000, rng=9)
+        fast = classify_cycle_trials(
+            columns, 0, adversary, receiver_compromised, use_numpy=True
+        )
+        slow = classify_cycle_trials(
+            columns, 0, adversary, receiver_compromised, use_numpy=False
+        )
+        assert fast == slow
+        assert sum(count for count, _ in fast.values()) == len(columns)
+
+    def test_kernels_match_scalar_reference(self):
+        columns = CycleTrialSampler(
+            n_nodes=4, distribution=UniformLength(0, 8)
+        ).draw(1_500, rng=3)
+        keyed = classify_cycle_trials(columns, 0, use_numpy=True)
+        from collections import Counter
+
+        reference = Counter(
+            cycle_trial_key(
+                columns.senders[i], columns.path(i), columns.lengths[i], 0
+            )
+            for i in range(len(columns))
+        )
+        assert {key: count for key, (count, _) in keyed.items()} == dict(reference)
+
+
+# ---------------------------------------------------------------------- #
+# The engine: parity, the class law, determinism                          #
+# ---------------------------------------------------------------------- #
+
+
+class TestCycleBatchEngine:
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    def test_estimate_covers_exhaustive_truth(self, adversary):
+        model = SystemModel(n_nodes=5, n_compromised=1, adversary=adversary)
+        strategy = cycle_strategy(max_length=5)
+        truth = ExhaustiveAnalyzer(
+            model.with_path_model(PathModel.CYCLE_ALLOWED)
+        ).anonymity_degree(strategy.distribution)
+        report = BatchMonteCarlo(model, strategy).run(40_000, rng=17)
+        assert report.estimate.contains(truth, slack=0.01)
+
+    def test_class_scores_equal_per_trial_event_posteriors(self):
+        """The class key provably determines the entropy; verify trial-for-trial."""
+        model = SystemModel(n_nodes=6, n_compromised=1)
+        strategy = cycle_strategy(max_length=8)
+        distribution = strategy.effective_distribution(6)
+        sampler = CycleTrialSampler(n_nodes=6, distribution=distribution)
+        columns = sampler.draw(1_000, rng=23)
+        table = CycleScoreTable(
+            model=model, distribution=distribution, compromised=frozenset({0})
+        )
+        inference = BayesianPathInference(
+            model.with_path_model(PathModel.CYCLE_ALLOWED), distribution
+        )
+        for index in range(len(columns)):
+            sender = columns.senders[index]
+            path = columns.path(index)
+            key = cycle_trial_key(sender, path, len(path), 0)
+            entropy, _ = table.score(key, sender, path)
+            observation = observation_from_path(sender, path, frozenset({0}))
+            assert entropy == pytest.approx(
+                inference.posterior(observation).entropy_bits, abs=1e-9
+            )
+
+    def test_honest_receiver_covers_exhaustive_truth(self):
+        model = SystemModel(
+            n_nodes=5, n_compromised=1, receiver_compromised=False
+        )
+        strategy = cycle_strategy(max_length=5)
+        truth = ExhaustiveAnalyzer(
+            model.with_path_model(PathModel.CYCLE_ALLOWED)
+        ).anonymity_degree(strategy.distribution)
+        report = BatchMonteCarlo(model, strategy).run(40_000, rng=29)
+        assert report.estimate.contains(truth, slack=0.01)
+
+    def test_agrees_with_event_engine(self):
+        model = SystemModel(n_nodes=12, n_compromised=1)
+        strategy = cycle_strategy(p_forward=0.75, max_length=20)
+        event = StrategyMonteCarlo(model, strategy).run(1_200, rng=31)
+        batch = BatchMonteCarlo(model, strategy).run(60_000, rng=31)
+        gap = abs(event.degree_bits - batch.degree_bits)
+        tolerance = 3.0 * (event.estimate.std_error + batch.estimate.std_error)
+        assert gap <= tolerance
+
+    def test_use_numpy_toggle_is_draw_for_draw_identical(self):
+        model = SystemModel(n_nodes=7, n_compromised=1)
+        strategy = cycle_strategy()
+        fast = BatchMonteCarlo(model, strategy, use_numpy=True)
+        slow = BatchMonteCarlo(model, strategy, use_numpy=False)
+        assert fast.run_accumulate(8_000, rng=5) == slow.run_accumulate(8_000, rng=5)
+
+    def test_multi_compromised_cycles_still_rejected(self):
+        model = SystemModel(n_nodes=8, n_compromised=2)
+        with pytest.raises(ConfigurationError, match="one compromised"):
+            BatchMonteCarlo(model, cycle_strategy())
+        with pytest.raises(ConfigurationError):
+            CycleScoreTable(
+                model=model,
+                distribution=FixedLength(3),
+                compromised=frozenset({0, 1}),
+            )
+
+    def test_engine_requires_a_cycle_strategy(self):
+        model = SystemModel(n_nodes=8, n_compromised=1)
+        simple = PathSelectionStrategy("F(3)", FixedLength(3))
+        with pytest.raises(ConfigurationError):
+            CycleBatchEngine(
+                model=model, strategy=simple, compromised=frozenset({0})
+            )
+
+    def test_mean_path_length_reflects_the_walk(self):
+        model = SystemModel(n_nodes=10, n_compromised=1)
+        strategy = PathSelectionStrategy(
+            "F(4) walk", FixedLength(4), path_model=PathModel.CYCLE_ALLOWED
+        )
+        report = BatchMonteCarlo(model, strategy).run(5_000, rng=2)
+        assert report.mean_path_length == 4.0
+
+
+class TestCycleDeterminism:
+    def test_batch_bit_deterministic_per_seed(self):
+        model = SystemModel(n_nodes=9, n_compromised=1)
+        strategy = cycle_strategy()
+        first = BatchMonteCarlo(model, strategy).run(20_000, rng=77)
+        second = BatchMonteCarlo(model, strategy).run(20_000, rng=77)
+        assert first.estimate == second.estimate
+        assert first.identification_rate == second.identification_rate
+
+    def test_sharded_bit_deterministic_per_seed_and_shards(self):
+        model = SystemModel(n_nodes=9, n_compromised=1)
+        strategy = cycle_strategy()
+        backend = ShardedBackend(workers=1, shards=4)
+        first = backend.estimate(model, strategy, n_trials=24_000, rng=13)
+        second = backend.estimate(model, strategy, n_trials=24_000, rng=13)
+        assert first.estimate == second.estimate
+        assert first.mean_path_length == second.mean_path_length
+
+    def test_sharded_agrees_with_batch_statistically(self):
+        model = SystemModel(n_nodes=9, n_compromised=1)
+        strategy = cycle_strategy()
+        single = BatchMonteCarlo(model, strategy).run(30_000, rng=1)
+        sharded = ShardedBackend(workers=1, shards=3).estimate(
+            model, strategy, n_trials=30_000, rng=1
+        )
+        gap = abs(single.degree_bits - sharded.degree_bits)
+        tolerance = 3.0 * (
+            single.estimate.std_error + sharded.estimate.std_error
+        )
+        assert gap <= tolerance
+
+
+# ---------------------------------------------------------------------- #
+# Service, scheduler, registry, CLI                                       #
+# ---------------------------------------------------------------------- #
+
+
+class TestCycleService:
+    def _request(self, **overrides) -> EstimateRequest:
+        settings = dict(
+            n_nodes=9,
+            distribution=DistributionSpec(
+                "geometric", {"p_forward": 0.6, "minimum": 1, "max_length": 12}
+            ),
+            path_model=PathModel.CYCLE_ALLOWED.value,
+            precision=0.05,
+            block_size=5_000,
+            max_trials=50_000,
+            seed=3,
+        )
+        settings.update(overrides)
+        return EstimateRequest(**settings)
+
+    def test_cycle_request_round_trips_bit_identically(self):
+        request = self._request()
+        with EstimationService() as service:
+            cold = service.estimate(request)
+            warm = service.estimate(request)
+        assert not cold.from_cache and warm.from_cache
+        assert warm.report == cold.report
+        with EstimationService() as fresh:
+            recomputed = fresh.estimate(request)
+        assert not recomputed.from_cache
+        assert recomputed.report == cold.report
+
+    def test_path_model_is_part_of_the_digest(self):
+        cycle = self._request()
+        simple = self._request(path_model=PathModel.SIMPLE.value)
+        assert cycle.digest() != simple.digest()
+        assert cycle.canonical_dict()["path_model"] == "cycle_allowed"
+        rebuilt = EstimateRequest.from_canonical_dict(cycle.canonical_dict())
+        assert rebuilt == cycle and rebuilt.digest() == cycle.digest()
+
+    def test_request_builds_cycle_model_and_strategy(self):
+        request = self._request()
+        assert request.model().path_model is PathModel.CYCLE_ALLOWED
+        assert request.strategy().path_model is PathModel.CYCLE_ALLOWED
+
+    def test_cycle_request_requires_one_compromised_node(self):
+        with pytest.raises(ConfigurationError, match="one compromised"):
+            self._request(n_compromised=2)
+
+    def test_adaptive_scheduler_accumulates_cycle_blocks(self):
+        model = SystemModel(n_nodes=9, n_compromised=1)
+        scheduler = AdaptiveScheduler(
+            backend="batch", precision=None, block_size=4_000, max_trials=12_000
+        )
+        outcome = scheduler.run(model, cycle_strategy(), rng=5)
+        assert outcome.report.n_trials == 12_000
+        assert outcome.rounds == 3
+
+
+class TestCycleCLI:
+    def test_batch_accepts_named_cycle_strategies(self, capsys):
+        assert main([
+            "batch", "--n", "15", "--strategy", "crowds-cycles",
+            "--trials", "4000", "--seed", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "cycle_allowed" in output
+
+    def test_estimate_accepts_hordes(self, capsys):
+        assert main([
+            "estimate", "--n", "15", "--strategy", "hordes",
+            "--precision", "0.1", "--block-size", "2000",
+            "--max-trials", "8000", "--seed", "2",
+        ]) == 0
+        assert "Geom" in capsys.readouterr().out
+
+    def test_cycle_with_multiple_compromised_exits_2_with_one_line(self, capsys):
+        code = main([
+            "batch", "--n", "15", "--strategy", "hordes",
+            "--trials", "1000", "--compromised", "2",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_out_of_range_compromised_exits_2(self, capsys):
+        code = main([
+            "batch", "--n", "10", "--strategy", "fixed", "--length", "3",
+            "--compromised", "20",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+
+    def test_exact_backend_rejects_cycle_strategies_cleanly(self, capsys):
+        code = main([
+            "batch", "--n", "15", "--strategy", "crowds-cycles",
+            "--backend", "exact",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_ext_cycle_registered(self):
+        assert "ext-cycle" in list_experiments()
+
+    def test_simulate_supports_crowds_and_hordes(self, capsys):
+        assert main([
+            "simulate", "--n", "10", "--protocol", "crowds", "--trials", "30",
+            "--seed", "4",
+        ]) == 0
+        assert main([
+            "simulate", "--n", "10", "--protocol", "hordes", "--trials", "30",
+            "--seed", "4",
+        ]) == 0
+
+
+class TestDeployedCycleStrategiesRun:
+    @pytest.mark.parametrize(
+        "name", ["crowds-cycles", "onion-routing-2-cycles", "hordes"]
+    )
+    def test_catalogue_strategy_runs_on_the_fast_path(self, name):
+        strategy = deployed_system_strategies(include_cycle_variants=True)[name]
+        model = SystemModel(n_nodes=20, n_compromised=1)
+        report = estimate_anonymity(
+            model, strategy, n_trials=5_000, rng=8, backend="batch"
+        )
+        assert report.n_trials == 5_000
+        assert 0.0 < report.degree_bits < model.max_entropy

@@ -103,6 +103,16 @@ class TestLoadSpreadMetrics:
         with pytest.raises(ValueError):
             normalized_entropy([1.0, -1.0])
 
+    def test_normalized_entropy_one_member_base_never_divides_by_zero(self):
+        # Regression: log2(base_count) == 0 for a one-member base; the
+        # degenerate case must return 0.0, never raise ZeroDivisionError —
+        # whether base_count=1 is explicit or defaulted from a single
+        # positive entry (possibly amid zeros).
+        assert normalized_entropy([7.0], base_count=1) == 0.0
+        assert normalized_entropy([0.0, 4.0, 0.0]) == 0.0
+        assert normalized_entropy([4.0, 0.0], base_count=1) == 0.0
+        assert normalized_entropy([], base_count=1) == 0.0
+
 
 class TestSweeps:
     def test_fixed_length_sweep_matches_analyzer(self):

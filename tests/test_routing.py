@@ -34,8 +34,34 @@ class TestReroutingPath:
     def test_cycle_paths_are_not_simple(self):
         path = ReroutingPath(sender=0, intermediates=(1, 2, 1))
         assert not path.is_simple
+        assert path.follows_no_self_forwarding
         assert path.conforms_to(PathModel.CYCLE_ALLOWED)
         assert not path.conforms_to(PathModel.SIMPLE)
+
+    @staticmethod
+    def _raw_path(sender: int, intermediates: tuple[int, ...]) -> ReroutingPath:
+        """Build a path without running ``__post_init__`` validation.
+
+        Stands in for any instance created around the constructor
+        (deserialisation, copy protocols): ``conforms_to`` must still judge
+        it correctly.
+        """
+        path = ReroutingPath.__new__(ReroutingPath)
+        object.__setattr__(path, "sender", sender)
+        object.__setattr__(path, "intermediates", intermediates)
+        return path
+
+    def test_conforms_to_rejects_self_forwarding_cycles(self):
+        # Regression: conforms_to(CYCLE_ALLOWED) used to return a constant
+        # True; it must enforce the selector's no-self-forwarding rule.
+        repeat = self._raw_path(0, (1, 1, 2))
+        assert not repeat.follows_no_self_forwarding
+        assert not repeat.conforms_to(PathModel.CYCLE_ALLOWED)
+        assert not repeat.conforms_to(PathModel.SIMPLE)
+        first_hop = self._raw_path(0, (0, 2))
+        assert not first_hop.conforms_to(PathModel.CYCLE_ALLOWED)
+        legal = self._raw_path(0, (1, 2, 1))
+        assert legal.conforms_to(PathModel.CYCLE_ALLOWED)
 
     def test_predecessor_and_successor(self):
         path = ReroutingPath(sender=0, intermediates=(3, 5, 2))
@@ -166,3 +192,11 @@ class TestDeployedStrategies:
     def test_cycle_variants_optional(self):
         assert "crowds-cycles" not in deployed_system_strategies()
         assert "crowds-cycles" in deployed_system_strategies(include_cycle_variants=True)
+
+    def test_cycle_catalogue_contains_hordes(self):
+        strategies = deployed_system_strategies(include_cycle_variants=True)
+        assert "hordes" not in deployed_system_strategies()
+        for key in ("crowds-cycles", "onion-routing-2-cycles", "hordes"):
+            assert strategies[key].path_model is PathModel.CYCLE_ALLOWED
+        # Hordes' forward path is Crowds' coin flip verbatim.
+        assert strategies["hordes"].distribution == strategies["crowds-cycles"].distribution

@@ -56,7 +56,8 @@ REFERENCE_KWARGS = dict(
 #: Golden digest of the reference request.  If this changes, the canonical
 #: form changed and every existing on-disk cache silently invalidates —
 #: that must be a deliberate decision (bump CANONICAL_VERSION), not drift.
-REFERENCE_DIGEST = "435f871a9f5bf39c3d5caa9ed8774c3db54a0cf7748fa9984aa82bac9cfe9c94"
+#: Last bump: CANONICAL_VERSION 2 (the path_model field, cycle requests).
+REFERENCE_DIGEST = "8da543ffe029c6189ccaf737d190640beec9dafcdfd7a926b8f9cbdef0025bff"
 
 
 class TestDistributionSpec:

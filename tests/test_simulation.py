@@ -146,8 +146,15 @@ class TestStrategyMonteCarlo:
         # compromised: roughly 2/N of the time.
         assert report.identification_rate == pytest.approx(0.2, abs=0.06)
 
-    def test_cycle_strategies_rejected(self):
+    def test_cycle_strategies_run_for_one_compromised_node(self):
         model = SystemModel(n_nodes=10, n_compromised=1)
+        strategy = deployed_system_strategies(include_cycle_variants=True)["crowds-cycles"]
+        report = StrategyMonteCarlo(model, strategy).run(200, rng=4)
+        assert report.n_trials == 200
+        assert report.mean_path_length > 0.0
+
+    def test_cycle_strategies_rejected_for_multiple_compromised(self):
+        model = SystemModel(n_nodes=10, n_compromised=2)
         strategy = deployed_system_strategies(include_cycle_variants=True)["crowds-cycles"]
         with pytest.raises(ConfigurationError):
             StrategyMonteCarlo(model, strategy)
@@ -172,8 +179,13 @@ class TestProtocolMonteCarlo:
         exact = AnonymityAnalyzer(model).anonymity_degree(TwoPointLength(3, 4, 0.5))
         assert report.estimate.contains(exact, slack=0.05)
 
-    def test_cycle_protocols_rejected(self):
+    def test_cycle_protocols_run_for_one_compromised_node(self):
         model = SystemModel(n_nodes=20, n_compromised=1)
+        report = ProtocolMonteCarlo(model, lambda: CrowdsProtocol(20)).run(10, rng=1)
+        assert report.n_trials == 10
+
+    def test_cycle_protocols_rejected_for_multiple_compromised(self):
+        model = SystemModel(n_nodes=20, n_compromised=3)
         with pytest.raises(ConfigurationError):
             ProtocolMonteCarlo(model, lambda: CrowdsProtocol(20)).run(10, rng=1)
 
