@@ -8,7 +8,14 @@ is tracked *across PRs* instead of living only in scrolled-away job logs.
 The schema is deliberately flat: a ``benchmark`` name, a ``smoke`` flag
 (reduced workloads used by the CI smoke job; floors are only asserted on the
 full workloads), a ``config`` mapping, and top-level numeric results.  Keep
-keys stable — downstream tooling diffs these files between runs.
+keys stable — downstream tooling diffs these files between runs.  A benchmark
+with several cases (e.g. the cycle engine's ``C = 1`` and ``C = 2`` runs)
+extends its record with :func:`update_record` instead of clobbering it.
+
+``python benchmarks/perf_record.py --summary`` consolidates every
+``BENCH_*.json`` in the working directory into one ``BENCH_summary.json`` —
+the whole perf trajectory of a run as a single artifact, so the numbers can
+be diffed between CI runs as a unit.
 """
 
 from __future__ import annotations
@@ -18,7 +25,18 @@ import platform
 import sys
 from pathlib import Path
 
-__all__ = ["write_record"]
+__all__ = ["write_record", "update_record", "merge_records"]
+
+#: File name of the consolidated record; excluded from its own merge.
+SUMMARY_NAME = "BENCH_summary.json"
+
+
+def _environment() -> dict:
+    """The interpreter/machine block stamped into every record."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
 
 
 def write_record(name: str, smoke: bool, config: dict, **results) -> Path:
@@ -32,13 +50,85 @@ def write_record(name: str, smoke: bool, config: dict, **results) -> Path:
         "benchmark": name,
         "smoke": bool(smoke),
         "config": config,
-        "environment": {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-        },
+        "environment": _environment(),
         **results,
     }
     path = Path(f"BENCH_{name}.json")
     path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
     print(f"\n[perf_record] wrote {path.resolve()}")
     return path
+
+
+def update_record(name: str, **results) -> Path:
+    """Merge ``results`` into an existing ``BENCH_<name>.json`` record.
+
+    Lets several benchmark cases of one suite (run as separate tests)
+    contribute to a single record without clobbering each other; when the
+    record does not exist yet — e.g. a single case run in isolation — a
+    minimal one is created.  Top-level keys overwrite, the ``config`` mapping
+    merges key-wise.
+    """
+    path = Path(f"BENCH_{name}.json")
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = {
+            "benchmark": name,
+            "smoke": False,
+            "config": {},
+            "environment": _environment(),
+        }
+    extra_config = results.pop("config", None)
+    if extra_config:
+        merged = dict(payload.get("config", {}))
+        merged.update(extra_config)
+        payload["config"] = merged
+    payload.update(results)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    print(f"\n[perf_record] updated {path.resolve()}")
+    return path
+
+
+def merge_records(directory: str | Path = ".") -> Path:
+    """Consolidate every ``BENCH_*.json`` into one ``BENCH_summary.json``.
+
+    The summary maps each benchmark name to its full record, so the perf
+    trajectory of a run is readable — and diffable between CI runs — as a
+    unit instead of as scattered per-benchmark files.
+    """
+    directory = Path(directory)
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if path.name == SUMMARY_NAME:
+            continue
+        data = json.loads(path.read_text())
+        records[str(data.get("benchmark", path.stem))] = data
+    payload = {
+        "benchmark": "summary",
+        "environment": _environment(),
+        "record_count": len(records),
+        "records": records,
+    }
+    path = directory / SUMMARY_NAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    print(f"[perf_record] consolidated {len(records)} record(s) into {path.resolve()}")
+    return path
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="merge every BENCH_*.json in the working directory into BENCH_summary.json",
+    )
+    parser.add_argument(
+        "--directory", default=".", help="directory holding the records"
+    )
+    arguments = parser.parse_args()
+    if arguments.summary:
+        merge_records(arguments.directory)
+    else:
+        parser.error("nothing to do; pass --summary")

@@ -27,14 +27,16 @@ The engine supports all three adversaries of
 
 * **simple paths** (any number of compromised nodes) via the block-arrangement
   counts of :mod:`repro.combinatorics.arrangements`;
-* **cycle-allowed paths** (one compromised node ``m``) via clique *walk*
+* **cycle-allowed paths** (any number of compromised nodes) via clique *walk*
   counts (:mod:`repro.combinatorics.walks`): a cycle path is a uniform walk on
-  ``K_N`` without self-loops, the hops between occurrences of ``m`` are walks
-  in the honest sub-clique ``K_{N-1}``, and the likelihood of an observation
+  ``K_N`` without self-loops, the hops between compromised visits are walks
+  in the honest sub-clique ``K_{N-C}``, and the likelihood of an observation
   is a convolution of per-segment walk counts over the unknown segment
-  lengths.  Only the *first* segment depends on the candidate sender (through
+  lengths.  Consecutive compromised visits may sit adjacent on the path
+  (``C > 1``), in which case their gap consumes one fixed edge and no honest
+  segment.  Only the *first* segment depends on the candidate sender (through
   whether the candidate coincides with the first observed predecessor), which
-  is what keeps cycle posteriors two-valued and therefore cheap.
+  is what keeps cycle posteriors two-valued and therefore cheap at any ``C``.
 
 It is exact, not sampled; the Monte-Carlo machinery only samples
 *observations*, never posteriors.
@@ -47,7 +49,10 @@ from dataclasses import dataclass
 from repro.adversary.observation import Observation, RECEIVER
 from repro.combinatorics.arrangements import count_arrangements, total_paths
 from repro.combinatorics.fragments import FragmentSet
-from repro.combinatorics.walks import normalized_clique_walks
+from repro.combinatorics.walks import (
+    normalized_avoiding_walks,
+    normalized_free_walks,
+)
 from repro.core.model import AdversaryModel, PathModel, SystemModel
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError, InferenceError
@@ -100,15 +105,10 @@ class BayesianPathInference:
         distribution: PathLengthDistribution,
         compromised: frozenset[int] | set[int] | None = None,
     ) -> None:
-        if model.path_model is PathModel.CYCLE_ALLOWED:
-            if model.n_compromised != 1:
-                raise ConfigurationError(
-                    "cycle-allowed inference covers exactly one compromised "
-                    f"node; got n_compromised={model.n_compromised}. Use the "
-                    "exhaustive enumeration engine (small N) for multiple "
-                    "compromised nodes on cycle paths."
-                )
-        elif distribution.max_length > model.max_simple_path_length:
+        if (
+            model.path_model is not PathModel.CYCLE_ALLOWED
+            and distribution.max_length > model.max_simple_path_length
+        ):
             raise ConfigurationError(
                 f"distribution {distribution.name} exceeds the maximum simple-path "
                 f"length for N={model.n_nodes}; truncate it first"
@@ -379,51 +379,64 @@ class BayesianPathInference:
         return probability
 
     # ------------------------------------------------------------------ #
-    # CYCLE_ALLOWED paths (one compromised node)                          #
+    # CYCLE_ALLOWED paths (any number of compromised nodes)               #
     # ------------------------------------------------------------------ #
     #
     # A cycle path of length l from sender i is a uniform walk on K_N
-    # without self-loops: probability (N-1)**-l each.  The single
-    # compromised node m splits a consistent walk into honest segments
-    # (walks in the honest sub-clique K_{N-1}); the observation pins each
-    # segment's endpoints, so the likelihood of candidate i is a sum over
-    # segment-length compositions of products of clique walk counts.  Every
-    # factor except the first (i -> first observed predecessor) is
+    # without self-loops: probability (N-1)**-l each.  The compromised set
+    # splits a consistent walk into honest segments (walks in the honest
+    # sub-clique K_{N-C}); the observation pins each segment's endpoints, so
+    # the likelihood of candidate i is a sum over segment-length compositions
+    # of products of clique walk counts.  Adjacent compromised visits
+    # (possible only for C > 1) consume one fixed edge and no honest segment.
+    # Every factor except the first (i -> first observed predecessor) is
     # candidate-independent, so posteriors are two-valued over the honest
     # nodes: one weight for the first predecessor, one for everybody else.
 
     def _posterior_cycle(self, observation: Observation) -> SenderPosterior:
         if observation.origin_node is not None:
             return self._delta_posterior(observation.origin_node)
-        (m,) = self._compromised
         for report in observation.hop_reports:
-            if report.node != m:
+            if report.node not in self._compromised:
                 raise InferenceError(
-                    f"cycle inference expects every hop report to come from the "
-                    f"single compromised node {m}, got a report from {report.node}"
+                    f"cycle inference expects every hop report to come from a "
+                    f"compromised node, got a report from {report.node}"
                 )
         adversary = self._model.adversary
         if adversary is AdversaryModel.PREDECESSOR_ONLY:
-            return self._cycle_predecessor_only(observation, m)
+            return self._cycle_predecessor_only(observation)
         if not observation.hop_reports:
-            return self._cycle_silent(observation, m)
+            return self._cycle_silent(observation)
         if adversary is AdversaryModel.POSITION_AWARE:
-            return self._cycle_position_aware(observation, m)
-        return self._cycle_full_bayes(observation, m)
+            return self._cycle_position_aware(observation)
+        return self._cycle_full_bayes(observation)
 
     def _honest_walk(self, edges: int, closed: bool) -> float:
-        """Normalised walk count in the honest sub-clique ``K_{N-1}``."""
-        return normalized_clique_walks(self._model.n_nodes - 1, edges, closed)
+        """Normalised walk count in the honest sub-clique ``K_{N-C}``.
 
-    def _cycle_silent(self, observation: Observation, m: int) -> SenderPosterior:
-        """m saw nothing: the whole path is one honest walk ending at the receiver's report."""
+        Counts of ``edges``-step walks with both endpoints pinned that avoid
+        every compromised node, divided by the ``(N-1)**edges`` total of all
+        walks — the exact per-segment likelihood factor of a pinned honest
+        segment.  For ``C = 1`` the per-step avoidance ratio is exactly one,
+        reproducing the original single-compromised form bit for bit.
+        """
+        return normalized_avoiding_walks(
+            self._model.n_nodes, len(self._compromised), edges, closed
+        )
+
+    def _zero_compromised(self, weights: dict[int, float]) -> SenderPosterior:
+        """Zero out compromised candidates (they would have filed an origin report)."""
+        for node in self._compromised:
+            weights[node] = 0.0
+        return self._normalise(weights)
+
+    def _cycle_silent(self, observation: Observation) -> SenderPosterior:
+        """All compromised nodes saw nothing: the path is one honest walk."""
         n = self._model.n_nodes
         if observation.receiver_report is None:
-            # No evidence beyond m's silence: every honest sender explains it
-            # with the same probability sum(P(l) * ((N-2)/(N-1))**l).
-            return self._normalise(
-                {node: 0.0 if node == m else 1.0 for node in range(n)}
-            )
+            # No evidence beyond silence: every honest sender explains it
+            # with the same probability sum(P(l) * ((N-C-1)/(N-1))**l).
+            return self._zero_compromised({node: 1.0 for node in range(n)})
         witness = observation.receiver_report.predecessor
         special = 0.0
         common = 0.0
@@ -432,31 +445,57 @@ class BayesianPathInference:
             common += prob * self._honest_walk(length, closed=False)
         weights = {node: common for node in range(n)}
         weights[witness] = special
-        weights[m] = 0.0
-        return self._normalise(weights)
+        return self._zero_compromised(weights)
 
-    def _cycle_full_bayes(self, observation: Observation, m: int) -> SenderPosterior:
+    def _cycle_full_bayes(self, observation: Observation) -> SenderPosterior:
         n = self._model.n_nodes
         reports = observation.hop_reports
-        k = len(reports)
         for report in reports[:-1]:
             if report.successor == RECEIVER:
                 raise InferenceError(
-                    "only the last hop report of the compromised node may hand "
+                    "only the last hop report of a compromised node may hand "
                     "the message to the receiver"
                 )
+        if reports[0].predecessor in self._compromised:
+            raise InferenceError(
+                "the first compromised visit cannot have a compromised "
+                "predecessor: that node would have reported an earlier visit"
+            )
         m_last = reports[-1].successor == RECEIVER
         if m_last and observation.receiver_report is not None:
-            if observation.receiver_report.predecessor != m:
+            if observation.receiver_report.predecessor != reports[-1].node:
                 raise InferenceError(
-                    "the compromised node reports delivering to the receiver, "
+                    "a compromised node reports delivering to the receiver, "
                     "but the receiver reports a different predecessor"
                 )
 
-        # Walks consume: one edge into and one out of each of the k
-        # occurrences of m, except that the final occurrence has no outgoing
-        # intermediate edge when it delivered to the receiver.
-        offset = 2 * k - 1 if m_last else 2 * k
+        # Walks consume one fixed edge into the first visit, one or two fixed
+        # edges per inter-visit gap (one when the two visits sit adjacent on
+        # the path, two around a pinned honest segment), and one fixed edge
+        # out of the final visit unless it delivered to the receiver itself.
+        # Free edges are distributed over the honest segments by convolution.
+        offset = 1
+        gap_closed: list[bool | None] = []  # None marks an adjacent gap
+        for first, second in zip(reports, reports[1:]):
+            adjacent = (
+                first.successor != RECEIVER
+                and first.successor in self._compromised
+            )
+            if adjacent or second.predecessor in self._compromised:
+                if first.successor != second.node or second.predecessor != first.node:
+                    raise InferenceError(
+                        "adjacent compromised visits disagree: successor "
+                        f"{first.successor!r} / predecessor {second.predecessor!r} "
+                        f"do not pin reports from {first.node} and {second.node} "
+                        "next to each other"
+                    )
+                offset += 1
+                gap_closed.append(None)
+            else:
+                offset += 2
+                gap_closed.append(first.successor == second.predecessor)
+        if not m_last:
+            offset += 1
         max_free = self._distribution.max_length - offset
         if max_free < 0:
             raise InferenceError(
@@ -465,27 +504,33 @@ class BayesianPathInference:
             )
 
         # Candidate-independent factors: the honest segments between
-        # consecutive occurrences of m, plus the tail segment after the last
-        # occurrence (absent when m itself delivered to the receiver).
-        factors: list[list[float]] = []
-        for first, second in zip(reports, reports[1:]):
-            factors.append(
-                self._segment_factor(max_free, first.successor == second.predecessor)
-            )
+        # non-adjacent visits, plus the tail segment after the last visit
+        # (absent when a compromised node itself delivered to the receiver).
+        factors: list[list[float]] = [
+            self._segment_factor(max_free, closed)
+            for closed in gap_closed
+            if closed is not None
+        ]
         if not m_last:
             if observation.receiver_report is not None:
                 witness = observation.receiver_report.predecessor
+                if witness in self._compromised:
+                    raise InferenceError(
+                        f"the receiver reports compromised predecessor {witness}, "
+                        "which filed no matching delivery report"
+                    )
                 factors.append(
                     self._segment_factor(
                         max_free, reports[-1].successor == witness
                     )
                 )
             else:
-                # Honest receiver: the tail walk may end anywhere honest, and
-                # there are (N-2)**e walks of e honest steps from a fixed
-                # start, i.e. ((N-2)/(N-1))**e after per-step normalisation.
-                ratio = (n - 2) / (n - 1)
-                factors.append([ratio**edges for edges in range(max_free + 1)])
+                # Honest receiver: the tail walk may end at any honest node,
+                # contributing ((N-C-1)/(N-1))**e after per-step normalisation.
+                factors.append([
+                    normalized_free_walks(n, len(self._compromised), edges)
+                    for edges in range(max_free + 1)
+                ])
         rest = [1.0]
         for factor in factors:
             rest = _truncated_convolution(rest, factor, max_free)
@@ -506,8 +551,7 @@ class BayesianPathInference:
             common += prob * common_sums[free]
         weights = {node: common for node in range(n)}
         weights[first_predecessor] = special
-        weights[m] = 0.0
-        return self._normalise(weights)
+        return self._zero_compromised(weights)
 
     def _segment_factor(self, max_free: int, closed: bool) -> list[float]:
         """Normalised honest-walk counts for one pinned segment, by edge count."""
@@ -515,7 +559,7 @@ class BayesianPathInference:
             self._honest_walk(edges, closed) for edges in range(max_free + 1)
         ]
 
-    def _cycle_position_aware(self, observation: Observation, m: int) -> SenderPosterior:
+    def _cycle_position_aware(self, observation: Observation) -> SenderPosterior:
         n = self._model.n_nodes
         first = observation.hop_reports[0]
         if any(report.position is None for report in observation.hop_reports):
@@ -526,32 +570,28 @@ class BayesianPathInference:
             # The first hop's predecessor is the sender, and the adversary
             # knows the position, so the sender is identified outright.
             return self._delta_posterior(first.predecessor)
-        # Only the walk from the sender to the first occurrence of m depends
-        # on the candidate; every later segment has known, pinned endpoints
-        # and factors out of the posterior.
+        # Only the walk from the sender to the first compromised visit
+        # depends on the candidate; every later segment has known, pinned
+        # endpoints and factors out of the posterior.
         edges = first.position - 1
         weights = {
             node: self._honest_walk(edges, closed=(node == first.predecessor))
             for node in range(n)
         }
-        weights[m] = 0.0
-        return self._normalise(weights)
+        return self._zero_compromised(weights)
 
-    def _cycle_predecessor_only(
-        self, observation: Observation, m: int
-    ) -> SenderPosterior:
+    def _cycle_predecessor_only(self, observation: Observation) -> SenderPosterior:
         n = self._model.n_nodes
         if not observation.hop_reports:
             # The weak adversary ignores the receiver entirely; silence only
-            # says m is not the sender.
-            return self._normalise(
-                {node: 0.0 if node == m else 1.0 for node in range(n)}
-            )
+            # says none of the compromised nodes is the sender.
+            return self._zero_compromised({node: 1.0 for node in range(n)})
         predecessor = observation.hop_reports[0].predecessor
-        # Likelihood of "m's first occurrence had predecessor p" for sender
-        # i: the first q-1 hops are an honest walk i -> p, hop q is m, and
-        # the remaining hops are unconstrained; summed over q and lengths the
-        # per-candidate part is a running sum of honest walk counts.
+        # Likelihood of "the first compromised visit had predecessor p" for
+        # sender i: the first q-1 hops are an honest walk i -> p, hop q is
+        # the reporting node, and the remaining hops are unconstrained;
+        # summed over q and lengths the per-candidate part is a running sum
+        # of honest walk counts.
         special = 0.0
         common = 0.0
         closed_cumulative = 0.0
@@ -566,8 +606,7 @@ class BayesianPathInference:
             common += prob * open_cumulative
         weights = {node: common for node in range(n)}
         weights[predecessor] = special
-        weights[m] = 0.0
-        return self._normalise(weights)
+        return self._zero_compromised(weights)
 
     # ------------------------------------------------------------------ #
     # Helpers                                                             #

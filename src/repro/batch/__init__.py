@@ -39,12 +39,18 @@ Layout
 :mod:`repro.batch.cycleclassify`
     Cycle observation-class keys (:func:`classify_cycle_trials`).
 :mod:`repro.batch.cycleengine`
-    The cycle-allowed engine (:class:`CycleBatchEngine`) and its lazily
-    priced :class:`CycleScoreTable` (Crowds-style protocols, one compromised
-    node).
+    The cycle-allowed engines (:class:`CycleBatchEngine` for ``C = 1``,
+    :class:`MultiCycleEngine` for any other ``C``) and their lazily priced
+    :class:`CycleScoreTable` (Crowds-style protocols).
+:mod:`repro.batch.engine`
+    The :class:`TrialEngine` protocol (``sample_block → classify → score``),
+    the mergeable :class:`BatchAccumulator`, the engine registry
+    (:func:`register_engine` / :func:`select_engine`), and the two built-in
+    simple-path engines (:class:`FiveClassEngine`,
+    :class:`ArrangementEngine`).
 :mod:`repro.batch.estimator`
-    The drop-in estimator (:class:`BatchMonteCarlo`) and the mergeable
-    :class:`BatchAccumulator` it reduces to.
+    The drop-in estimator (:class:`BatchMonteCarlo`), a thin dispatcher over
+    the engine registry.
 :mod:`repro.batch.sharded`
     The multiprocess ``sharded`` backend (:class:`ShardedBackend`).
 :mod:`repro.batch.backends`
@@ -68,8 +74,21 @@ from repro.batch.backends import (
 from repro.batch.columns import ABSENT, MultiTrialColumns, TrialColumns
 from repro.batch.classify import class_counts, classify_columns
 from repro.batch.cycleclassify import classify_cycle_trials, cycle_trial_key
-from repro.batch.cycleengine import CycleBatchEngine, CycleScoreTable
+from repro.batch.cycleengine import (
+    CycleBatchEngine,
+    CycleScoreTable,
+    MultiCycleEngine,
+)
 from repro.batch.cyclesampler import CycleTrialColumns, CycleTrialSampler
+from repro.batch.engine import (
+    ArrangementEngine,
+    FiveClassEngine,
+    TrialEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    select_engine,
+)
 from repro.batch.estimator import BatchAccumulator, BatchMonteCarlo
 from repro.batch.multiclass import ClassScoreTable, count_class_keys
 from repro.batch.sampler import BatchTrialSampler, MultiTrialSampler
@@ -91,7 +110,15 @@ __all__ = [
     "cycle_trial_key",
     "ClassScoreTable",
     "CycleScoreTable",
+    "TrialEngine",
+    "FiveClassEngine",
+    "ArrangementEngine",
     "CycleBatchEngine",
+    "MultiCycleEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "select_engine",
     "BatchMonteCarlo",
     "BatchAccumulator",
     "EstimatorBackend",

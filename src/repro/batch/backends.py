@@ -15,11 +15,12 @@ Three engines can answer, with very different cost/coverage trade-offs:
     most general engine (any number of compromised nodes, cycle-free or not)
     and the slowest.
 ``batch``
-    The vectorized :class:`repro.batch.estimator.BatchMonteCarlo`: columnar
-    trials, array classification, per-class entropies.  Statistically
-    identical to ``event`` on simple paths — including ``C > 1`` and honest
-    receivers via the arrangement-class engine — at a large multiple of its
-    throughput.
+    The vectorized :class:`repro.batch.estimator.BatchMonteCarlo`: a
+    dispatcher over the :class:`~repro.batch.engine.TrialEngine` registry
+    (columnar trials, array classification, per-class entropies).
+    Statistically identical to ``event`` on its whole domain — ``C > 1``,
+    honest receivers, and cycle-allowed paths at any ``C`` included — at a
+    large multiple of its throughput.
 ``sharded``
     The multiprocess :class:`repro.batch.sharded.ShardedBackend`: ``batch``
     kernels fanned out over worker processes, merged through per-class

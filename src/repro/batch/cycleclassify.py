@@ -1,40 +1,44 @@
 """Columnar classification of cycle-path trials into observation classes.
 
-With one compromised node ``m`` on cycle-allowed paths, the adversary's
+With a compromised set ``M`` on cycle-allowed paths, the adversary's
 posterior entropy for a trial depends only on a small *class key* — never on
-which concrete honest nodes played which role (see
-:mod:`repro.adversary.inference` for the proof sketch: only the first
-observed predecessor is special, and honest-segment walk counts depend only
-on whether segment endpoints coincide).  The keys, per adversary:
+which concrete honest nodes played which role, nor on which compromised
+identity sat at which visit (see :mod:`repro.adversary.inference` for the
+proof sketch: only the first observed predecessor is special, and
+honest-segment walk counts depend only on whether segment endpoints
+coincide).  The keys, per adversary:
 
 ``("origin",)``
-    The sender is ``m``: identified outright.
+    The sender is compromised: identified outright.
 ``("silent",)``
-    ``m`` is not on the path.
+    No compromised node is on the path.
 ``("path",)``
-    Predecessor-only adversary, ``m`` on the path: one class — the weak
-    adversary cannot tell where its node sat.
+    Predecessor-only adversary, some compromised node on the path: one class
+    — the weak adversary cannot tell where its node sat.
 ``("pos", q)``
-    Position-aware adversary: ``m``'s first occurrence sits at hop ``q``
-    (everything after the first occurrence factors out of the posterior).
-``("fb", k, bits, last)``
-    Full-Bayes adversary: ``k`` occurrences of ``m``; ``bits[j]`` records
-    whether the node ``m`` forwarded to at occurrence ``j`` coincides with
-    the predecessor it observed at occurrence ``j + 1`` (adjacent
-    occurrences share their honest bridge); ``last`` is ``"recv"`` when
-    ``m`` delivered to the receiver itself, ``"eq"``/``"ne"`` for whether
-    ``m``'s final successor coincides with the receiver's reported
-    predecessor, or ``"open"`` under an honest receiver.
+    Position-aware adversary: the first compromised visit sits at hop ``q``
+    (everything after the first visit factors out of the posterior).
+``("fb", k, gaps, last)``
+    Full-Bayes adversary: ``k`` compromised visits; ``gaps[j]`` records the
+    relation between visits ``j`` and ``j + 1`` — ``"adj"`` when they sit
+    adjacent on the path (possible only for ``C > 1``), otherwise a boolean
+    for whether the node forwarded to at visit ``j`` coincides with the
+    predecessor observed at visit ``j + 1`` (the visits share their honest
+    bridge); ``last`` is ``"recv"`` when a compromised node delivered to the
+    receiver itself, ``"eq"``/``"ne"`` for whether the final visit's
+    successor coincides with the receiver's reported predecessor, or
+    ``"open"`` under an honest receiver.  For ``C = 1`` adjacency cannot
+    occur, so the keys coincide bit for bit with the single-node form.
 
 :func:`cycle_trial_key` is the scalar reference rule.  The NumPy kernel
 vectorises the overwhelmingly common cases (origin, silent, at most one
-occurrence of ``m``) and falls back to the scalar rule only for the rare
-multi-occurrence trials, so classification cost stays columnar.
+compromised visit) and falls back to the scalar rule only for the rare
+multi-visit trials, so classification cost stays columnar at any ``C``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Collection, Sequence
 
 from repro.batch._accel import resolve_use_numpy
 from repro.batch.cyclesampler import CycleTrialColumns
@@ -44,23 +48,33 @@ __all__ = [
     "ORIGIN_KEY",
     "SILENT_KEY",
     "PATH_KEY",
+    "ADJACENT",
     "cycle_trial_key",
     "classify_cycle_trials",
 ]
 
 #: Class key of a compromised sender (identified outright).
 ORIGIN_KEY = ("origin",)
-#: Class key of a path that never touches the compromised node.
+#: Class key of a path that never touches a compromised node.
 SILENT_KEY = ("silent",)
 #: Class key of every on-path trial under the predecessor-only adversary.
 PATH_KEY = ("path",)
+#: Gap marker for two compromised visits sitting adjacent on the path.
+ADJACENT = "adj"
+
+
+def _membership(compromised: int | Collection[int]) -> frozenset[int]:
+    """Normalise the compromised argument: a single node id or a set of them."""
+    if isinstance(compromised, Collection):
+        return frozenset(int(node) for node in compromised)
+    return frozenset((int(compromised),))
 
 
 def cycle_trial_key(
     sender: int,
     hops: Sequence[int],
     length: int,
-    compromised_node: int,
+    compromised: int | Collection[int],
     adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
     receiver_compromised: bool = True,
 ) -> tuple:
@@ -68,18 +82,22 @@ def cycle_trial_key(
 
     ``hops`` must expose at least the first ``length`` hop identities of the
     trial; extra cells (the sampler's chain continuation) are ignored.
+    ``compromised`` is a single node identity or any collection of them.
     """
-    if sender == compromised_node:
+    members = _membership(compromised)
+    if sender in members:
         return ORIGIN_KEY
-    occurrences = [i for i in range(length) if hops[i] == compromised_node]
+    occurrences = [i for i in range(length) if hops[i] in members]
     if not occurrences:
         return SILENT_KEY
     if adversary is AdversaryModel.PREDECESSOR_ONLY:
         return PATH_KEY
     if adversary is AdversaryModel.POSITION_AWARE:
         return ("pos", occurrences[0] + 1)
-    bits = tuple(
-        hops[occurrences[j] + 1] == hops[occurrences[j + 1] - 1]
+    gaps = tuple(
+        ADJACENT
+        if occurrences[j + 1] == occurrences[j] + 1
+        else hops[occurrences[j] + 1] == hops[occurrences[j + 1] - 1]
         for j in range(len(occurrences) - 1)
     )
     if occurrences[-1] == length - 1:
@@ -88,12 +106,12 @@ def cycle_trial_key(
         last = "open"
     else:
         last = "eq" if hops[occurrences[-1] + 1] == hops[length - 1] else "ne"
-    return ("fb", len(occurrences), bits, last)
+    return ("fb", len(occurrences), gaps, last)
 
 
 def classify_cycle_trials(
     columns: CycleTrialColumns,
-    compromised_node: int,
+    compromised: int | Collection[int],
     adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
     receiver_compromised: bool = True,
     use_numpy: bool | None = None,
@@ -105,13 +123,10 @@ def classify_cycle_trials(
     concrete path the score table prices once for the whole class.  The pure
     and NumPy kernels produce identical mappings.
     """
+    members = _membership(compromised)
     if resolve_use_numpy(use_numpy):
-        return _classify_numpy(
-            columns, compromised_node, adversary, receiver_compromised
-        )
-    return _classify_pure(
-        columns, compromised_node, adversary, receiver_compromised
-    )
+        return _classify_numpy(columns, members, adversary, receiver_compromised)
+    return _classify_pure(columns, members, adversary, receiver_compromised)
 
 
 # ---------------------------------------------------------------------- #
@@ -121,7 +136,7 @@ def classify_cycle_trials(
 
 def _classify_pure(
     columns: CycleTrialColumns,
-    compromised_node: int,
+    compromised: frozenset[int],
     adversary: AdversaryModel,
     receiver_compromised: bool,
 ) -> dict[tuple, tuple[int, int]]:
@@ -136,7 +151,7 @@ def _classify_pure(
             sender,
             hops[base : base + length],
             length,
-            compromised_node,
+            compromised,
             adversary,
             receiver_compromised,
         )
@@ -152,7 +167,7 @@ def _classify_pure(
 
 def _classify_numpy(
     columns: CycleTrialColumns,
-    compromised_node: int,
+    compromised: frozenset[int],
     adversary: AdversaryModel,
     receiver_compromised: bool,
 ) -> dict[tuple, tuple[int, int]]:
@@ -167,10 +182,17 @@ def _classify_numpy(
         if count:
             result[key] = (count, int(mask.argmax()))
 
+    if len(compromised) == 1:
+        (compromised_node,) = compromised
+        occurrences = hops == compromised_node
+        origin = senders == compromised_node
+    else:
+        members = np.fromiter(sorted(compromised), dtype=np.int64)
+        occurrences = np.isin(hops, members)
+        origin = np.isin(senders, members)
     valid = np.arange(columns.width) < lengths[:, None]
-    occurrences = valid & (hops == compromised_node)
+    occurrences &= valid
     hits = occurrences.sum(axis=1)
-    origin = senders == compromised_node
     add(origin, ORIGIN_KEY)
     add(~origin & (hits == 0), SILENT_KEY)
     on_path = ~origin & (hits > 0)
@@ -181,13 +203,13 @@ def _classify_numpy(
         add(on_path, PATH_KEY)
         return result
 
-    first = occurrences.argmax(axis=1)  # 0-based first occurrence, on-path only
+    first = occurrences.argmax(axis=1)  # 0-based first visit, on-path only
     if adversary is AdversaryModel.POSITION_AWARE:
         for position in np.unique(first[on_path]):
             add(on_path & (first == position), ("pos", int(position) + 1))
         return result
 
-    # FULL_BAYES: vectorized single-occurrence fast path.
+    # FULL_BAYES: vectorized single-visit fast path.
     single = on_path & (hits == 1)
     m_last = single & (first + 1 == lengths)
     add(m_last, ("fb", 1, (), "recv"))
@@ -207,7 +229,7 @@ def _classify_numpy(
             add(eq_mask, ("fb", 1, (), "eq"))
             add(ne_mask, ("fb", 1, (), "ne"))
 
-    # Rare multi-occurrence trials: the scalar reference rule, row by row in
+    # Rare multi-visit trials: the scalar reference rule, row by row in
     # batch order so representatives match the pure kernel.
     for index in np.nonzero(on_path & (hits >= 2))[0]:
         index = int(index)
@@ -216,7 +238,7 @@ def _classify_numpy(
             int(senders[index]),
             hops[index, :length],
             length,
-            compromised_node,
+            compromised,
             adversary,
             receiver_compromised,
         )

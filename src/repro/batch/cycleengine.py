@@ -1,12 +1,12 @@
-"""The vectorized estimator engine for cycle-allowed path strategies.
+"""The vectorized trial engines for cycle-allowed path strategies.
 
-This is the third columnar engine of :class:`repro.batch.estimator.BatchMonteCarlo`
-(after the five-class and arrangement-class simple-path engines): it brings
-Crowds-style protocols — one compromised node, cycles allowed — onto the
-batch fast path.  One run decomposes into the same three columnar passes as
-its siblings:
+These are the cycle-path members of the :class:`~repro.batch.engine.TrialEngine`
+registry (after the five-class and arrangement simple-path engines): they
+bring Crowds-style protocols onto the batch fast path for *any* number of
+compromised nodes.  One run decomposes into the protocol's three columnar
+stages:
 
-1. **sample** — draw whole trial blocks of Markov-style hop transitions
+1. **sample_block** — draw whole trial blocks of Markov-style hop transitions
    (:class:`~repro.batch.cyclesampler.CycleTrialSampler`);
 2. **classify** — histogram every trial into its cycle observation class
    (:func:`~repro.batch.cycleclassify.classify_cycle_trials`);
@@ -14,18 +14,28 @@ its siblings:
    exact Bayesian engine (:class:`CycleScoreTable` over
    :class:`repro.adversary.inference.BayesianPathInference`), then gather.
 
-Because step 3 reuses exact per-class entropies, the per-trial entropy
+Because stage 3 reuses exact per-class entropies, the per-trial entropy
 samples follow exactly the same law as the hop-by-hop event engine's — the
 class key provably determines the posterior entropy (see
 :mod:`repro.adversary.inference`) — at a large multiple of its throughput:
-the event engine runs one exact inference per *trial*, this engine one per
+the event engine runs one exact inference per *trial*, these engines one per
 *class*, and the number of distinct classes is tiny.
 
 Scoring goes through a **canonical representative**: the class
 representative's concrete path is relabelled so honest nodes appear in first-
-appearance order.  Equal keys therefore price through bit-identical
-arithmetic, which keeps shard merges exact and cached service replays
-bit-stable no matter which concrete trial first exhibited a class.
+appearance order while compromised identities stay fixed.  Equal keys
+therefore price through bit-identical arithmetic, which keeps shard merges
+exact and cached service replays bit-stable no matter which concrete trial
+first exhibited a class.
+
+Two registrations share the implementation:
+
+* :class:`CycleBatchEngine` (``"cycle"``) — the single-compromised fast path
+  of PR 4, unchanged bit for bit;
+* :class:`MultiCycleEngine` (``"cycle-multi"``) — the engine that closes the
+  roadmap's last coverage gap: cycle paths with ``C != 1`` (including
+  ``C = 0``), classified by multi-node walk-pattern keys and priced by the
+  honest-subgraph walk counts of :mod:`repro.combinatorics.walks`.
 
 Trial blocks are processed in fixed-size chunks so the hop matrix of a
 multi-million-trial run never materialises at once; the chunk size is a
@@ -34,21 +44,23 @@ constant, part of the determinism contract.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.adversary.inference import BayesianPathInference
 from repro.adversary.observation import observation_from_path
-from repro.batch._accel import resolve_use_numpy
 from repro.batch.cycleclassify import classify_cycle_trials
-from repro.batch.cyclesampler import CycleTrialColumns, CycleTrialSampler
+from repro.batch.cyclesampler import CycleTrialSampler
+from repro.batch.engine import TrialEngine, register_engine
 from repro.core.model import PathModel, SystemModel
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
 from repro.routing.strategies import PathSelectionStrategy
 from repro.simulation.results import IDENTIFIED_THRESHOLD
-from repro.utils.rng import RandomSource, ensure_rng
 
-__all__ = ["CycleScoreTable", "CycleBatchEngine", "CHUNK_TRIALS"]
+__all__ = [
+    "CycleScoreTable",
+    "CycleBatchEngine",
+    "MultiCycleEngine",
+    "CHUNK_TRIALS",
+]
 
 #: Trials sampled per columnar chunk.  A constant: chunk boundaries shape the
 #: generator consumption, so this is part of the (seed -> bits) contract.
@@ -59,10 +71,12 @@ class CycleScoreTable:
     """Lazily scored ``class key -> (entropy, identified)`` table.
 
     Unlike the simple-path tables, cycle classes are discovered from the data
-    (how often the compromised node recurs, which anchors coincide), so the
+    (how often compromised nodes recur, which anchors coincide), so the
     table prices classes on first sight and memoises: build one canonical
     representative observation for the class, hand it to the exact cycle
     inference engine, and reuse the score for every later trial of the class.
+    Any number of compromised nodes is supported; the inference engine counts
+    honest segments in the sub-clique avoiding the whole compromised set.
     """
 
     def __init__(
@@ -71,15 +85,10 @@ class CycleScoreTable:
         distribution: PathLengthDistribution,
         compromised: frozenset[int],
     ) -> None:
-        if len(compromised) != 1:
-            raise ConfigurationError(
-                "the cycle engine covers exactly one compromised node, got "
-                f"{len(compromised)}"
-            )
-        (self._compromised_node,) = compromised
+        self._compromised = frozenset(compromised)
         self._model = model.with_path_model(PathModel.CYCLE_ALLOWED)
         self._inference = BayesianPathInference(
-            self._model, distribution, compromised
+            self._model, distribution, self._compromised
         )
         self._scores: dict[tuple, tuple[float, bool]] = {}
 
@@ -104,7 +113,7 @@ class CycleScoreTable:
         observation = observation_from_path(
             sender,
             path,
-            frozenset((self._compromised_node,)),
+            self._compromised,
             receiver_compromised=self._model.receiver_compromised,
         )
         posterior = self._inference.posterior(observation)
@@ -121,110 +130,111 @@ class CycleScoreTable:
         """Relabel honest nodes in first-appearance order.
 
         The posterior entropy is invariant under relabelling of honest nodes,
-        so mapping every representative onto the same canonical identities
-        makes the score arithmetic — hence its last-ulp floats — a pure
-        function of the class key.
+        so mapping every representative onto the same canonical identities —
+        compromised identities stay fixed — makes the score arithmetic, and
+        hence its last-ulp floats, a pure function of the class key.
         """
-        compromised_node = self._compromised_node
+        compromised = self._compromised
         fresh = iter(
             node
             for node in range(self._model.n_nodes)
-            if node != compromised_node
+            if node not in compromised
         )
-        mapping = {compromised_node: compromised_node}
+        mapping = {node: node for node in compromised}
         relabelled = []
         for node in (sender, *path):
+            node = int(node)
             if node not in mapping:
                 mapping[node] = next(fresh)
             relabelled.append(mapping[node])
         return relabelled[0], tuple(relabelled[1:])
 
 
-@dataclass
-class CycleBatchEngine:
-    """Columnar Monte-Carlo kernel for one cycle-allowed strategy.
+class CycleBatchEngine(TrialEngine):
+    """Columnar Monte-Carlo kernel for one cycle-allowed strategy (``C = 1``).
 
-    Constructed by :class:`~repro.batch.estimator.BatchMonteCarlo` when the
-    strategy's path model is :attr:`~repro.core.model.PathModel.CYCLE_ALLOWED`;
-    it produces the same :class:`~repro.batch.estimator.BatchAccumulator`
-    currency as the simple-path engines, so sharding, adaptive scheduling,
-    and the service cache compose with it unchanged.
+    Selected by :class:`~repro.batch.estimator.BatchMonteCarlo` when the
+    strategy's path model is :attr:`~repro.core.model.PathModel.CYCLE_ALLOWED`
+    with one compromised node; it produces the same
+    :class:`~repro.batch.engine.BatchAccumulator` currency as the simple-path
+    engines, so sharding, adaptive scheduling, and the service cache compose
+    with it unchanged.
     """
 
-    model: SystemModel
-    strategy: PathSelectionStrategy
-    compromised: frozenset[int]
-    use_numpy: bool | None = None
+    name = "cycle"
+    chunk_trials = CHUNK_TRIALS
 
-    _sampler: CycleTrialSampler = field(init=False, repr=False)
-    _score_table: CycleScoreTable = field(init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.strategy.path_model is not PathModel.CYCLE_ALLOWED:
+    def __init__(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        compromised: frozenset[int],
+        use_numpy: bool | None = None,
+    ) -> None:
+        super().__init__(model, strategy, compromised, use_numpy)
+        if strategy.path_model is not PathModel.CYCLE_ALLOWED:
             raise ConfigurationError(
-                "CycleBatchEngine requires a cycle-allowed strategy, got "
-                f"{self.strategy.path_model!r}"
+                f"{type(self).__name__} requires a cycle-allowed strategy, got "
+                f"{strategy.path_model!r}"
             )
-        self.compromised = frozenset(self.compromised)
-        distribution = self.strategy.effective_distribution(self.model.n_nodes)
-        self._distribution = distribution
         self._sampler = CycleTrialSampler(
-            n_nodes=self.model.n_nodes, distribution=distribution
+            n_nodes=model.n_nodes, distribution=self._distribution
         )
         self._score_table = CycleScoreTable(
-            model=self.model.with_compromised(len(self.compromised)),
-            distribution=distribution,
+            model=model.with_compromised(len(self.compromised)),
+            distribution=self._distribution,
             compromised=self.compromised,
         )
 
-    @property
-    def distribution(self) -> PathLengthDistribution:
-        """The (untruncated) length distribution being estimated."""
-        return self._distribution
-
-    def run_accumulate(self, n_trials: int, rng: RandomSource = None):
-        """Run ``n_trials`` columnar trials and return a ``BatchAccumulator``."""
-        from repro.batch.estimator import BatchAccumulator
-
-        if n_trials < 1:
-            raise ConfigurationError("n_trials must be >= 1")
-        generator = ensure_rng(rng)
-        (compromised_node,) = self.compromised
-        classes: dict[tuple, list] = {}
-        length_sum = 0
-        remaining = n_trials
-        while remaining:
-            chunk = min(CHUNK_TRIALS, remaining)
-            remaining -= chunk
-            columns = self._sampler.draw(
-                chunk, generator, use_numpy=self.use_numpy
-            )
-            length_sum += self._length_sum(columns)
-            keyed = classify_cycle_trials(
-                columns,
-                compromised_node,
-                adversary=self.model.adversary,
-                receiver_compromised=self.model.receiver_compromised,
-                use_numpy=self.use_numpy,
-            )
-            for key, (count, representative) in keyed.items():
-                entry = classes.get(key)
-                if entry is None:
-                    entropy, identified = self._score_table.score(
-                        key,
-                        columns.senders[representative],
-                        columns.path(representative),
-                    )
-                    classes[key] = [count, entropy, identified]
-                else:
-                    entry[0] += count
-        return BatchAccumulator(
-            n_trials=n_trials,
-            length_sum=length_sum,
-            classes={key: tuple(value) for key, value in classes.items()},
+    @classmethod
+    def covers(cls, model, strategy, compromised) -> bool:
+        return (
+            strategy.path_model is PathModel.CYCLE_ALLOWED
+            and len(compromised) == 1
         )
 
-    def _length_sum(self, columns: CycleTrialColumns) -> int:
-        if resolve_use_numpy(self.use_numpy):
-            return int(columns.as_numpy()[1].sum())
-        return sum(columns.lengths)
+    def sample_block(self, n_trials: int, generator):
+        return self._sampler.draw(n_trials, generator, use_numpy=self.use_numpy)
+
+    def classify(self, block) -> dict[tuple, tuple[int, int]]:
+        return classify_cycle_trials(
+            block,
+            self.compromised,
+            adversary=self.model.adversary,
+            receiver_compromised=self.model.receiver_compromised,
+            use_numpy=self.use_numpy,
+        )
+
+    def score(self, key, block, representative) -> tuple[float, bool]:
+        return self._score_table.score(
+            key, block.senders[representative], block.path(representative)
+        )
+
+
+class MultiCycleEngine(CycleBatchEngine):
+    """The fourth built-in engine: cycle-allowed paths with ``C != 1``.
+
+    Shares the sampler (hop identities carry no compromised knowledge), the
+    multi-node classifier keys of :mod:`repro.batch.cycleclassify`, and the
+    generalised :class:`CycleScoreTable` with the ``C = 1`` engine; only the
+    covered domain differs.  ``C = 0`` degenerates to the silent class under
+    every adversary, and any larger ``C`` rides on the honest-subgraph walk
+    counts — validated exactly against exhaustive enumeration in
+    ``tests/test_cycle.py`` and the ``ext-cycle`` experiment.
+    """
+
+    name = "cycle-multi"
+
+    @classmethod
+    def covers(cls, model, strategy, compromised) -> bool:
+        return (
+            strategy.path_model is PathModel.CYCLE_ALLOWED
+            and len(compromised) != 1
+        )
+
+
+# Most general last: selection walks the registry in reverse, so the
+# dedicated C = 1 kernel keeps the paper's core cycle domain while the
+# multi-node engine picks up everything else.
+register_engine(MultiCycleEngine.name, MultiCycleEngine)
+register_engine(CycleBatchEngine.name, CycleBatchEngine)

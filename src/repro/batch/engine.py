@@ -1,0 +1,538 @@
+"""The ``TrialEngine`` protocol: one shape for every vectorized estimator.
+
+The paper's central symmetry result — a trial's posterior entropy depends
+only on which symmetric *observation class* the trial falls into — used to be
+implemented once per domain, each time as a private pipeline with its own
+attribute set inside :class:`~repro.batch.estimator.BatchMonteCarlo`.  This
+module factors the shared shape out into one formal protocol:
+
+``sample_block``
+    Draw one columnar block of trials (struct-of-arrays ``int64`` columns)
+    from the engine's model/strategy, consuming the generator in a fixed,
+    documented order.
+``classify``
+    Reduce a block to a histogram ``{class key: (count, representative)}``
+    with array operations.  ``representative`` is the block index of the
+    first trial of the class (or ``None`` for engines whose keys are
+    self-describing).
+``score``
+    Price one class key *exactly* — entropy bits plus an identified flag —
+    via the closed form, the fragment-arrangement counts, or the cycle walk
+    counts.  Scoring happens once per distinct key, never per trial.
+
+The concrete driver :meth:`TrialEngine.run_accumulate` strings the three
+stages together and reduces a run to a :class:`BatchAccumulator` — per-class
+counts plus a length sum — the currency every layer above understands: the
+``sharded`` backend ships accumulators between processes, the adaptive
+scheduler merges them block by block, and the result cache replays the
+reports they summarise bit for bit.
+
+Engines register themselves in a registry that mirrors
+:func:`repro.batch.backends.register_backend`:
+:func:`register_engine` adds an engine class, :func:`select_engine` picks the
+engine for a ``(model, strategy, compromised)`` configuration by asking each
+registered engine's :meth:`TrialEngine.covers` predicate, latest registration
+first — so a user-registered engine preempts the built-ins on any domain it
+claims, and a new domain becomes a registration instead of a fork of the
+subsystem.  Four built-in engines cover the whole supported domain:
+
+================  =============================================  ==========================
+engine            domain                                         classes
+================  =============================================  ==========================
+``five-class``    simple paths, ``C = 1``, compromised receiver  the paper's five events
+``arrangement``   simple paths, any ``C``, honest receiver ok    ``(length, position-mask)``
+``cycle``         cycle-allowed paths, ``C = 1``                 walk patterns
+``cycle-multi``   cycle-allowed paths, ``C != 1`` (incl. 0)      walk patterns (multi-node)
+================  =============================================  ==========================
+
+The two simple-path engines live in this module; the cycle engines live in
+:mod:`repro.batch.cycleengine` (they carry their own sampler and score
+table).  :class:`~repro.batch.estimator.BatchMonteCarlo` is a thin
+dispatcher over :func:`select_engine`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.batch._accel import resolve_use_numpy
+from repro.batch.classify import class_counts, classify_columns
+from repro.batch.multiclass import ClassScoreTable, count_class_keys
+from repro.batch.sampler import BatchTrialSampler, MultiTrialSampler
+from repro.core.anonymity import AnonymityAnalyzer
+from repro.core.events import EVENT_ORDER
+from repro.core.model import PathModel, SystemModel
+from repro.distributions.base import PathLengthDistribution
+from repro.exceptions import ConfigurationError
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation.results import IDENTIFIED_THRESHOLD, EstimateWithCI
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = [
+    "BatchAccumulator",
+    "TrialEngine",
+    "FiveClassEngine",
+    "ArrangementEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "select_engine",
+]
+
+#: Relative tolerance when merging per-class entropies across shards; scores
+#: are deterministic functions of the class, so any real disagreement means
+#: the shards were configured inconsistently.
+_MERGE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class BatchAccumulator:
+    """Sufficient statistics of one batch run: per-class counts plus totals.
+
+    ``classes`` maps an opaque, hashable class key to
+    ``(count, entropy_bits, identified)``.  Because every trial of a class has
+    the same exact posterior entropy, these counts — together with the summed
+    path lengths — determine the full Monte-Carlo report: mean, sample
+    variance, confidence interval, and identification rate.  Accumulators are
+    tiny (a few dozen classes), picklable, and merge by summation, which is
+    what the ``sharded`` backend ships across process boundaries instead of
+    per-trial columns.
+    """
+
+    n_trials: int
+    length_sum: int
+    classes: dict[object, tuple[int, float, bool]]
+
+    @staticmethod
+    def merge(parts: "list[BatchAccumulator]") -> "BatchAccumulator":
+        """Sum accumulators from independent shards into one."""
+        if not parts:
+            raise ConfigurationError("cannot merge zero batch accumulators")
+        classes: dict[object, tuple[int, float, bool]] = {}
+        n_trials = 0
+        length_sum = 0
+        for part in parts:
+            n_trials += part.n_trials
+            length_sum += part.length_sum
+            for key, (count, entropy, identified) in part.classes.items():
+                existing = classes.get(key)
+                if existing is None:
+                    classes[key] = (count, entropy, identified)
+                    continue
+                if not math.isclose(existing[1], entropy, rel_tol=_MERGE_RTOL):
+                    raise ConfigurationError(
+                        f"shard accumulators disagree on the entropy of class "
+                        f"{key!r} ({existing[1]!r} vs {entropy!r}); shards must "
+                        "share one model/strategy configuration"
+                    )
+                classes[key] = (existing[0] + count, existing[1], existing[2])
+        return BatchAccumulator(
+            n_trials=n_trials, length_sum=length_sum, classes=classes
+        )
+
+    def grouped_moments(self) -> tuple[float, float]:
+        """Exact sample mean and ddof-1 standard error from the grouped counts.
+
+        Per-trial entropy samples within a class are identical, so both
+        moments follow exactly from the per-class counts; keys are folded in
+        sorted order so the result is independent of dictionary insertion
+        order.  This is the single source of the estimate's statistics —
+        :meth:`report` and the adaptive scheduler's stopping rule both read
+        it, so they can never disagree on the confidence interval.
+        """
+        n = self.n_trials
+        if n < 1:
+            raise ConfigurationError("cannot summarise an empty accumulator")
+        ordered = [self.classes[key] for key in sorted(self.classes, key=repr)]
+        mean = sum(count * entropy for count, entropy, _ in ordered) / n
+        if n == 1:
+            return mean, math.inf
+        variance = (
+            sum(count * (entropy - mean) ** 2 for count, entropy, _ in ordered)
+            / (n - 1)
+        )
+        return mean, math.sqrt(variance / n)
+
+    def report(self, model: SystemModel, distribution_name: str):
+        """Summarise into a :class:`~repro.simulation.experiment.MonteCarloReport`."""
+        from repro.simulation.experiment import MonteCarloReport
+
+        n = self.n_trials
+        mean, std_error = self.grouped_moments()
+        identified = sum(
+            count for count, _, flag in self.classes.values() if flag
+        )
+        return MonteCarloReport(
+            estimate=EstimateWithCI(mean=mean, std_error=std_error, n_samples=n),
+            n_trials=n,
+            distribution=distribution_name,
+            model=model,
+            mean_path_length=self.length_sum / n,
+            identification_rate=identified / n,
+        )
+
+
+class TrialEngine(abc.ABC):
+    """One vectorized estimation pipeline: ``sample_block → classify → score``.
+
+    An engine binds one ``(model, strategy, compromised)`` configuration at
+    construction; :meth:`run_accumulate` then turns trial budgets into
+    :class:`BatchAccumulator` reductions through the three stages.  Engines
+    advertise their domain through the :meth:`covers` class predicate, which
+    is what :func:`select_engine` consults.
+
+    Determinism contract: :meth:`sample_block` must consume a fixed number of
+    bulk draws in a fixed order per block, and :attr:`chunk_trials` (when not
+    ``None``) fixes how a budget splits into blocks — so a run is a pure
+    function of the seed, identical between the pure-Python and NumPy
+    kernels, and shard merges can never disagree on a class entropy.
+    """
+
+    #: Registry key and display name of the engine.
+    name: str = "abstract"
+    #: Trials sampled per columnar block.  ``None`` runs the whole budget as
+    #: one block; a constant bounds the live column memory of huge runs and
+    #: is part of the ``(seed -> bits)`` determinism contract.
+    chunk_trials: int | None = None
+
+    def __init__(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        compromised: frozenset[int],
+        use_numpy: bool | None = None,
+    ) -> None:
+        self.model = model
+        self.strategy = strategy
+        self.compromised = frozenset(compromised)
+        self.use_numpy = use_numpy
+        if any(not 0 <= node < model.n_nodes for node in self.compromised):
+            raise ConfigurationError(
+                "compromised node identities must lie in [0, N)"
+            )
+        self._distribution = strategy.effective_distribution(model.n_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Domain                                                              #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    @abc.abstractmethod
+    def covers(
+        cls,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        compromised: frozenset[int],
+    ) -> bool:
+        """True when this engine can estimate the given configuration."""
+
+    @property
+    def distribution(self) -> PathLengthDistribution:
+        """The effective (feasibility-truncated) distribution being estimated."""
+        return self._distribution
+
+    # ------------------------------------------------------------------ #
+    # The three stages                                                    #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def sample_block(self, n_trials: int, generator):
+        """Draw one columnar block of ``n_trials`` trials."""
+
+    @abc.abstractmethod
+    def classify(self, block) -> dict[object, tuple[int, int | None]]:
+        """Histogram a block into ``{class key: (count, representative)}``.
+
+        ``representative`` is the block index of the first trial of the class
+        when :meth:`score` needs a concrete trial to price the class, or
+        ``None`` when the key alone suffices.
+        """
+
+    @abc.abstractmethod
+    def score(
+        self, key: object, block, representative: int | None
+    ) -> tuple[float, bool]:
+        """Exact ``(entropy_bits, identified)`` of one observation class."""
+
+    # ------------------------------------------------------------------ #
+    # The driver                                                          #
+    # ------------------------------------------------------------------ #
+
+    def block_length_sum(self, block) -> int:
+        """Summed path length of one block (NumPy-accelerated when enabled)."""
+        if resolve_use_numpy(self.use_numpy):
+            return int(block.as_numpy()[1].sum())
+        return sum(block.lengths)
+
+    def run_accumulate(
+        self, n_trials: int, rng: RandomSource = None
+    ) -> BatchAccumulator:
+        """Run ``n_trials`` trials through the three stages; one accumulator.
+
+        This is the shard-sized unit of work of the ``sharded`` backend: the
+        returned accumulator is a columnar reduction (per-class counts plus a
+        length sum), cheap to pickle and mergeable by summation.  Each
+        distinct class key is scored exactly once per run, on first sight.
+        """
+        if n_trials < 1:
+            raise ConfigurationError("n_trials must be >= 1")
+        generator = ensure_rng(rng)
+        classes: dict[object, list] = {}
+        length_sum = 0
+        remaining = n_trials
+        while remaining:
+            block_trials = (
+                remaining
+                if self.chunk_trials is None
+                else min(self.chunk_trials, remaining)
+            )
+            remaining -= block_trials
+            block = self.sample_block(block_trials, generator)
+            length_sum += self.block_length_sum(block)
+            for key, (count, representative) in self.classify(block).items():
+                entry = classes.get(key)
+                if entry is None:
+                    entropy, identified = self.score(key, block, representative)
+                    classes[key] = [count, entropy, identified]
+                else:
+                    entry[0] += count
+        return BatchAccumulator(
+            n_trials=n_trials,
+            length_sum=length_sum,
+            classes={key: tuple(value) for key, value in classes.items()},
+        )
+
+    def run(self, n_trials: int, rng: RandomSource = None):
+        """Run ``n_trials`` trials and summarise into a ``MonteCarloReport``."""
+        accumulator = self.run_accumulate(n_trials, rng=rng)
+        return accumulator.report(self.model, self._distribution.name)
+
+
+# ---------------------------------------------------------------------- #
+# The simple-path engines                                                 #
+# ---------------------------------------------------------------------- #
+
+
+class FiveClassEngine(TrialEngine):
+    """The paper's core domain: five symmetric classes, one closed form.
+
+    One compromised node, compromised receiver, simple paths.  A trial is
+    three integers (sender, length, compromised hop position or absent); one
+    exact closed-form evaluation prices all five classes up front, so
+    :meth:`score` is a table lookup.
+    """
+
+    name = "five-class"
+
+    def __init__(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        compromised: frozenset[int],
+        use_numpy: bool | None = None,
+    ) -> None:
+        super().__init__(model, strategy, compromised, use_numpy)
+        if not self.covers(model, strategy, self.compromised):
+            raise ConfigurationError(
+                "the five-class engine covers one compromised node with a "
+                "compromised receiver on simple paths; got "
+                f"C={len(self.compromised)} on {strategy.path_model.value} paths"
+            )
+        (self._compromised_node,) = self.compromised
+        self._sampler = BatchTrialSampler(
+            n_nodes=model.n_nodes,
+            distribution=self._distribution,
+            compromised_node=self._compromised_node,
+        )
+        # One exact closed-form evaluation yields the entropy and the
+        # identification flag of every class; trials only index into it.
+        analysis = AnonymityAnalyzer(
+            model.with_compromised(1)
+        ).analyze(self._distribution)
+        entropies = []
+        identified = set()
+        for code, event_class in enumerate(EVENT_ORDER):
+            summary = analysis.event(event_class)
+            entropies.append(summary.entropy_bits)
+            if summary.top_posterior >= IDENTIFIED_THRESHOLD:
+                identified.add(code)
+        self._entropy_by_code = tuple(entropies)
+        self._identified_codes = frozenset(identified)
+
+    @classmethod
+    def covers(cls, model, strategy, compromised) -> bool:
+        return (
+            strategy.path_model is PathModel.SIMPLE
+            and len(compromised) == 1
+            and model.receiver_compromised
+        )
+
+    def sample_block(self, n_trials: int, generator):
+        return self._sampler.draw(n_trials, generator, use_numpy=self.use_numpy)
+
+    def classify(self, block) -> dict[object, tuple[int, int | None]]:
+        codes = classify_columns(
+            block,
+            self._compromised_node,
+            adversary=self.model.adversary,
+            use_numpy=self.use_numpy,
+        )
+        if resolve_use_numpy(self.use_numpy):
+            import numpy as np
+
+            codes_np = np.frombuffer(codes, dtype=np.int8)
+            histogram = np.bincount(codes_np, minlength=len(EVENT_ORDER))
+            counts = {
+                cls: int(histogram[code]) for code, cls in enumerate(EVENT_ORDER)
+            }
+        else:
+            counts = class_counts(codes)
+        return {
+            code: (counts[cls], None)
+            for code, cls in enumerate(EVENT_ORDER)
+            if counts[cls]
+        }
+
+    def score(self, key, block, representative) -> tuple[float, bool]:
+        return self._entropy_by_code[key], key in self._identified_codes
+
+
+class ArrangementEngine(TrialEngine):
+    """The general simple-path domain: ``(length, position-mask)`` classes.
+
+    Any number of compromised nodes (including zero), honest receivers
+    allowed.  Classes are priced lazily through the exact
+    fragment-arrangement counts of :mod:`repro.combinatorics`
+    (:class:`~repro.batch.multiclass.ClassScoreTable`).
+    """
+
+    name = "arrangement"
+
+    def __init__(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        compromised: frozenset[int],
+        use_numpy: bool | None = None,
+    ) -> None:
+        super().__init__(model, strategy, compromised, use_numpy)
+        if not self.covers(model, strategy, self.compromised):
+            raise ConfigurationError(
+                "the arrangement engine covers simple-path strategies; got "
+                f"{strategy.path_model.value} paths"
+            )
+        self._sampler = MultiTrialSampler(
+            n_nodes=model.n_nodes,
+            distribution=self._distribution,
+            n_compromised=len(self.compromised),
+        )
+        self._score_table = ClassScoreTable(
+            model=model.with_compromised(len(self.compromised)),
+            distribution=self._distribution,
+            compromised=self.compromised,
+        )
+
+    @classmethod
+    def covers(cls, model, strategy, compromised) -> bool:
+        return strategy.path_model is PathModel.SIMPLE
+
+    def sample_block(self, n_trials: int, generator):
+        return self._sampler.draw(n_trials, generator, use_numpy=self.use_numpy)
+
+    def classify(self, block) -> dict[object, tuple[int, int | None]]:
+        keyed = count_class_keys(block, self.compromised, use_numpy=self.use_numpy)
+        return {key: (count, None) for key, count in keyed.items()}
+
+    def score(self, key, block, representative) -> tuple[float, bool]:
+        score = self._score_table.score(key)
+        return score.entropy_bits, score.identified
+
+
+# ---------------------------------------------------------------------- #
+# Registry                                                                #
+# ---------------------------------------------------------------------- #
+
+_ENGINES: dict[str, Callable[..., TrialEngine]] = {}
+
+
+def register_engine(
+    name: str,
+    engine: Callable[..., TrialEngine],
+    overwrite: bool = False,
+) -> None:
+    """Register a trial engine under ``name``.
+
+    This is the vectorized-pipeline counterpart of
+    :func:`repro.batch.backends.register_backend`: a registered engine is
+    eligible for every :class:`~repro.batch.estimator.BatchMonteCarlo` run —
+    and therefore for the ``batch``/``sharded`` backends, the adaptive
+    service, sweeps, and the CLI — without touching any call site.
+    ``engine`` must be constructible as
+    ``engine(model=..., strategy=..., compromised=..., use_numpy=...)`` and
+    expose the :class:`TrialEngine` surface (the ``covers`` predicate plus
+    ``run_accumulate``).  Later registrations take precedence on any domain
+    they claim, so registering is also how the built-ins are overridden.
+
+    The registry is process-local; the ``sharded`` backend resolves the
+    engine in the *parent* and ships the class to its workers by pickle
+    reference (see :class:`repro.batch.sharded.ShardTask`), so a registered
+    engine's class must live in an importable module to shard — the standard
+    constraint on any multiprocessing payload.
+    """
+    if name in _ENGINES and not overwrite:
+        raise ConfigurationError(
+            f"engine {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    _ENGINES[name] = engine
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    return tuple(_ENGINES)
+
+
+def get_engine(name: str) -> Callable[..., TrialEngine]:
+    """The engine class registered under ``name``."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        known = ", ".join(_ENGINES)
+        raise ConfigurationError(
+            f"unknown trial engine {name!r}; registered engines: {known}"
+        ) from None
+
+
+def select_engine(
+    model: SystemModel,
+    strategy: PathSelectionStrategy,
+    compromised: frozenset[int] | set[int],
+) -> Callable[..., TrialEngine]:
+    """The engine class covering ``(model, strategy, compromised)``.
+
+    Engines are consulted latest-registered first, so a user-registered
+    engine preempts the built-ins on any configuration its ``covers``
+    predicate claims.  Raises :class:`~repro.exceptions.ConfigurationError`
+    when no registered engine covers the configuration.
+    """
+    compromised = frozenset(compromised)
+    for name in reversed(_ENGINES):
+        engine = _ENGINES[name]
+        if engine.covers(model, strategy, compromised):
+            return engine
+    known = ", ".join(_ENGINES)
+    raise ConfigurationError(
+        f"no registered trial engine covers {model.describe()} with "
+        f"C={len(compromised)} under strategy {strategy.name!r} "
+        f"({strategy.path_model.value} paths); registered engines: {known}"
+    )
+
+
+# The built-ins register from most general to most specific: selection walks
+# the registry in reverse, so the specialised five-class engine preempts the
+# arrangement engine on the paper's core domain, and anything registered
+# after these preempts both.
+register_engine(ArrangementEngine.name, ArrangementEngine)
+register_engine(FiveClassEngine.name, FiveClassEngine)

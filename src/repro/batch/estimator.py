@@ -1,151 +1,50 @@
 """The vectorized Monte-Carlo anonymity estimator.
 
 :class:`BatchMonteCarlo` is a drop-in, statistically identical replacement for
-:class:`repro.simulation.experiment.StrategyMonteCarlo` on simple paths.
-Where the hop-by-hop estimator builds one message, one observation, and one
-exact Bayesian posterior per trial, the batch estimator exploits the symmetry
-result of the paper: the posterior entropy of a trial depends *only* on which
-symmetric observation class the trial falls into.  One run therefore
-decomposes into three columnar passes:
+:class:`repro.simulation.experiment.StrategyMonteCarlo`.  Where the hop-by-hop
+estimator builds one message, one observation, and one exact Bayesian
+posterior per trial, the batch estimator exploits the symmetry result of the
+paper: the posterior entropy of a trial depends *only* on which symmetric
+observation class the trial falls into.  One run therefore decomposes into
+the three columnar stages of the :class:`~repro.batch.engine.TrialEngine`
+protocol — ``sample_block`` (parallel int64 columns), ``classify`` (array-op
+histogram of class keys), ``score`` (exact per-class entropies, one inference
+per *class*) — reduced to a :class:`~repro.batch.engine.BatchAccumulator`.
 
-1. **sample** — draw senders, path lengths (inverse-CDF bulk sampler), and the
-   compromised hop positions as parallel int64 columns
-   (:class:`~repro.batch.sampler.BatchTrialSampler` /
-   :class:`~repro.batch.sampler.MultiTrialSampler`);
-2. **classify** — map every trial to its observation class with array ops.
-   On the paper's core domain (one compromised node, compromised receiver)
-   the classes are the five of :data:`repro.core.events.EVENT_ORDER`
-   (:func:`~repro.batch.classify.classify_columns`); on the general domain
-   (any ``C``, honest receiver allowed) they are ``(length, position-mask)``
-   keys (:func:`~repro.batch.multiclass.count_class_keys`);
-3. **score** — gather each trial's posterior entropy from the *exact*
-   per-class entropies, computed once per class by
-   :class:`repro.core.anonymity.AnonymityAnalyzer` (five-class domain) or by
-   :class:`~repro.batch.multiclass.ClassScoreTable` over the closed-form
-   arrangement counts of :mod:`repro.combinatorics` (general domain).
+:class:`BatchMonteCarlo` itself is a thin dispatcher: it asks the engine
+registry (:func:`repro.batch.engine.select_engine`) which
+:class:`~repro.batch.engine.TrialEngine` covers the requested
+``(model, strategy, compromised)`` configuration and delegates the run.  The
+four built-in engines — ``five-class``, ``arrangement``, ``cycle``, and
+``cycle-multi`` — cover one compromised node on the paper's core domain, any
+``C`` with honest receivers on simple paths, and cycle-allowed (Crowds-style)
+strategies at any ``C``; registering a new engine extends the estimator (and
+the ``sharded`` backend, the adaptive service, sweeps, and the CLI above it)
+without touching any of them.
 
-Because step 3 reuses exact per-class entropies, the per-trial entropy samples
-follow exactly the same law as the hop-by-hop estimator's — same mean, same
-variance, same confidence intervals in distribution — at a fraction of the
-interpreter cost (no per-trial objects, no per-hop loops).
-
-Runs reduce to a :class:`BatchAccumulator` — per-class counts plus a length
-sum — before becoming a :class:`~repro.simulation.experiment.MonteCarloReport`.
-The accumulator is the unit the ``sharded`` multiprocess backend ships between
-processes: shards merge by summing counts, never by pickling per-trial data.
+Because scoring reuses exact per-class entropies, the per-trial entropy
+samples follow exactly the same law as the hop-by-hop estimator's — same
+mean, same variance, same confidence intervals in distribution — at a
+fraction of the interpreter cost (no per-trial objects, no per-hop loops).
+The accumulator is the unit the ``sharded`` multiprocess backend ships
+between processes: shards merge by summing counts, never by pickling
+per-trial data.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
-from repro.batch._accel import resolve_use_numpy
-from repro.batch.classify import class_counts, classify_columns
-from repro.batch.multiclass import ClassScoreTable, count_class_keys
-from repro.batch.sampler import BatchTrialSampler, MultiTrialSampler
-from repro.core.anonymity import AnonymityAnalyzer
-from repro.core.events import EVENT_ORDER
-from repro.core.model import PathModel, SystemModel
+# Importing the cycle engines registers them alongside the simple-path
+# engines that repro.batch.engine registers at import.
+import repro.batch.cycleengine  # noqa: F401  (registration side effect)
+from repro.batch.engine import BatchAccumulator, TrialEngine, select_engine
+from repro.core.model import SystemModel
 from repro.distributions.base import PathLengthDistribution
-from repro.exceptions import ConfigurationError
 from repro.routing.strategies import PathSelectionStrategy
-from repro.simulation.results import IDENTIFIED_THRESHOLD, EstimateWithCI
-from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.rng import RandomSource
 
 __all__ = ["BatchMonteCarlo", "BatchAccumulator"]
-
-#: Relative tolerance when merging per-class entropies across shards; scores
-#: are deterministic functions of the class, so any real disagreement means
-#: the shards were configured inconsistently.
-_MERGE_RTOL = 1e-9
-
-
-@dataclass(frozen=True)
-class BatchAccumulator:
-    """Sufficient statistics of one batch run: per-class counts plus totals.
-
-    ``classes`` maps an opaque, hashable class key to
-    ``(count, entropy_bits, identified)``.  Because every trial of a class has
-    the same exact posterior entropy, these counts — together with the summed
-    path lengths — determine the full Monte-Carlo report: mean, sample
-    variance, confidence interval, and identification rate.  Accumulators are
-    tiny (a few dozen classes), picklable, and merge by summation, which is
-    what the ``sharded`` backend ships across process boundaries instead of
-    per-trial columns.
-    """
-
-    n_trials: int
-    length_sum: int
-    classes: dict[object, tuple[int, float, bool]]
-
-    @staticmethod
-    def merge(parts: "list[BatchAccumulator]") -> "BatchAccumulator":
-        """Sum accumulators from independent shards into one."""
-        if not parts:
-            raise ConfigurationError("cannot merge zero batch accumulators")
-        classes: dict[object, tuple[int, float, bool]] = {}
-        n_trials = 0
-        length_sum = 0
-        for part in parts:
-            n_trials += part.n_trials
-            length_sum += part.length_sum
-            for key, (count, entropy, identified) in part.classes.items():
-                existing = classes.get(key)
-                if existing is None:
-                    classes[key] = (count, entropy, identified)
-                    continue
-                if not math.isclose(existing[1], entropy, rel_tol=_MERGE_RTOL):
-                    raise ConfigurationError(
-                        f"shard accumulators disagree on the entropy of class "
-                        f"{key!r} ({existing[1]!r} vs {entropy!r}); shards must "
-                        "share one model/strategy configuration"
-                    )
-                classes[key] = (existing[0] + count, existing[1], existing[2])
-        return BatchAccumulator(
-            n_trials=n_trials, length_sum=length_sum, classes=classes
-        )
-
-    def grouped_moments(self) -> tuple[float, float]:
-        """Exact sample mean and ddof-1 standard error from the grouped counts.
-
-        Per-trial entropy samples within a class are identical, so both
-        moments follow exactly from the per-class counts; keys are folded in
-        sorted order so the result is independent of dictionary insertion
-        order.  This is the single source of the estimate's statistics —
-        :meth:`report` and the adaptive scheduler's stopping rule both read
-        it, so they can never disagree on the confidence interval.
-        """
-        n = self.n_trials
-        if n < 1:
-            raise ConfigurationError("cannot summarise an empty accumulator")
-        ordered = [self.classes[key] for key in sorted(self.classes, key=repr)]
-        mean = sum(count * entropy for count, entropy, _ in ordered) / n
-        if n == 1:
-            return mean, math.inf
-        variance = (
-            sum(count * (entropy - mean) ** 2 for count, entropy, _ in ordered)
-            / (n - 1)
-        )
-        return mean, math.sqrt(variance / n)
-
-    def report(self, model: SystemModel, distribution_name: str):
-        """Summarise into a :class:`~repro.simulation.experiment.MonteCarloReport`."""
-        from repro.simulation.experiment import MonteCarloReport
-
-        n = self.n_trials
-        mean, std_error = self.grouped_moments()
-        identified = sum(
-            count for count, _, flag in self.classes.values() if flag
-        )
-        return MonteCarloReport(
-            estimate=EstimateWithCI(mean=mean, std_error=std_error, n_samples=n),
-            n_trials=n,
-            distribution=distribution_name,
-            model=model,
-            mean_path_length=self.length_sum / n,
-            identification_rate=identified / n,
-        )
 
 
 @dataclass
@@ -153,8 +52,8 @@ class BatchMonteCarlo:
     """Vectorized estimator of ``H*(S)`` for a path-selection strategy.
 
     Constructor-compatible with
-    :class:`~repro.simulation.experiment.StrategyMonteCarlo`.  Three columnar
-    engines cover the domain, selected by the strategy and model:
+    :class:`~repro.simulation.experiment.StrategyMonteCarlo`.  The engine
+    registry selects the columnar pipeline by the strategy and model:
 
     * one compromised node with the paper's compromised receiver on simple
       paths runs on the five-class engine (the closed form's symmetry
@@ -163,10 +62,10 @@ class BatchMonteCarlo:
       runs on the ``(length, position-mask)`` arrangement-class engine, whose
       per-class entropies come from the exact fragment-arrangement counts in
       :mod:`repro.combinatorics`;
-    * cycle-allowed strategies (Crowds, Onion Routing II, Hordes; one
-      compromised node) run on the
-      :class:`~repro.batch.cycleengine.CycleBatchEngine`, whose classes are
-      priced by the cycle-aware walk-counting inference engine.
+    * cycle-allowed strategies (Crowds, Onion Routing II, Hordes) run on the
+      cycle engines of :mod:`repro.batch.cycleengine` — the dedicated
+      ``C = 1`` kernel or its multi-compromised generalisation — whose
+      classes are priced by the cycle-aware walk-counting inference engine.
 
     All engines sample only observations; posteriors are always exact.
     """
@@ -177,82 +76,16 @@ class BatchMonteCarlo:
     #: Tri-state NumPy toggle, see :mod:`repro.batch._accel`.
     use_numpy: bool | None = None
 
-    _sampler: BatchTrialSampler | None = field(init=False, repr=False, default=None)
-    _multi_sampler: MultiTrialSampler | None = field(
-        init=False, repr=False, default=None
-    )
-    _score_table: ClassScoreTable | None = field(init=False, repr=False, default=None)
-    _cycle_engine: object | None = field(init=False, repr=False, default=None)
-    _entropy_by_code: tuple[float, ...] = field(init=False, repr=False, default=())
-    _identified_codes: frozenset[int] = field(
-        init=False, repr=False, default=frozenset()
-    )
+    _engine: TrialEngine = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.compromised is None:
             self.compromised = self.model.compromised_nodes()
         self.compromised = frozenset(self.compromised)
-        if any(not 0 <= node < self.model.n_nodes for node in self.compromised):
-            raise ConfigurationError(
-                "compromised node identities must lie in [0, N)"
-            )
-        self._distribution = self.strategy.effective_distribution(self.model.n_nodes)
-        if self.strategy.path_model is PathModel.CYCLE_ALLOWED:
-            self._init_cycle_engine()
-        elif len(self.compromised) == 1 and self.model.receiver_compromised:
-            self._init_five_class_engine()
-        else:
-            self._init_arrangement_engine()
-
-    def _init_five_class_engine(self) -> None:
-        """The paper's core domain: five symmetric classes, one closed form."""
-        (self._compromised_node,) = self.compromised
-        self._sampler = BatchTrialSampler(
-            n_nodes=self.model.n_nodes,
-            distribution=self._distribution,
-            compromised_node=self._compromised_node,
-        )
-        # One exact closed-form evaluation yields the entropy and the
-        # identification flag of every class; trials only index into it.
-        analysis = AnonymityAnalyzer(
-            self.model.with_compromised(1)
-        ).analyze(self._distribution)
-        entropies = []
-        identified = set()
-        for code, event_class in enumerate(EVENT_ORDER):
-            summary = analysis.event(event_class)
-            entropies.append(summary.entropy_bits)
-            if summary.top_posterior >= IDENTIFIED_THRESHOLD:
-                identified.add(code)
-        self._entropy_by_code = tuple(entropies)
-        self._identified_codes = frozenset(identified)
-
-    def _init_arrangement_engine(self) -> None:
-        """The general domain: ``(length, position-mask)`` classes."""
-        self._multi_sampler = MultiTrialSampler(
-            n_nodes=self.model.n_nodes,
-            distribution=self._distribution,
-            n_compromised=len(self.compromised),
-        )
-        self._score_table = ClassScoreTable(
-            model=self.model.with_compromised(len(self.compromised)),
-            distribution=self._distribution,
-            compromised=self.compromised,
-        )
-
-    def _init_cycle_engine(self) -> None:
-        """The cycle-allowed domain: Crowds-style walks, one compromised node."""
-        # Deferred import: the cycle engine consumes this module's accumulator.
-        from repro.batch.cycleengine import CycleBatchEngine
-
-        if len(self.compromised) != 1:
-            raise ConfigurationError(
-                "the vectorized cycle engine covers exactly one compromised "
-                f"node (got C={len(self.compromised)}); use the exhaustive "
-                "enumeration engine (small N) for multiple compromised nodes "
-                "on cycle paths."
-            )
-        self._cycle_engine = CycleBatchEngine(
+        # Identity-range validation happens in TrialEngine.__init__, which
+        # every selected engine runs during construction below.
+        factory = select_engine(self.model, self.strategy, self.compromised)
+        self._engine = factory(
             model=self.model,
             strategy=self.strategy,
             compromised=self.compromised,
@@ -264,14 +97,19 @@ class BatchMonteCarlo:
     # ------------------------------------------------------------------ #
 
     @property
+    def engine(self) -> TrialEngine:
+        """The :class:`~repro.batch.engine.TrialEngine` serving this run."""
+        return self._engine
+
+    @property
     def distribution(self) -> PathLengthDistribution:
         """The effective (feasibility-truncated) distribution being estimated."""
-        return self._distribution
+        return self._engine.distribution
 
     def run(self, n_trials: int, rng: RandomSource = None):
         """Run ``n_trials`` vectorized trials and return a ``MonteCarloReport``."""
         accumulator = self.run_accumulate(n_trials, rng=rng)
-        return accumulator.report(self.model, self._distribution.name)
+        return accumulator.report(self.model, self.distribution.name)
 
     def run_accumulate(
         self, n_trials: int, rng: RandomSource = None
@@ -282,66 +120,7 @@ class BatchMonteCarlo:
         returned accumulator is a columnar reduction (per-class counts plus a
         length sum), cheap to pickle and mergeable by summation.
         """
-        if n_trials < 1:
-            raise ConfigurationError("n_trials must be >= 1")
-        generator = ensure_rng(rng)
-        if self._cycle_engine is not None:
-            return self._cycle_engine.run_accumulate(n_trials, rng=generator)
-        if self._sampler is not None:
-            return self._accumulate_five_class(n_trials, generator)
-        return self._accumulate_arrangement(n_trials, generator)
-
-    def _accumulate_five_class(self, n_trials: int, generator) -> BatchAccumulator:
-        columns = self._sampler.draw(n_trials, generator, use_numpy=self.use_numpy)
-        codes = classify_columns(
-            columns,
-            self._compromised_node,
-            adversary=self.model.adversary,
-            use_numpy=self.use_numpy,
-        )
-        if resolve_use_numpy(self.use_numpy):
-            import numpy as np
-
-            codes_np = np.frombuffer(codes, dtype=np.int8)
-            histogram = np.bincount(codes_np, minlength=len(EVENT_ORDER))
-            counts = {
-                cls: int(histogram[code]) for code, cls in enumerate(EVENT_ORDER)
-            }
-            length_sum = int(columns.as_numpy()[1].sum())
-        else:
-            counts = class_counts(codes)
-            length_sum = sum(columns.lengths)
-        classes = {
-            code: (
-                counts[cls],
-                self._entropy_by_code[code],
-                code in self._identified_codes,
-            )
-            for code, cls in enumerate(EVENT_ORDER)
-            if counts[cls]
-        }
-        return BatchAccumulator(
-            n_trials=n_trials, length_sum=length_sum, classes=classes
-        )
-
-    def _accumulate_arrangement(self, n_trials: int, generator) -> BatchAccumulator:
-        columns = self._multi_sampler.draw(
-            n_trials, generator, use_numpy=self.use_numpy
-        )
-        keyed = count_class_keys(
-            columns, self.compromised, use_numpy=self.use_numpy
-        )
-        if resolve_use_numpy(self.use_numpy):
-            length_sum = int(columns.as_numpy()[1].sum())
-        else:
-            length_sum = sum(columns.lengths)
-        classes = {}
-        for key, count in keyed.items():
-            score = self._score_table.score(key)
-            classes[key] = (count, score.entropy_bits, score.identified)
-        return BatchAccumulator(
-            n_trials=n_trials, length_sum=length_sum, classes=classes
-        )
+        return self._engine.run_accumulate(n_trials, rng=rng)
 
     # ------------------------------------------------------------------ #
     # Conveniences                                                        #

@@ -44,10 +44,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import weakref
+from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.batch.backends import EstimatorBackend, register_backend
+from repro.batch.engine import select_engine
 from repro.batch.estimator import BatchAccumulator, BatchMonteCarlo
 from repro.core.model import SystemModel
 from repro.exceptions import ConfigurationError
@@ -86,13 +88,24 @@ def split_trials(n_trials: int, shards: int) -> tuple[int, ...]:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One worker's unit of work: a kernel configuration plus a sub-seed."""
+    """One worker's unit of work: a kernel configuration plus a sub-seed.
+
+    ``engine`` is the :class:`~repro.batch.engine.TrialEngine` class the
+    parent resolved through :func:`~repro.batch.engine.select_engine`.  It is
+    pickled *by reference*, so workers rebuild exactly the engine the parent
+    chose without consulting their own (process-local) registry — a
+    user-registered engine therefore shards correctly as long as its class
+    lives in an importable module, the standard constraint on any
+    multiprocessing payload.  ``None`` falls back to dispatching through
+    :class:`~repro.batch.estimator.BatchMonteCarlo` in the worker.
+    """
 
     model: SystemModel
     strategy: PathSelectionStrategy
     n_trials: int
     seed: int
     use_numpy: bool | None
+    engine: Callable | None = None
 
 
 def _run_shard(task: ShardTask) -> BatchAccumulator:
@@ -101,10 +114,18 @@ def _run_shard(task: ShardTask) -> BatchAccumulator:
     Module-level (hence picklable by reference) so it works under the
     ``spawn`` start method, where the child imports this module afresh.
     """
-    estimator = BatchMonteCarlo(
-        model=task.model, strategy=task.strategy, use_numpy=task.use_numpy
-    )
-    return estimator.run_accumulate(task.n_trials, rng=task.seed)
+    if task.engine is not None:
+        kernel = task.engine(
+            model=task.model,
+            strategy=task.strategy,
+            compromised=task.model.compromised_nodes(),
+            use_numpy=task.use_numpy,
+        )
+    else:
+        kernel = BatchMonteCarlo(
+            model=task.model, strategy=task.strategy, use_numpy=task.use_numpy
+        )
+    return kernel.run_accumulate(task.n_trials, rng=task.seed)
 
 
 class ShardedBackend(EstimatorBackend):
@@ -204,9 +225,12 @@ class ShardedBackend(EstimatorBackend):
 
         Sub-seeds are drawn from the parent generator in shard order — the
         whole plan, and therefore the final estimate, is a pure function of
-        the parent seed and the shard count.
+        the parent seed and the shard count.  The trial engine is resolved
+        *here*, in the parent, so user-registered engines reach the workers
+        (see :class:`ShardTask`).
         """
         generator = ensure_rng(rng)
+        engine = select_engine(model, strategy, model.compromised_nodes())
         return [
             ShardTask(
                 model=model,
@@ -214,6 +238,7 @@ class ShardedBackend(EstimatorBackend):
                 n_trials=size,
                 seed=int(generator.integers(0, 2**63 - 1)),
                 use_numpy=self._use_numpy,
+                engine=engine,
             )
             for size in split_trials(n_trials, self.shards)
         ]

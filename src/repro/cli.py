@@ -17,12 +17,13 @@ exposes the library's main entry points without writing any Python:
   vectorized batch estimator (or any registered backend) and compare its
   estimate and throughput with the closed form; ``--backend sharded
   --workers 8`` fans the trials across worker processes,
-  ``--compromised 2`` switches to the multi-compromised arrangement-class
-  engine, and ``--strategy`` also accepts the named strategies of the
+  ``--compromised 2`` switches to the multi-compromised engines
+  (arrangement classes on simple paths, walk-pattern classes on cycle
+  paths), and ``--strategy`` also accepts the named strategies of the
   deployed-system catalogue: ``crowds`` (the paper's simple-path length
   strategy) plus the cycle-allowed ``crowds-cycles``,
   ``onion-routing-2-cycles``, and ``hordes``, which run on the vectorized
-  cycle engine;
+  cycle engines at any ``C``;
 * ``repro-anon estimate --n 100 --strategy uniform --precision 0.01
   --cache-dir ~/.repro-cache`` — adaptive-precision estimation through the
   caching service of :mod:`repro.service`: trials run in blocks until the
@@ -220,7 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--compromised",
         type=_non_negative_int,
         default=1,
-        help="number of compromised nodes C (C != 1 uses the arrangement-class engine)",
+        help="number of compromised nodes C (C != 1 selects the "
+        "arrangement-class engine on simple paths, cycle-multi on walks)",
     )
     batch.add_argument(
         "--workers",
@@ -405,15 +407,9 @@ def _command_batch(args: argparse.Namespace) -> int:
     backend_options = _sharded_options(args)
     if backend_options is None:
         return 2
-    if args.backend == "exact" and args.compromised != 1:
-        print(
-            f"error: the exact backend covers the closed form's C=1 domain "
-            f"only, got --compromised {args.compromised}; use --backend "
-            "batch, sharded, or event",
-            file=sys.stderr,
-        )
-        return 2
     strategy = _resolve_strategy(args)
+    if args.backend == "exact" and not _exact_backend_covers(args, strategy):
+        return 2
     model = SystemModel(
         n_nodes=args.n,
         n_compromised=args.compromised,
@@ -467,6 +463,36 @@ def _command_batch(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _exact_backend_covers(
+    args: argparse.Namespace, strategy: PathSelectionStrategy
+) -> bool:
+    """Check the closed form's domain, naming the engine that covers the rest.
+
+    The exact backend evaluates the paper's closed form: one compromised
+    node, simple paths, compromised receiver.  Requests outside that domain
+    are usage errors (one line, exit code 2) that point at the backend whose
+    engine registry actually covers them, rather than only restating the
+    restriction.
+    """
+    if strategy.path_model is not PathModel.SIMPLE:
+        print(
+            f"error: the exact backend evaluates the simple-path closed form, "
+            f"but --strategy {args.strategy} builds cycle-allowed walks; use "
+            "--backend batch (the vectorized cycle engine) or sharded",
+            file=sys.stderr,
+        )
+        return False
+    if args.compromised != 1:
+        print(
+            f"error: the exact backend covers the closed form's C=1 domain "
+            f"only, got --compromised {args.compromised}; use --backend batch "
+            "(the arrangement-class engine) or sharded",
+            file=sys.stderr,
+        )
+        return False
+    return True
 
 
 def _sharded_options(args: argparse.Namespace) -> dict[str, int] | None:

@@ -17,18 +17,21 @@ vertices is
 * ``((M-1)**e + (M-1) * (-1)**e) / M``  when the endpoints coincide,
 * ``((M-1)**e - (-1)**e) / M``          when they differ.
 
-A single compromised node ``m`` splits an observed cycle path into *honest
-segments* — maximal runs of hops avoiding ``m`` — and every segment is a walk
-in the clique ``K_{N-1}`` over the honest nodes.  The inference engine
-(:mod:`repro.adversary.inference`) multiplies one factor per segment and
-convolves over the unknown segment lengths.
+The compromised set ``M`` (any size ``C``) splits an observed cycle path into
+*honest segments* — maximal runs of hops avoiding every compromised node —
+and every segment is a walk in the clique ``K_{N-C}`` over the honest nodes.
+The inference engine (:mod:`repro.adversary.inference`) multiplies one factor
+per segment and convolves over the unknown segment lengths.
 
 To keep very long walks (heavy-tailed Crowds strategies on large systems)
 inside floating-point range, the module also exposes the *normalised* counts
 ``walks / M**e`` — each bounded by one — which is the form the inference
 engine consumes: the path-probability normalisation ``(N-1)**-l`` is then
 absorbed factor by factor instead of being applied as one astronomically
-small multiplier at the end.
+small multiplier at the end.  :func:`normalized_avoiding_walks` and
+:func:`normalized_free_walks` package the multi-node-avoidance form directly
+against the ``(N-1)**-e`` hop law, so a segment factor for any ``C`` stays a
+number in ``[0, 1]``.
 """
 
 from __future__ import annotations
@@ -38,6 +41,8 @@ from repro.exceptions import ConfigurationError
 __all__ = [
     "clique_walks",
     "normalized_clique_walks",
+    "normalized_avoiding_walks",
+    "normalized_free_walks",
     "total_cycle_paths",
 ]
 
@@ -104,3 +109,51 @@ def normalized_clique_walks(m_vertices: int, edges: int, closed: bool) -> float:
     if closed:
         return (ratio**edges + (m_vertices - 1) * alternating) / m_vertices
     return (ratio**edges - alternating) / m_vertices
+
+
+def _check_avoidance(n_nodes: int, n_avoid: int) -> int:
+    """Validate an avoidance configuration; returns the honest clique size."""
+    if n_nodes < 2:
+        raise ConfigurationError(f"cycle paths need at least 2 nodes, got {n_nodes}")
+    if not 0 <= n_avoid < n_nodes:
+        raise ConfigurationError(
+            f"can avoid between 0 and N-1 of {n_nodes} nodes, got {n_avoid}"
+        )
+    return n_nodes - n_avoid
+
+
+def normalized_avoiding_walks(
+    n_nodes: int, n_avoid: int, edges: int, closed: bool
+) -> float:
+    """Walks avoiding a fixed ``n_avoid``-node set, per uniform-hop normalised.
+
+    Counts the ``edges``-step walks on ``K_N`` (no self-loops) whose every
+    vertex — endpoints included — lies outside a fixed set of ``n_avoid``
+    avoided nodes, divided by the ``(N - 1)**edges`` total of *all* walks of
+    that many steps.  Such walks live in the sub-clique ``K_M`` over the
+    ``M = N - n_avoid`` allowed nodes, so the value is
+    ``clique_walks(M, e, closed) / (N-1)**e``, computed without overflow as
+    ``normalized_clique_walks(M, e, closed) * (M / (N-1))**e``.
+
+    This is the honest-segment factor of the cycle-path inference engine for
+    any number of compromised nodes; with ``n_avoid == 1`` the per-step ratio
+    is exactly ``1.0``, reproducing the single-compromised form bit for bit.
+    """
+    m_allowed = _check_avoidance(n_nodes, n_avoid)
+    base = normalized_clique_walks(m_allowed, edges, closed)
+    return base * (m_allowed / (n_nodes - 1)) ** edges
+
+
+def normalized_free_walks(n_nodes: int, n_avoid: int, edges: int) -> float:
+    """Free-endpoint avoiding walks, per uniform-hop normalised.
+
+    Counts the ``edges``-step walks on ``K_N`` from a fixed allowed vertex to
+    *anywhere* allowed while avoiding a fixed ``n_avoid``-node set — there are
+    ``(M - 1)**e`` of them in ``K_M`` — divided by the ``(N - 1)**e`` total,
+    i.e. ``((M-1)/(N-1))**e``.  This is the tail factor of cycle inference
+    under an honest receiver, where the walk may end at any honest node.
+    """
+    m_allowed = _check_avoidance(n_nodes, n_avoid)
+    if edges < 0:
+        raise ConfigurationError(f"edge count must be >= 0, got {edges}")
+    return ((m_allowed - 1) / (n_nodes - 1)) ** edges

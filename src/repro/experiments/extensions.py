@@ -28,11 +28,13 @@ these experiments exercise it:
   reaches a target CI half-width with measurably fewer trials than the fixed
   reference budget, deterministically per ``(seed, block_size)``, and serves
   a repeated identical request bit-identically from its result cache;
-* ``cycle_validation`` — the vectorized cycle engine (Crowds-style
-  cycle-allowed paths on the ``batch``/``sharded`` fast path) reproduces the
+* ``cycle_validation`` — the vectorized cycle engines (Crowds-style
+  cycle-allowed paths on the ``batch``/``sharded`` fast path) reproduce the
   exhaustive ground truth and the hop-by-hop event engine under all three
-  adversary models, is bit-deterministic per ``(seed, shards)``, and
-  round-trips a cycle request bit-identically through the service cache.
+  adversary models, are bit-deterministic per ``(seed, shards)``, and
+  round-trip a cycle request bit-identically through the service cache —
+  at ``C = 1`` (the dedicated kernel) *and* at ``C = 2`` (the multi-node
+  ``cycle-multi`` engine that closed the roadmap's last coverage gap).
 """
 
 from __future__ import annotations
@@ -661,7 +663,11 @@ def cycle_validation(
       bit-for-bit for a fixed ``(seed, shards)`` pair;
     * **service round-trip:** a cycle-allowed :class:`EstimateRequest` is
       answered adaptively, and repeating the identical request is served
-      bit-identically from the content-addressed result cache.
+      bit-identically from the content-addressed result cache;
+    * **multiple compromised nodes:** the ``cycle-multi`` engine's estimate
+      covers the exhaustive degree at ``C = 2`` under every adversary model
+      and is bit-deterministic per ``(seed, shards)`` — the same guard rails
+      the ``C = 1`` engine ships with.
     """
     from repro.service import DistributionSpec, EstimateRequest, EstimationService
 
@@ -737,6 +743,41 @@ def cycle_validation(
         not cold.from_cache and warm.from_cache and warm.report == cold.report
     )
 
+    # The C > 1 leg: the cycle-multi engine is guarded exactly like C = 1.
+    multi_trials = batch_trials // 2
+    multi_points: dict[str, str] = {}
+    for adversary in AdversaryModel:
+        multi_model = SystemModel(
+            n_nodes=small_n, n_compromised=2, adversary=adversary
+        )
+        multi_truth = ExhaustiveAnalyzer(
+            multi_model.with_path_model(PathModel.CYCLE_ALLOWED)
+        ).anonymity_degree(distribution)
+        multi_report = estimate_anonymity(
+            multi_model, strategy, n_trials=multi_trials,
+            rng=spawn_child_rng(rng), backend="batch",
+        )
+        checks[f"C=2 batch CI covers the exhaustive degree ({adversary.value})"] = (
+            multi_report.estimate.contains(multi_truth, slack=0.01)
+        )
+        multi_points[f"C=2, {adversary.value}"] = (
+            f"exhaustive {multi_truth:.4f} vs batch {multi_report.degree_bits:.4f}"
+        )
+
+    multi_model = SystemModel(n_nodes=small_n, n_compromised=2)
+    multi_first = estimate_anonymity(
+        multi_model, strategy, n_trials=multi_trials, rng=seed,
+        backend="sharded", workers=1, shards=shards,
+    )
+    multi_second = estimate_anonymity(
+        multi_model, strategy, n_trials=multi_trials, rng=seed,
+        backend="sharded", workers=1, shards=shards,
+    )
+    checks["a fixed (seed, shards) reproduces the C=2 report bit-for-bit"] = (
+        multi_first.estimate == multi_second.estimate
+        and multi_first.identification_rate == multi_second.identification_rate
+    )
+
     sweep = SweepResult(
         x_label="adversary model index",
         x_values=tuple(float(i) for i in range(len(labels))),
@@ -754,8 +795,10 @@ def cycle_validation(
             labels, exact, batch_estimates, event_estimates
         )
     }
+    key_points.update(multi_points)
     key_points["strategy"] = strategy.describe()
     key_points["batch trials per adversary"] = batch_trials
+    key_points["C=2 batch trials per adversary"] = multi_trials
     key_points["service digest"] = cold.digest[:16] + "…"
     return ExperimentData(
         "ext-cycle",

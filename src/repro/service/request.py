@@ -265,8 +265,8 @@ class EstimateRequest:
     path_model:
         ``"simple"`` (the default) or ``"cycle_allowed"`` — whether the
         strategy builds simple paths or Crowds-style walks.  Cycle requests
-        run on the vectorized cycle engine and cache exactly like any other
-        request (they require ``n_compromised=1``).
+        run on the vectorized cycle engines (any ``n_compromised``) and
+        cache exactly like any other request.
     distribution:
         The :class:`DistributionSpec` of the path-length strategy (a live
         ``PathLengthDistribution`` is accepted and converted).
@@ -346,14 +346,6 @@ class EstimateRequest:
             raise ConfigurationError(f"block_size must be >= 1, got {self.block_size}")
         if self.max_trials < 1:
             raise ConfigurationError(f"max_trials must be >= 1, got {self.max_trials}")
-        if (
-            self.path_model == PathModel.CYCLE_ALLOWED.value
-            and self.n_compromised != 1
-        ):
-            raise ConfigurationError(
-                "cycle-allowed requests cover exactly one compromised node, "
-                f"got n_compromised={self.n_compromised}"
-            )
         # Build the model now: its validation (N >= 2, C <= N, ...) applies.
         model = self.model()
         if self.compromised is not None and any(

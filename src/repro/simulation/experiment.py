@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.adversary.inference import BayesianPathInference
 from repro.adversary.observation import observation_from_path
-from repro.core.model import PathModel, SystemModel
+from repro.core.model import SystemModel
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
 from repro.protocols.base import ReroutingProtocol
@@ -82,16 +82,6 @@ class StrategyMonteCarlo:
         if self.compromised is None:
             self.compromised = self.model.compromised_nodes()
         self.compromised = frozenset(self.compromised)
-        if (
-            self.strategy.path_model is not PathModel.SIMPLE
-            and len(self.compromised) != 1
-        ):
-            raise ConfigurationError(
-                "cycle-allowed estimation covers exactly one compromised node "
-                f"(got C={len(self.compromised)}); use the exhaustive "
-                "enumeration engine (small N) for multiple compromised nodes "
-                "on cycle paths."
-            )
 
     def run(self, n_trials: int, rng: RandomSource = None) -> MonteCarloReport:
         """Run ``n_trials`` independent single-message experiments."""
@@ -187,16 +177,6 @@ class ProtocolMonteCarlo:
 
         probe_protocol = self.protocol_factory()
         strategy = probe_protocol.strategy()
-        if (
-            strategy.path_model is not PathModel.SIMPLE
-            and self.model.n_compromised != 1
-        ):
-            raise ConfigurationError(
-                f"{probe_protocol.name} builds cycle-allowed paths, for which "
-                "exact posteriors cover exactly one compromised node.  Use the "
-                "exhaustive enumeration engine (small systems) or the "
-                "predecessor-attack machinery for C > 1 on cycle paths."
-            )
         distribution = self.inference_distribution
         if distribution is None:
             distribution = strategy.effective_distribution(self.model.n_nodes)

@@ -51,12 +51,18 @@ class TestInferenceConstruction:
         inference = BayesianPathInference(model, FixedLength(3))
         assert inference.model.path_model is PathModel.CYCLE_ALLOWED
 
-    def test_rejects_cycle_paths_with_multiple_compromised(self):
+    def test_cycle_paths_accepted_for_multiple_compromised(self):
+        # The C > 1 gate fell with the honest-subgraph walk counts: exact
+        # cycle posteriors now cover any compromised count.
         model = SystemModel(
             n_nodes=8, n_compromised=2, path_model=PathModel.CYCLE_ALLOWED
         )
-        with pytest.raises(ConfigurationError):
-            BayesianPathInference(model, FixedLength(3))
+        inference = BayesianPathInference(model, FixedLength(3))
+        observation = observation_from_path(4, (5, 0, 1), frozenset({0, 1}))
+        posterior = inference.posterior(observation)
+        assert posterior.probability(0) == 0.0
+        assert posterior.probability(1) == 0.0
+        assert sum(posterior.probabilities.values()) == pytest.approx(1.0)
 
     def test_cycle_distribution_not_length_capped(self):
         # Cycle paths have no simple-path feasibility cap: lengths beyond

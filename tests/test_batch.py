@@ -278,12 +278,14 @@ class TestBatchEstimatorParity:
         cycle_strategy = PathSelectionStrategy(
             "cycles", FixedLength(3), path_model=PathModel.CYCLE_ALLOWED
         )
-        # Cycle strategies run on the cycle engine for C = 1 but stay
-        # rejected for multiple compromised nodes.
-        with pytest.raises(ConfigurationError, match="one compromised"):
-            BatchMonteCarlo(
-                SystemModel(n_nodes=10, n_compromised=2), cycle_strategy
-            )
+        # Cycle strategies select a cycle engine at any C: the dedicated
+        # C = 1 kernel or the multi-compromised generalisation.
+        single = BatchMonteCarlo(SystemModel(n_nodes=10), cycle_strategy)
+        assert single.engine.name == "cycle"
+        multi = BatchMonteCarlo(
+            SystemModel(n_nodes=10, n_compromised=2), cycle_strategy
+        )
+        assert multi.engine.name == "cycle-multi"
         estimator = BatchMonteCarlo.from_distribution(
             SystemModel(n_nodes=10), FixedLength(3)
         )

@@ -1,10 +1,13 @@
 """Tests for the cycle-allowed path machinery.
 
-Covers the full vertical slice the cycle engine rests on: clique walk counts
+Covers the full vertical slice the cycle engines rest on: clique walk counts
 (:mod:`repro.combinatorics.walks`), the cycle-aware exact inference
-(:mod:`repro.adversary.inference`), the columnar sampler/classifier/engine
+(:mod:`repro.adversary.inference`) at any number of compromised nodes, the
+columnar sampler/classifier/engines
 (:mod:`repro.batch.cyclesampler` / ``cycleclassify`` / ``cycleengine``), the
-backend/sharding/determinism contracts, and the service round-trip.
+backend/sharding/determinism contracts, and the service round-trip —
+including the multi-compromised ``cycle-multi`` engine that closed the
+roadmap's last coverage gap.
 
 The ground truth throughout is :class:`repro.core.enumeration.ExhaustiveAnalyzer`,
 the only pre-existing exact engine for cycle-allowed paths.
@@ -31,7 +34,9 @@ from repro.batch import (
 from repro.cli import main
 from repro.combinatorics.walks import (
     clique_walks,
+    normalized_avoiding_walks,
     normalized_clique_walks,
+    normalized_free_walks,
     total_cycle_paths,
 )
 from repro.core.enumeration import ExhaustiveAnalyzer
@@ -108,6 +113,41 @@ class TestCliqueWalks:
             total_cycle_paths(1, 2)
         with pytest.raises(ConfigurationError):
             clique_walks(3, -1, closed=True)
+
+    @pytest.mark.parametrize("n_nodes", [5, 8])
+    @pytest.mark.parametrize("n_avoid", [0, 1, 2, 3])
+    @pytest.mark.parametrize("closed", [True, False])
+    def test_avoiding_walks_equal_subclique_counts(self, n_nodes, n_avoid, closed):
+        """Multi-node avoidance = walks in the allowed sub-clique, per (N-1)^e."""
+        for edges in (0, 1, 2, 4, 7):
+            expected = (
+                clique_walks(n_nodes - n_avoid, edges, closed)
+                / (n_nodes - 1) ** edges
+            )
+            # abs tolerance: the spectral form renders an exactly-zero walk
+            # count as a ~1-ulp residual (e.g. M=6, one closed edge).
+            assert normalized_avoiding_walks(
+                n_nodes, n_avoid, edges, closed
+            ) == pytest.approx(expected, rel=1e-12, abs=1e-15)
+
+    def test_single_avoidance_reduces_to_the_original_form(self):
+        # The C = 1 inference path must be bit-identical to PR 4's.
+        for edges in (0, 1, 3, 6):
+            for closed in (True, False):
+                assert normalized_avoiding_walks(9, 1, edges, closed) == (
+                    normalized_clique_walks(8, edges, closed)
+                )
+
+    def test_free_walks(self):
+        assert normalized_free_walks(6, 2, 3) == pytest.approx((3 / 5) ** 3)
+        assert normalized_free_walks(6, 0, 2) == pytest.approx(1.0)
+        assert normalized_free_walks(6, 2, 0) == 1.0
+        with pytest.raises(ConfigurationError):
+            normalized_avoiding_walks(6, 6, 1, closed=True)
+        with pytest.raises(ConfigurationError):
+            normalized_free_walks(6, -1, 1)
+        with pytest.raises(ConfigurationError):
+            normalized_free_walks(6, 2, -1)
 
 
 # ---------------------------------------------------------------------- #
@@ -359,16 +399,18 @@ class TestCycleBatchEngine:
         slow = BatchMonteCarlo(model, strategy, use_numpy=False)
         assert fast.run_accumulate(8_000, rng=5) == slow.run_accumulate(8_000, rng=5)
 
-    def test_multi_compromised_cycles_still_rejected(self):
+    def test_multi_compromised_cycles_select_the_multi_engine(self):
+        # The last roadmap gap: C > 1 on cycle paths now has a batch engine.
         model = SystemModel(n_nodes=8, n_compromised=2)
-        with pytest.raises(ConfigurationError, match="one compromised"):
-            BatchMonteCarlo(model, cycle_strategy())
-        with pytest.raises(ConfigurationError):
-            CycleScoreTable(
-                model=model,
-                distribution=FixedLength(3),
-                compromised=frozenset({0, 1}),
-            )
+        estimator = BatchMonteCarlo(model, cycle_strategy())
+        assert estimator.engine.name == "cycle-multi"
+        table = CycleScoreTable(
+            model=model,
+            distribution=FixedLength(3),
+            compromised=frozenset({0, 1}),
+        )
+        entropy, identified = table.score(("silent",), 2, (3, 4, 5))
+        assert entropy > 0.0 and not identified
 
     def test_engine_requires_a_cycle_strategy(self):
         model = SystemModel(n_nodes=8, n_compromised=1)
@@ -465,9 +507,10 @@ class TestCycleService:
         assert request.model().path_model is PathModel.CYCLE_ALLOWED
         assert request.strategy().path_model is PathModel.CYCLE_ALLOWED
 
-    def test_cycle_request_requires_one_compromised_node(self):
-        with pytest.raises(ConfigurationError, match="one compromised"):
-            self._request(n_compromised=2)
+    def test_cycle_request_accepts_multiple_compromised_nodes(self):
+        request = self._request(n_compromised=2)
+        assert request.model().n_compromised == 2
+        assert request.digest() != self._request().digest()
 
     def test_adaptive_scheduler_accumulates_cycle_blocks(self):
         model = SystemModel(n_nodes=9, n_compromised=1)
@@ -496,15 +539,15 @@ class TestCycleCLI:
         ]) == 0
         assert "Geom" in capsys.readouterr().out
 
-    def test_cycle_with_multiple_compromised_exits_2_with_one_line(self, capsys):
+    def test_cycle_with_multiple_compromised_runs_on_the_multi_engine(self, capsys):
         code = main([
             "batch", "--n", "15", "--strategy", "hordes",
             "--trials", "1000", "--compromised", "2",
         ])
         captured = capsys.readouterr()
-        assert code == 2
-        assert captured.err.startswith("error:")
-        assert "Traceback" not in captured.err
+        assert code == 0
+        assert "cycle_allowed" in captured.out
+        assert "C=2" in captured.out
 
     def test_out_of_range_compromised_exits_2(self, capsys):
         code = main([
@@ -523,6 +566,18 @@ class TestCycleCLI:
         captured = capsys.readouterr()
         assert code == 2
         assert "error:" in captured.err
+        # The one-line error names the backend that does cover the request.
+        assert "--backend batch" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_exact_backend_multi_compromised_error_names_batch(self, capsys):
+        code = main([
+            "batch", "--n", "15", "--strategy", "uniform",
+            "--backend", "exact", "--compromised", "2",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--backend batch" in captured.err
 
     def test_ext_cycle_registered(self):
         assert "ext-cycle" in list_experiments()
@@ -536,6 +591,210 @@ class TestCycleCLI:
             "simulate", "--n", "10", "--protocol", "hordes", "--trials", "30",
             "--seed", "4",
         ]) == 0
+
+
+# ---------------------------------------------------------------------- #
+# Multiple compromised nodes on cycle paths (the closed roadmap gap)       #
+# ---------------------------------------------------------------------- #
+
+
+def enumerate_degree_via_class_table(model, distribution) -> float:
+    """Exact H*(S) through the batch pipeline's classifier and score table.
+
+    Enumerates every (sender, path) outcome, classifies it with the batch
+    engines' :func:`cycle_trial_key`, prices each class once through the
+    :class:`CycleScoreTable`, and weights by the exact path probabilities.
+    Equality with :class:`ExhaustiveAnalyzer` proves both that the class key
+    determines the posterior entropy (no two observation-distinct trials
+    share a key) and that the per-class scores are exact.
+    """
+    analyzer = ExhaustiveAnalyzer(model)
+    compromised = model.compromised_nodes()
+    table = CycleScoreTable(
+        model=model,
+        distribution=distribution,
+        compromised=compromised,
+    )
+    degree = 0.0
+    n = model.n_nodes
+    for sender in range(n):
+        for length, length_prob in distribution.items():
+            paths = list(analyzer._paths(sender, length))
+            if not paths:
+                continue
+            path_prob = length_prob / (n * len(paths))
+            for path in paths:
+                key = cycle_trial_key(
+                    sender,
+                    path,
+                    length,
+                    compromised,
+                    model.adversary,
+                    model.receiver_compromised,
+                )
+                entropy, _ = table.score(key, sender, path)
+                degree += path_prob * entropy
+    return degree
+
+
+class TestMultiCompromisedCycles:
+    """The fourth engine: cycle-allowed paths with ``C != 1``."""
+
+    @pytest.mark.parametrize("n_compromised", [0, 2, 3])
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    def test_inference_matches_exhaustive(self, n_compromised, adversary):
+        model = SystemModel(
+            n_nodes=5,
+            n_compromised=n_compromised,
+            path_model=PathModel.CYCLE_ALLOWED,
+            adversary=adversary,
+        )
+        distribution = UniformLength(0, 3)
+        truth = ExhaustiveAnalyzer(model).anonymity_degree(distribution)
+        via_inference = enumerate_degree_via_inference(model, distribution)
+        assert via_inference == pytest.approx(truth, abs=1e-10)
+
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    def test_inference_matches_exhaustive_honest_receiver(self, adversary):
+        model = SystemModel(
+            n_nodes=5,
+            n_compromised=2,
+            path_model=PathModel.CYCLE_ALLOWED,
+            adversary=adversary,
+            receiver_compromised=False,
+        )
+        distribution = UniformLength(1, 3)
+        truth = ExhaustiveAnalyzer(model).anonymity_degree(distribution)
+        via_inference = enumerate_degree_via_inference(model, distribution)
+        assert via_inference == pytest.approx(truth, abs=1e-10)
+
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    @pytest.mark.parametrize("receiver_compromised", [True, False])
+    def test_class_law_reconstructs_exhaustive_exactly(
+        self, adversary, receiver_compromised
+    ):
+        """Classifier keys + per-class scores reproduce the exact degree.
+
+        This is the exactness guarantee of the batch pipeline at C > 1: the
+        sampled estimate differs from the exhaustive degree only by which
+        classes the trials happened to hit, never by their entropies.
+        """
+        model = SystemModel(
+            n_nodes=5,
+            n_compromised=2,
+            path_model=PathModel.CYCLE_ALLOWED,
+            adversary=adversary,
+            receiver_compromised=receiver_compromised,
+        )
+        distribution = UniformLength(0, 4)
+        truth = ExhaustiveAnalyzer(model).anonymity_degree(distribution)
+        via_classes = enumerate_degree_via_class_table(model, distribution)
+        assert via_classes == pytest.approx(truth, abs=1e-10)
+
+    def test_class_scores_equal_per_trial_posteriors(self):
+        """Spot-check the class law on sampled (not enumerated) trials."""
+        model = SystemModel(n_nodes=7, n_compromised=2)
+        strategy = cycle_strategy(max_length=8)
+        distribution = strategy.effective_distribution(7)
+        compromised = frozenset({0, 1})
+        columns = CycleTrialSampler(n_nodes=7, distribution=distribution).draw(
+            800, rng=41
+        )
+        table = CycleScoreTable(
+            model=model, distribution=distribution, compromised=compromised
+        )
+        inference = BayesianPathInference(
+            model.with_path_model(PathModel.CYCLE_ALLOWED),
+            distribution,
+            compromised,
+        )
+        for index in range(len(columns)):
+            sender = columns.senders[index]
+            path = columns.path(index)
+            key = cycle_trial_key(sender, path, len(path), compromised)
+            entropy, _ = table.score(key, sender, path)
+            observation = observation_from_path(sender, path, compromised)
+            assert entropy == pytest.approx(
+                inference.posterior(observation).entropy_bits, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("adversary", list(AdversaryModel))
+    def test_estimate_covers_exhaustive_truth(self, adversary):
+        model = SystemModel(n_nodes=5, n_compromised=2, adversary=adversary)
+        strategy = cycle_strategy(max_length=5)
+        truth = ExhaustiveAnalyzer(
+            model.with_path_model(PathModel.CYCLE_ALLOWED)
+        ).anonymity_degree(strategy.distribution)
+        report = BatchMonteCarlo(model, strategy).run(40_000, rng=19)
+        assert report.estimate.contains(truth, slack=0.01)
+
+    def test_no_compromised_estimate_covers_exhaustive_truth(self):
+        model = SystemModel(n_nodes=5, n_compromised=0)
+        strategy = cycle_strategy(max_length=5)
+        truth = ExhaustiveAnalyzer(
+            model.with_path_model(PathModel.CYCLE_ALLOWED)
+        ).anonymity_degree(strategy.distribution)
+        report = BatchMonteCarlo(model, strategy).run(20_000, rng=23)
+        assert report.estimate.contains(truth, slack=0.01)
+
+    def test_pure_and_numpy_kernels_identical(self):
+        columns = CycleTrialSampler(
+            n_nodes=5, distribution=UniformLength(0, 7)
+        ).draw(3_000, rng=47)
+        compromised = frozenset({1, 3})
+        for adversary in AdversaryModel:
+            fast = classify_cycle_trials(
+                columns, compromised, adversary, use_numpy=True
+            )
+            slow = classify_cycle_trials(
+                columns, compromised, adversary, use_numpy=False
+            )
+            assert fast == slow
+            assert sum(count for count, _ in fast.values()) == len(columns)
+
+    def test_use_numpy_toggle_is_draw_for_draw_identical(self):
+        model = SystemModel(n_nodes=6, n_compromised=2)
+        strategy = cycle_strategy()
+        fast = BatchMonteCarlo(model, strategy, use_numpy=True)
+        slow = BatchMonteCarlo(model, strategy, use_numpy=False)
+        assert fast.run_accumulate(6_000, rng=5) == slow.run_accumulate(6_000, rng=5)
+
+    def test_sharded_bit_deterministic_per_seed_and_shards(self):
+        model = SystemModel(n_nodes=6, n_compromised=2)
+        strategy = cycle_strategy()
+        backend = ShardedBackend(workers=1, shards=4)
+        first = backend.estimate(model, strategy, n_trials=16_000, rng=29)
+        second = backend.estimate(model, strategy, n_trials=16_000, rng=29)
+        assert first.estimate == second.estimate
+        assert first.identification_rate == second.identification_rate
+        assert first.mean_path_length == second.mean_path_length
+
+    def test_service_round_trips_multi_compromised_cycles(self):
+        request = EstimateRequest(
+            n_nodes=6,
+            n_compromised=2,
+            distribution=DistributionSpec(
+                "geometric", {"p_forward": 0.6, "minimum": 1, "max_length": 8}
+            ),
+            path_model=PathModel.CYCLE_ALLOWED.value,
+            precision=0.05,
+            block_size=4_000,
+            max_trials=24_000,
+            seed=7,
+        )
+        truth = ExhaustiveAnalyzer(request.model()).anonymity_degree(
+            request.distribution.build()
+        )
+        with EstimationService() as service:
+            cold = service.estimate(request)
+            warm = service.estimate(request)
+        assert not cold.from_cache and warm.from_cache
+        assert warm.report == cold.report
+        assert cold.report.estimate.contains(truth, slack=0.02)
+        with EstimationService() as fresh:
+            recomputed = fresh.estimate(request)
+        assert not recomputed.from_cache
+        assert recomputed.report == cold.report
 
 
 class TestDeployedCycleStrategiesRun:
