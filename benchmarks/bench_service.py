@@ -28,12 +28,13 @@ from __future__ import annotations
 import tempfile
 import time
 
-from perf_record import write_record
+from perf_record import telemetry_breakdown, write_record
 
 from repro.batch.backends import estimate_anonymity
 from repro.core.model import SystemModel
 from repro.distributions import UniformLength
 from repro.service import DistributionSpec, EstimateRequest, EstimationService
+from repro.telemetry import activate, write_snapshot
 
 #: The reference configuration of the service acceptance criterion.
 N_NODES = 50
@@ -62,7 +63,10 @@ def test_service_cold_warm_and_adaptive_savings(smoke):
     request = _request(fixed_trials)
     model = request.model()
 
-    with tempfile.TemporaryDirectory() as cache_dir:
+    # The whole service section runs under a live registry, so the record
+    # (and the uploaded snapshot) carries the per-stage breakdown: spans,
+    # per-engine chunk timings, cache hits per tier, and stop reasons.
+    with tempfile.TemporaryDirectory() as cache_dir, activate() as telemetry:
         with EstimationService(cache_dir=cache_dir) as service:
             started = time.perf_counter()
             cold = service.estimate(request)
@@ -77,6 +81,8 @@ def test_service_cold_warm_and_adaptive_savings(smoke):
             started = time.perf_counter()
             disk = fresh.estimate(request)
             disk_seconds = time.perf_counter() - started
+    snapshot = telemetry.snapshot()
+    write_snapshot("metrics_snapshot.json", snapshot)
 
     started = time.perf_counter()
     fixed = estimate_anonymity(
@@ -113,6 +119,7 @@ def test_service_cold_warm_and_adaptive_savings(smoke):
         adaptive_rounds=cold.rounds,
         achieved_half_width=round(half_width, 6),
         trials_saved_vs_fixed=round(1.0 - cold.n_trials / fixed_trials, 4),
+        telemetry=telemetry_breakdown(snapshot),
     )
 
     # Correctness floors (not timing races): identical bits from both cache

@@ -25,7 +25,7 @@ import platform
 import sys
 from pathlib import Path
 
-__all__ = ["write_record", "update_record", "merge_records"]
+__all__ = ["write_record", "update_record", "merge_records", "telemetry_breakdown"]
 
 #: File name of the consolidated record; excluded from its own merge.
 SUMMARY_NAME = "BENCH_summary.json"
@@ -87,6 +87,45 @@ def update_record(name: str, **results) -> Path:
     path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
     print(f"\n[perf_record] updated {path.resolve()}")
     return path
+
+
+def telemetry_breakdown(snapshot: dict) -> dict:
+    """Condense a telemetry snapshot into per-stage headline numbers.
+
+    Benchmarks that run under an active
+    :class:`~repro.telemetry.MetricsRegistry` embed this in their record
+    (``telemetry=telemetry_breakdown(registry.snapshot())``), so
+    ``BENCH_summary.json`` carries a per-stage breakdown — span totals,
+    per-engine chunk timings, cache and scheduler counters — next to the
+    end-to-end numbers.
+    """
+    series_name = lambda entry: entry["name"] + (  # noqa: E731
+        "{" + ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items())) + "}"
+        if entry["labels"]
+        else ""
+    )
+    spans = {}
+    timings = {}
+    for entry in snapshot.get("histograms", []):
+        if not entry["count"]:
+            continue
+        stage = {
+            "count": entry["count"],
+            "total_seconds": round(entry["sum"], 6),
+            "mean_seconds": round(entry["sum"] / entry["count"], 6),
+        }
+        if entry["name"] == "span_seconds":
+            spans[entry["labels"].get("span", "")] = stage
+        elif entry["name"].endswith("_seconds"):
+            timings[series_name(entry)] = stage
+    return {
+        "spans": spans,
+        "stage_timings": timings,
+        "counters": {
+            series_name(entry): entry["value"]
+            for entry in snapshot.get("counters", [])
+        },
+    }
 
 
 def merge_records(directory: str | Path = ".") -> Path:

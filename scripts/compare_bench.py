@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Diff a consolidated benchmark summary against the committed perf floors.
+
+``benchmarks/perf_record.py --summary`` folds every ``BENCH_*.json`` of a run
+into one ``BENCH_summary.json``; this script compares that summary against
+``benchmarks/bench_floors.json`` — the committed floor file — so a perf
+regression shows up as a named, numbered violation in the CI log instead of
+a silently smaller number in an artifact nobody opens.
+
+Each floor rule names a record (the ``benchmark`` key of one per-benchmark
+record), a top-level numeric key in it, and a ``min`` and/or ``max`` bound::
+
+    {"record": "batch", "key": "speedup_pure", "min": 10.0}
+
+Records produced in ``--smoke`` mode carry ``"smoke": true`` and are checked
+but only *warned* about — smoke workloads are sized for coverage, not for
+meaningful timing — and a rule whose record or key is absent from the summary
+is reported as skipped, never counted as a violation.
+
+By default violations are warnings (exit 0), so the smoke job stays a
+trend monitor; ``--strict`` turns full-workload violations into exit code 1
+for jobs that run the real workloads.
+
+Usage::
+
+    python scripts/compare_bench.py                       # summary + floors in cwd/repo
+    python scripts/compare_bench.py --summary BENCH_summary.json \
+        --floors benchmarks/bench_floors.json --strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FLOORS = REPO_ROOT / "benchmarks" / "bench_floors.json"
+
+
+def load_rules(path: Path) -> list[dict]:
+    data = json.loads(path.read_text())
+    rules = data.get("rules", [])
+    if not isinstance(rules, list):
+        raise ValueError(f"{path}: 'rules' must be a list")
+    for rule in rules:
+        if "record" not in rule or "key" not in rule:
+            raise ValueError(f"{path}: every rule needs 'record' and 'key': {rule}")
+        if "min" not in rule and "max" not in rule:
+            raise ValueError(f"{path}: rule has neither 'min' nor 'max': {rule}")
+    return rules
+
+
+def check(summary: dict, rules: list[dict]) -> tuple[list[str], list[str], list[str]]:
+    """Returns (violations, warnings, skipped) as printable lines."""
+    records = summary.get("records", summary)
+    violations: list[str] = []
+    warnings: list[str] = []
+    skipped: list[str] = []
+    for rule in rules:
+        name, key = rule["record"], rule["key"]
+        record = records.get(name)
+        if record is None:
+            skipped.append(f"{name}.{key}: record not in summary")
+            continue
+        value = record.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            skipped.append(f"{name}.{key}: key missing or non-numeric")
+            continue
+        problems = []
+        if "min" in rule and value < rule["min"]:
+            problems.append(f"{value:g} < floor {rule['min']:g}")
+        if "max" in rule and value > rule["max"]:
+            problems.append(f"{value:g} > ceiling {rule['max']:g}")
+        if not problems:
+            continue
+        line = f"{name}.{key}: " + "; ".join(problems)
+        if record.get("smoke"):
+            warnings.append(line + " (smoke workload; timing not meaningful)")
+        else:
+            violations.append(line)
+    return violations, warnings, skipped
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--summary",
+        default="BENCH_summary.json",
+        help="consolidated summary written by perf_record.py --summary",
+    )
+    parser.add_argument(
+        "--floors",
+        default=str(DEFAULT_FLOORS),
+        help="committed floor file (default: benchmarks/bench_floors.json)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on full-workload violations (smoke records still warn)",
+    )
+    args = parser.parse_args(argv)
+
+    summary_path = Path(args.summary)
+    if not summary_path.exists():
+        print(f"error: summary {summary_path} does not exist", file=sys.stderr)
+        return 2
+    summary = json.loads(summary_path.read_text())
+    rules = load_rules(Path(args.floors))
+
+    violations, warnings, skipped = check(summary, rules)
+    checked = len(rules) - len(skipped)
+    print(f"[compare_bench] {checked} rule(s) checked against {summary_path}")
+    for line in skipped:
+        print(f"  skip: {line}")
+    for line in warnings:
+        print(f"  WARN: {line}")
+    for line in violations:
+        print(f"  FAIL: {line}")
+    if not violations and not warnings:
+        print("  all checked floors hold")
+    if violations and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,8 @@ See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 harnesses that regenerate every figure of the paper.
 """
 
+import logging as _logging
+
 from repro._version import __version__
 from repro.batch import (
     BatchMonteCarlo,
@@ -66,6 +68,11 @@ from repro.exceptions import (
     ReproError,
     SimulationError,
 )
+
+# Library logging hygiene: every module under ``repro`` logs through this
+# root logger, and a NullHandler keeps the library silent unless the
+# application configures handlers (PEP 282, logging-for-libraries).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = [
     "__version__",

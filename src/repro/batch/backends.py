@@ -41,6 +41,7 @@ reports a zero-width confidence interval.
 from __future__ import annotations
 
 import abc
+import logging
 from collections.abc import Callable
 
 from repro.batch.estimator import BatchMonteCarlo
@@ -62,6 +63,8 @@ __all__ = [
     "register_backend",
     "estimate_anonymity",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class EstimatorBackend(abc.ABC):
@@ -191,6 +194,7 @@ def get_backend(name: str, **options) -> EstimatorBackend:
         raise ConfigurationError(
             f"unknown estimator backend {name!r}; registered backends: {known}"
         ) from None
+    logger.debug("selected backend %r with options %r", name, options)
     return factory(**options)
 
 

@@ -54,6 +54,7 @@ dispatcher over :func:`select_engine`.
 from __future__ import annotations
 
 import abc
+import logging
 import math
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -69,7 +70,10 @@ from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
 from repro.routing.strategies import PathSelectionStrategy
 from repro.simulation.results import IDENTIFIED_THRESHOLD, EstimateWithCI
+from repro.telemetry.metrics import DEFAULT_RATE_BUCKETS, get_registry
 from repro.utils.rng import RandomSource, ensure_rng
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "BatchAccumulator",
@@ -276,10 +280,16 @@ class TrialEngine(abc.ABC):
         returned accumulator is a columnar reduction (per-class counts plus a
         length sum), cheap to pickle and mergeable by summation.  Each
         distinct class key is scored exactly once per run, on first sight.
+
+        When telemetry is active (see :mod:`repro.telemetry`), every chunk
+        reports its trial count, wall time, and throughput under the engine's
+        name; with the default null registry the instrumentation cost is one
+        ``enabled`` check per chunk.
         """
         if n_trials < 1:
             raise ConfigurationError("n_trials must be >= 1")
         generator = ensure_rng(rng)
+        telemetry = get_registry()
         classes: dict[object, list] = {}
         length_sum = 0
         remaining = n_trials
@@ -290,6 +300,7 @@ class TrialEngine(abc.ABC):
                 else min(self.chunk_trials, remaining)
             )
             remaining -= block_trials
+            chunk_started = telemetry.clock() if telemetry.enabled else 0.0
             block = self.sample_block(block_trials, generator)
             length_sum += self.block_length_sum(block)
             for key, (count, representative) in self.classify(block).items():
@@ -299,6 +310,21 @@ class TrialEngine(abc.ABC):
                     classes[key] = [count, entropy, identified]
                 else:
                     entry[0] += count
+            if telemetry.enabled:
+                chunk_seconds = telemetry.clock() - chunk_started
+                telemetry.counter("engine_chunks_total", engine=self.name).inc()
+                telemetry.counter(
+                    "engine_trials_total", engine=self.name
+                ).inc(block_trials)
+                telemetry.histogram(
+                    "engine_chunk_seconds", engine=self.name
+                ).observe(chunk_seconds)
+                if chunk_seconds > 0.0:
+                    telemetry.histogram(
+                        "engine_trials_per_second",
+                        buckets=DEFAULT_RATE_BUCKETS,
+                        engine=self.name,
+                    ).observe(block_trials / chunk_seconds)
         return BatchAccumulator(
             n_trials=n_trials,
             length_sum=length_sum,
@@ -521,6 +547,13 @@ def select_engine(
     for name in reversed(_ENGINES):
         engine = _ENGINES[name]
         if engine.covers(model, strategy, compromised):
+            logger.debug(
+                "selected engine %r for %s, C=%d, %s paths",
+                name,
+                model.describe(),
+                len(compromised),
+                strategy.path_model.value,
+            )
             return engine
     known = ", ".join(_ENGINES)
     raise ConfigurationError(

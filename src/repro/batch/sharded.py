@@ -41,8 +41,10 @@ name is accepted::
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import time
 import weakref
 from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
@@ -54,9 +56,18 @@ from repro.batch.estimator import BatchAccumulator, BatchMonteCarlo
 from repro.core.model import SystemModel
 from repro.exceptions import ConfigurationError
 from repro.routing.strategies import PathSelectionStrategy
+from repro.telemetry.metrics import get_registry
 from repro.utils.rng import RandomSource, ensure_rng
 
-__all__ = ["ShardedBackend", "ShardTask", "split_trials", "default_workers"]
+__all__ = [
+    "ShardedBackend",
+    "ShardTask",
+    "ShardResult",
+    "split_trials",
+    "default_workers",
+]
+
+logger = logging.getLogger(__name__)
 
 #: Hard ceiling on the worker pool; sharding gains flatten out well before
 #: this on any current machine, and it bounds accidental fork bombs.
@@ -108,8 +119,31 @@ class ShardTask:
     engine: Callable | None = None
 
 
-def _run_shard(task: ShardTask) -> BatchAccumulator:
-    """Worker entry point: run one batch kernel, return its accumulator.
+@dataclass(frozen=True)
+class ShardResult:
+    """What one worker sends back: the accumulator plus its own timings.
+
+    The timing fields ride along so the *parent* can feed per-shard worker
+    metrics into its telemetry registry — workers run in separate processes
+    whose registries are independent (and, under ``spawn``, start disabled),
+    so measurements must travel with the result.  They are measured with
+    :func:`time.perf_counter` in the worker unconditionally: one clock pair
+    per shard is far below measurement noise, and keeping them unconditional
+    means shard results are identical whether or not the parent collects.
+    """
+
+    accumulator: BatchAccumulator
+    #: Wall-clock seconds the worker spent inside the kernel.
+    elapsed_seconds: float
+    #: Trials this shard ran (== ``accumulator.n_trials``; kept explicit so a
+    #: result is self-describing without unpickling the accumulator).
+    n_trials: int
+    #: Name of the engine the kernel resolved to (telemetry label).
+    engine_name: str
+
+
+def _run_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point: run one batch kernel, return its timed result.
 
     Module-level (hence picklable by reference) so it works under the
     ``spawn`` start method, where the child imports this module afresh.
@@ -125,7 +159,15 @@ def _run_shard(task: ShardTask) -> BatchAccumulator:
         kernel = BatchMonteCarlo(
             model=task.model, strategy=task.strategy, use_numpy=task.use_numpy
         )
-    return kernel.run_accumulate(task.n_trials, rng=task.seed)
+    engine_name = getattr(kernel, "name", None) or kernel.engine.name
+    started = time.perf_counter()
+    accumulator = kernel.run_accumulate(task.n_trials, rng=task.seed)
+    return ShardResult(
+        accumulator=accumulator,
+        elapsed_seconds=time.perf_counter() - started,
+        n_trials=task.n_trials,
+        engine_name=engine_name,
+    )
 
 
 class ShardedBackend(EstimatorBackend):
@@ -194,7 +236,7 @@ class ShardedBackend(EstimatorBackend):
     ):
         """Estimate ``H*(S)`` across the worker pool; one ``MonteCarloReport``."""
         tasks = self.plan(model, strategy, n_trials, rng=rng)
-        accumulators = self._execute(tasks)
+        accumulators = self._merge_telemetry(self._execute(tasks))
         distribution = strategy.effective_distribution(model.n_nodes)
         return BatchAccumulator.merge(accumulators).report(model, distribution.name)
 
@@ -210,9 +252,33 @@ class ShardedBackend(EstimatorBackend):
 
         def run_block(n_trials: int, rng: RandomSource = None) -> BatchAccumulator:
             tasks = self.plan(model, strategy, n_trials, rng=rng)
-            return BatchAccumulator.merge(self._execute(tasks))
+            accumulators = self._merge_telemetry(self._execute(tasks))
+            return BatchAccumulator.merge(accumulators)
 
         return run_block
+
+    @staticmethod
+    def _merge_telemetry(results: "list[ShardResult]") -> list[BatchAccumulator]:
+        """Fold worker-side timings into the parent registry; the accumulators.
+
+        Worker processes measure their own kernel wall time (see
+        :class:`ShardResult`); the parent is where a live registry can exist,
+        so the per-shard histograms and counters are recorded here, in shard
+        order.  With telemetry disabled this is a plain unwrap.
+        """
+        telemetry = get_registry()
+        if telemetry.enabled:
+            for result in results:
+                telemetry.counter(
+                    "sharded_shards_total", engine=result.engine_name
+                ).inc()
+                telemetry.counter(
+                    "sharded_trials_total", engine=result.engine_name
+                ).inc(result.n_trials)
+                telemetry.histogram(
+                    "sharded_shard_seconds", engine=result.engine_name
+                ).observe(result.elapsed_seconds)
+        return [result.accumulator for result in results]
 
     def plan(
         self,
@@ -231,6 +297,13 @@ class ShardedBackend(EstimatorBackend):
         """
         generator = ensure_rng(rng)
         engine = select_engine(model, strategy, model.compromised_nodes())
+        logger.debug(
+            "planned %d shard(s) of %d trial(s) on engine %r (workers=%d)",
+            self.shards,
+            n_trials,
+            getattr(engine, "name", engine),
+            self.workers,
+        )
         return [
             ShardTask(
                 model=model,
@@ -243,7 +316,7 @@ class ShardedBackend(EstimatorBackend):
             for size in split_trials(n_trials, self.shards)
         ]
 
-    def _execute(self, tasks: list[ShardTask]) -> list[BatchAccumulator]:
+    def _execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
         if self.workers == 1 or len(tasks) == 1:
             return [_run_shard(task) for task in tasks]
         return list(self._ensure_pool().map(_run_shard, tasks))

@@ -30,7 +30,19 @@ exposes the library's main entry points without writing any Python:
   95% CI half-width reaches ``--precision``, and an identical request is
   served bit-identically from the content-addressed result cache;
 * ``repro-anon cache stats|clear --cache-dir ~/.repro-cache`` — inspect or
-  empty that on-disk cache.
+  empty that on-disk cache;
+* ``repro-anon stats --metrics-file metrics.json --format prometheus`` —
+  render a saved telemetry snapshot (from ``--metrics-file`` or the CI bench
+  artifact) as a table, JSON, Prometheus text, or a span tree, and/or report
+  cache statistics with ``--cache-dir``.
+
+Observability: ``batch`` and ``estimate`` accept ``--metrics`` (print the
+telemetry table), ``--trace`` (print the span tree), and ``--metrics-file``
+(save the snapshot as JSON); ``estimate --json`` prints a machine-readable
+document (estimate, CI half-width, trials, stop reason, convergence history)
+instead of the table.  A global ``--log-level debug`` streams the library's
+logs — engine selection, cache decisions, span timings — to stderr; without
+it the library is silent (NullHandler on the root ``repro`` logger).
 
 Numeric sanity (positive trial counts, worker counts, precisions) is
 enforced by ``argparse`` type callbacks, and every
@@ -43,8 +55,11 @@ one-line usage error instead of a traceback.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
+from contextlib import nullcontext
 
 from repro.analysis.compare import compare_deployed_systems
 from repro.analysis.report import render_comparison, render_event_breakdown, render_key_points
@@ -131,6 +146,57 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags of batch and estimate."""
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry during the run and print the metrics table",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect telemetry during the run and print the span tree",
+    )
+    parser.add_argument(
+        "--metrics-file",
+        default=None,
+        help="write the telemetry snapshot as JSON to this file "
+        "(readable back with 'repro-anon stats --metrics-file')",
+    )
+
+
+def _telemetry_scope(args: argparse.Namespace):
+    """An activated registry when any observability flag asks for one.
+
+    Returns a context manager yielding the live registry, or a no-op
+    ``nullcontext`` — so the commands stay on the null-registry fast path
+    unless ``--metrics`` / ``--trace`` / ``--metrics-file`` was given.
+    """
+    from repro.telemetry import activate
+
+    wanted = args.metrics or args.trace or args.metrics_file is not None
+    return activate() if wanted else nullcontext()
+
+
+def _emit_telemetry(args: argparse.Namespace, registry) -> None:
+    """Print/write the requested telemetry views after a run."""
+    if registry is None:
+        return
+    from repro.telemetry import render_span_tree, render_text, write_snapshot
+
+    if args.metrics:
+        print()
+        print("-- telemetry --")
+        print(render_text(registry.snapshot()))
+    if args.trace:
+        print()
+        print("-- spans --")
+        print(render_span_tree(registry.snapshot()))
+    if args.metrics_file is not None:
+        write_snapshot(args.metrics_file, registry)
+
+
 def _add_strategy_arguments(
     parser: argparse.ArgumentParser, default_strategy: str
 ) -> None:
@@ -171,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'An Optimal Strategy for Anonymous Communication "
             "Protocols' (Guan et al., ICDCS 2002)"
         ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="emit the library's logs (engine selection, cache decisions, "
+        "span timings) to stderr at this level",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -237,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed streams for --backend sharded (default: workers); fixing "
         "this makes results independent of the worker count",
     )
+    _add_telemetry_arguments(batch)
 
     estimate = subparsers.add_parser(
         "estimate",
@@ -286,6 +360,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="directory of the on-disk result cache (omit for memory-only)",
+    )
+    estimate.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON document instead of the table "
+        "(estimate, CI half-width, trials, stop reason, convergence history)",
+    )
+    _add_telemetry_arguments(estimate)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="render a saved telemetry snapshot and/or cache statistics",
+    )
+    stats.add_argument(
+        "--metrics-file",
+        default=None,
+        help="telemetry snapshot written by --metrics-file or the CI bench job",
+    )
+    stats.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory to report hit/size statistics for",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["table", "json", "prometheus", "spans"],
+        default="table",
+        help="rendering of the snapshot (default: table)",
     )
 
     cache = subparsers.add_parser(
@@ -418,14 +520,15 @@ def _command_batch(args: argparse.Namespace) -> int:
     )
     distribution = strategy.effective_distribution(args.n)
     started = time.perf_counter()
-    report = estimate_anonymity(
-        model,
-        strategy,
-        n_trials=args.trials,
-        rng=args.seed,
-        backend=args.backend,
-        **backend_options,
-    )
+    with _telemetry_scope(args) as registry:
+        report = estimate_anonymity(
+            model,
+            strategy,
+            n_trials=args.trials,
+            rng=args.seed,
+            backend=args.backend,
+            **backend_options,
+        )
     elapsed = time.perf_counter() - started
     lines = {
         "backend": args.backend,
@@ -462,6 +565,7 @@ def _command_batch(args: argparse.Namespace) -> int:
             lines, title=f"Batch estimation ({model.describe()}, backend={args.backend})"
         )
     )
+    _emit_telemetry(args, registry)
     return 0
 
 
@@ -535,18 +639,46 @@ def _command_estimate(args: argparse.Namespace) -> int:
         max_trials=args.max_trials,
         seed=args.seed,
     )
-    with EstimationService(cache_dir=args.cache_dir) as service:
-        result = service.estimate(request)
+    with _telemetry_scope(args) as registry:
+        with EstimationService(cache_dir=args.cache_dir) as service:
+            result = service.estimate(request)
     report = result.report
-    half_width = report.estimate.ci_high - report.estimate.mean
+    if args.json:
+        document = {
+            "digest": result.digest,
+            "backend": args.backend,
+            "distribution": report.distribution,
+            "estimate_bits": report.estimate.mean,
+            "ci_half_width_bits": result.half_width,
+            "precision_target_bits": args.precision,
+            "n_trials": report.n_trials,
+            "rounds": result.rounds,
+            "converged": result.converged,
+            "stop_reason": result.stop_reason,
+            "from_cache": result.from_cache,
+            "elapsed_seconds": result.elapsed_seconds,
+            "convergence_history": [
+                [trials, half_width]
+                for trials, half_width in result.convergence_history
+            ],
+        }
+        if registry is not None:
+            document["telemetry"] = registry.snapshot()
+        if args.metrics_file is not None:
+            from repro.telemetry import write_snapshot
+
+            write_snapshot(args.metrics_file, registry)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     lines: dict[str, object] = {
         "backend": args.backend,
         "distribution": report.distribution,
         "precision target (bits)": args.precision,
-        "achieved CI half-width": round(half_width, 5),
+        "achieved CI half-width": round(result.half_width, 5),
         "trials used": report.n_trials,
         "adaptive rounds": result.rounds,
         "converged": result.converged,
+        "stop reason": result.stop_reason,
         "served from cache": result.from_cache,
         "request digest": result.digest[:16],
         "estimated H*": str(report.estimate),
@@ -568,6 +700,56 @@ def _command_estimate(args: argparse.Namespace) -> int:
             title=f"Adaptive estimation ({model.describe()}, backend={args.backend})",
         )
     )
+    if args.metrics and result.convergence_history:
+        print()
+        print("-- convergence --")
+        for trials, half_width in result.convergence_history:
+            print(f"{trials:>12} trials  half-width {half_width:.6f} bits")
+    _emit_telemetry(args, registry)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    if args.metrics_file is None and args.cache_dir is None:
+        print(
+            "error: stats needs --metrics-file and/or --cache-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.metrics_file is not None:
+        from repro.telemetry import (
+            load_snapshot,
+            render_json,
+            render_prometheus,
+            render_span_tree,
+            render_text,
+        )
+
+        try:
+            snapshot = load_snapshot(args.metrics_file)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        renderers = {
+            "table": render_text,
+            "json": render_json,
+            "prometheus": render_prometheus,
+            "spans": render_span_tree,
+        }
+        print(renderers[args.format](snapshot))
+    if args.cache_dir is not None:
+        import os.path
+
+        from repro.service import ResultCache
+
+        if not os.path.isdir(args.cache_dir):
+            print(
+                f"error: cache directory {args.cache_dir!r} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        stats = ResultCache(cache_dir=args.cache_dir).stats()
+        print(render_key_points(stats.as_dict(), title="Result cache"))
     return 0
 
 
@@ -601,6 +783,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        library = logging.getLogger("repro")
+        library.addHandler(handler)
+        library.setLevel(getattr(logging, args.log_level.upper()))
     commands = {
         "list": lambda: _command_list(),
         "figure": lambda: _command_figure(args),
@@ -610,6 +800,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": lambda: _command_simulate(args),
         "batch": lambda: _command_batch(args),
         "estimate": lambda: _command_estimate(args),
+        "stats": lambda: _command_stats(args),
         "cache": lambda: _command_cache(args),
     }
     command = commands.get(args.command)
@@ -618,6 +809,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     try:
         return command()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print: a normal exit,
+        # not a traceback.
+        sys.stderr.close()
+        return 0
     except ConfigurationError as error:
         # Configuration problems (an engine refusing a domain, out-of-range
         # --compromised, an infeasible distribution, ...) are usage errors:

@@ -30,6 +30,7 @@ clear error instead of a silent statistical downgrade.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
@@ -40,9 +41,13 @@ from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
 from repro.routing.strategies import PathSelectionStrategy
 from repro.simulation.results import _Z_95 as Z_95
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import trace_span
 from repro.utils.rng import RandomSource, ensure_rng
 
 __all__ = ["AdaptiveRun", "AdaptiveScheduler", "STOP_PRECISION", "STOP_BUDGET", "STOP_WALL_CLOCK", "STOP_EXACT"]
+
+logger = logging.getLogger(__name__)
 
 #: Stop reasons reported by :class:`AdaptiveRun`.
 STOP_PRECISION = "precision"      #: the CI half-width target was reached
@@ -77,6 +82,12 @@ class AdaptiveRun:
     def deterministic(self) -> bool:
         """Whether the outcome is a pure function of ``(seed, block_size)``."""
         return self.stop_reason != STOP_WALL_CLOCK
+
+    @property
+    def convergence_history(self) -> tuple[tuple[int, float], ...]:
+        """Per-round ``(cumulative trials, CI half-width)`` — the diagnostics
+        name for :attr:`trajectory`, surfaced by ``--metrics`` and ``--json``."""
+        return self.trajectory
 
 
 class AdaptiveScheduler:
@@ -142,6 +153,33 @@ class AdaptiveScheduler:
             strategy = PathSelectionStrategy(
                 name=strategy.name, distribution=strategy
             )
+        backend_name = getattr(self.backend, "name", type(self.backend).__name__)
+        with trace_span("adaptive.run", backend=backend_name) as span:
+            run = self._run(model, strategy, rng)
+            span.annotate(
+                rounds=run.rounds,
+                stop_reason=run.stop_reason,
+                n_trials=run.n_trials,
+            )
+        telemetry = get_registry()
+        if telemetry.enabled:
+            telemetry.counter("adaptive_rounds_total").inc(run.rounds)
+            telemetry.counter("adaptive_stops_total", reason=run.stop_reason).inc()
+        logger.debug(
+            "adaptive run stopped: reason=%s rounds=%d trials=%d half_width=%.6g",
+            run.stop_reason,
+            run.rounds,
+            run.n_trials,
+            run.half_width,
+        )
+        return run
+
+    def _run(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        rng: RandomSource,
+    ) -> AdaptiveRun:
         started = time.perf_counter()
         if getattr(self.backend, "name", None) == "exact":
             report = self.backend.estimate(model, strategy, rng=rng)

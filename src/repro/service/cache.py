@@ -20,6 +20,7 @@ foreign file is detected (and treated as a miss) instead of being misread.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 from collections import OrderedDict
@@ -29,8 +30,11 @@ from pathlib import Path
 from repro.exceptions import ConfigurationError
 from repro.service.request import EstimateRequest
 from repro.simulation.results import EstimateWithCI
+from repro.telemetry.metrics import get_registry
 
 __all__ = ["CachedEstimate", "CacheStats", "ResultCache"]
+
+logger = logging.getLogger(__name__)
 
 #: On-disk entry schema version; bumped on incompatible layout changes.
 ENTRY_VERSION = 1
@@ -181,20 +185,33 @@ class ResultCache:
 
         A disk hit is promoted into the memory tier.
         """
+        telemetry = get_registry()
         with self._lock:
             cached = self._memory.get(digest)
             if cached is not None:
                 self._memory.move_to_end(digest)
                 self._memory_hits += 1
-                return cached
+        if cached is not None:
+            if telemetry.enabled:
+                telemetry.counter("cache_hits_total", tier="memory").inc()
+            logger.debug("cache memory hit for %s", digest[:16])
+            return cached
         cached = self._read_disk(digest)
         with self._lock:
             if cached is None:
                 self._misses += 1
-                return None
-            self._disk_hits += 1
-            self._remember(digest, cached)
-            return cached
+            else:
+                self._disk_hits += 1
+                self._remember(digest, cached)
+        if cached is None:
+            if telemetry.enabled:
+                telemetry.counter("cache_misses_total").inc()
+            logger.debug("cache miss for %s", digest[:16])
+        else:
+            if telemetry.enabled:
+                telemetry.counter("cache_hits_total", tier="disk").inc()
+            logger.debug("cache disk hit for %s (promoted to memory)", digest[:16])
+        return cached
 
     def put(self, request: EstimateRequest, cached: CachedEstimate) -> str:
         """Store a result under its request's digest; returns the digest.
@@ -205,8 +222,11 @@ class ResultCache:
         just-computed result.
         """
         digest = request.digest()
+        telemetry = get_registry()
         with self._lock:
             self._remember(digest, cached)
+        if telemetry.enabled:
+            telemetry.counter("cache_stores_total", tier="memory").inc()
         if self._dir is not None:
             payload = json.dumps(
                 _encode_entry(request, cached), sort_keys=True, indent=1
@@ -220,6 +240,16 @@ class ResultCache:
             except OSError:
                 with self._lock:
                     self._write_failures += 1
+                if telemetry.enabled:
+                    telemetry.counter("cache_store_failures_total").inc()
+                logger.debug(
+                    "cache disk write failed for %s; entry kept in memory only",
+                    digest[:16],
+                )
+            else:
+                if telemetry.enabled:
+                    telemetry.counter("cache_stores_total", tier="disk").inc()
+                logger.debug("cache stored %s to %s", digest[:16], path)
         return digest
 
     def _remember(self, digest: str, cached: CachedEstimate) -> None:

@@ -25,6 +25,7 @@ service's wall-clock ceiling — are returned but never cached.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -36,8 +37,12 @@ from repro.exceptions import ConfigurationError
 from repro.service.adaptive import AdaptiveRun, AdaptiveScheduler
 from repro.service.cache import CachedEstimate, CacheStats, ResultCache
 from repro.service.request import EstimateRequest
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import trace_span
 
 __all__ = ["EstimationService", "ServiceResult"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,17 @@ class ServiceResult:
     elapsed_seconds: float
     #: Per-round ``(cumulative trials, CI half-width)``; empty on cache hits.
     trajectory: tuple[tuple[int, float], ...] = ()
+
+    @property
+    def convergence_history(self) -> tuple[tuple[int, float], ...]:
+        """Per-round ``(cumulative trials, CI half-width)`` — the diagnostics
+        name for :attr:`trajectory` (matches ``AdaptiveRun``)."""
+        return self.trajectory
+
+    @property
+    def half_width(self) -> float:
+        """Achieved 95% CI half-width in bits."""
+        return self.report.estimate.ci_high - self.report.estimate.mean
 
     @property
     def n_trials(self) -> int:
@@ -116,42 +132,56 @@ class EstimationService:
         """
         started = time.perf_counter()
         digest = request.digest()
-        cached = self._cache.get(digest)
-        if cached is not None:
-            return self._from_cache(digest, cached, started)
-        with self._lock:
-            pending = self._inflight.get(digest)
-            if pending is None:
-                owner = True
-                pending = Future()
-                self._inflight[digest] = pending
-            else:
-                owner = False
-        if not owner:
-            result: ServiceResult = pending.result()
-            # Re-stamp the wait as this caller's elapsed time, from cache's
-            # point of view: the bits were computed exactly once.
-            return ServiceResult(
-                digest=result.digest,
-                report=result.report,
-                rounds=result.rounds,
-                converged=result.converged,
-                stop_reason=result.stop_reason,
-                from_cache=True,
-                elapsed_seconds=time.perf_counter() - started,
-                trajectory=(),
-            )
-        try:
-            result = self._compute(request, digest, started)
-        except BaseException as error:
-            pending.set_exception(error)
-            raise
-        else:
-            pending.set_result(result)
-            return result
-        finally:
+        telemetry = get_registry()
+        if telemetry.enabled:
+            telemetry.counter("service_requests_total").inc()
+        with trace_span("service.estimate", digest=digest[:16]) as span:
+            cached = self._cache.get(digest)
+            if cached is not None:
+                span.annotate(outcome="cache_hit")
+                return self._from_cache(digest, cached, started)
             with self._lock:
-                self._inflight.pop(digest, None)
+                pending = self._inflight.get(digest)
+                if pending is None:
+                    owner = True
+                    pending = Future()
+                    self._inflight[digest] = pending
+                    if telemetry.enabled:
+                        telemetry.gauge("service_inflight").set(len(self._inflight))
+                else:
+                    owner = False
+            if not owner:
+                if telemetry.enabled:
+                    telemetry.counter("service_dedup_hits_total").inc()
+                logger.debug("coalesced duplicate request %s in flight", digest[:16])
+                span.annotate(outcome="dedup_hit")
+                result: ServiceResult = pending.result()
+                # Re-stamp the wait as this caller's elapsed time, from cache's
+                # point of view: the bits were computed exactly once.
+                return ServiceResult(
+                    digest=result.digest,
+                    report=result.report,
+                    rounds=result.rounds,
+                    converged=result.converged,
+                    stop_reason=result.stop_reason,
+                    from_cache=True,
+                    elapsed_seconds=time.perf_counter() - started,
+                    trajectory=(),
+                )
+            span.annotate(outcome="computed")
+            try:
+                result = self._compute(request, digest, started)
+            except BaseException as error:
+                pending.set_exception(error)
+                raise
+            else:
+                pending.set_result(result)
+                return result
+            finally:
+                with self._lock:
+                    self._inflight.pop(digest, None)
+                    if telemetry.enabled:
+                        telemetry.gauge("service_inflight").set(len(self._inflight))
 
     def submit(self, request: EstimateRequest) -> "Future[ServiceResult]":
         """Queue one request on the bounded worker pool; returns a future."""

@@ -1,0 +1,81 @@
+"""Telemetry: metrics, tracing, and exposition for the estimation stack.
+
+A zero-dependency observability layer with an off-by-default cost model:
+
+:mod:`repro.telemetry.metrics`
+    :class:`MetricsRegistry` — counters, gauges, and histograms with an
+    injectable monotonic clock (deterministic under a fake clock), plus the
+    no-op :data:`NULL_REGISTRY` that makes disabled instrumentation one
+    attribute read per hot-path chunk.
+:mod:`repro.telemetry.tracing`
+    :func:`trace_span` — hierarchical, thread-local span context managers
+    recorded into the registry's span log and ``span_seconds`` histograms.
+:mod:`repro.telemetry.export`
+    JSON and Prometheus text exposition, CLI table/tree renderers, and
+    snapshot files (the CI metrics artifact).
+
+Instrumented layers: ``TrialEngine.run_accumulate`` (per-chunk trials and
+timings), ``ShardedBackend`` (per-shard worker timings), ``ResultCache``
+(hit/miss/store counters), ``AdaptiveScheduler`` (convergence history and
+stop reasons), and ``EstimationService`` (spans, single-flight dedup,
+in-flight gauge).  Enable collection with :func:`activate`::
+
+    from repro.telemetry import activate, render_text
+
+    with activate() as telemetry:
+        service.estimate(request)
+    print(render_text(telemetry.snapshot()))
+
+The metric catalogue, span hierarchy, and overhead contract live in
+``docs/observability.md``.
+"""
+
+from repro.telemetry.export import (
+    load_snapshot,
+    render_json,
+    render_prometheus,
+    render_span_tree,
+    render_text,
+    write_snapshot,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_RATE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    activate,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry.tracing import Span, SpanRecord, current_span_path, trace_span
+
+__all__ = [
+    # Registry and primitives
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_RATE_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "activate",
+    # Tracing
+    "trace_span",
+    "Span",
+    "SpanRecord",
+    "current_span_path",
+    # Exposition
+    "render_json",
+    "render_prometheus",
+    "render_text",
+    "render_span_tree",
+    "write_snapshot",
+    "load_snapshot",
+]

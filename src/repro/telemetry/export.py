@@ -1,0 +1,204 @@
+"""Exposition: registry snapshots as JSON, Prometheus text, and CLI tables.
+
+Everything renders from the plain-dict snapshot of
+:meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`, so the formats can
+never disagree with each other, and a snapshot written to disk
+(:func:`write_snapshot` — the CI bench job's metrics artifact) renders
+identically later (``repro-anon stats --metrics-file``).
+
+Three renderers:
+
+:func:`render_json`
+    The snapshot itself, indented — the machine-readable interchange form.
+:func:`render_prometheus`
+    Prometheus text exposition (version 0.0.4): counters as ``_total``-style
+    samples, histograms as cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count``, every name prefixed ``repro_``.  Ready for a
+    scrape endpoint when the ROADMAP's HTTP gateway lands.
+:func:`render_text` / :func:`render_span_tree`
+    Human-readable tables for the CLI's ``--metrics`` / ``--trace`` output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.metrics import get_registry
+
+__all__ = [
+    "render_json",
+    "render_prometheus",
+    "render_text",
+    "render_span_tree",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+#: Prefix stamped on every Prometheus metric name, namespacing the package.
+PROMETHEUS_PREFIX = "repro_"
+
+
+def _snapshot(source) -> dict:
+    """Accept a registry, a snapshot dict, or ``None`` (the active registry)."""
+    if source is None:
+        return get_registry().snapshot()
+    if isinstance(source, dict):
+        return source
+    return source.snapshot()
+
+
+def render_json(source=None, indent: int = 2) -> str:
+    """The snapshot as indented JSON (deterministic key order)."""
+    return json.dumps(_snapshot(source), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition                                              #
+# ---------------------------------------------------------------------- #
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(source=None, prefix: str = PROMETHEUS_PREFIX) -> str:
+    """Prometheus text-format exposition of every counter/gauge/histogram.
+
+    Histogram buckets are cumulative with a final ``le="+Inf"`` sample equal
+    to ``_count``, per the exposition format; span durations appear as the
+    ``span_seconds`` histogram family labelled by span path.
+    """
+    snapshot = _snapshot(source)
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {prefix}{name} {kind}")
+
+    for entry in snapshot["counters"]:
+        _header(entry["name"], "counter")
+        lines.append(
+            f"{prefix}{entry['name']}{_label_suffix(entry['labels'])} "
+            f"{entry['value']:g}"
+        )
+    for entry in snapshot["gauges"]:
+        _header(entry["name"], "gauge")
+        lines.append(
+            f"{prefix}{entry['name']}{_label_suffix(entry['labels'])} "
+            f"{entry['value']:g}"
+        )
+    for entry in snapshot["histograms"]:
+        name = entry["name"]
+        _header(name, "histogram")
+        for edge, cumulative in entry["buckets"]:
+            le = "+Inf" if edge == "+Inf" else f"{float(edge):g}"
+            lines.append(
+                f"{prefix}{name}_bucket"
+                f"{_label_suffix(entry['labels'], {'le': le})} {cumulative}"
+            )
+        suffix = _label_suffix(entry["labels"])
+        lines.append(f"{prefix}{name}_sum{suffix} {entry['sum']:g}")
+        lines.append(f"{prefix}{name}_count{suffix} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# Human-readable renderings (CLI)                                         #
+# ---------------------------------------------------------------------- #
+
+
+def _series_name(entry: dict) -> str:
+    labels = entry["labels"]
+    if not labels:
+        return entry["name"]
+    body = ", ".join(f"{key}={value}" for key, value in sorted(labels.items()))
+    return f"{entry['name']}{{{body}}}"
+
+
+def render_text(source=None) -> str:
+    """Counters, gauges, and histogram summaries as an aligned text block."""
+    snapshot = _snapshot(source)
+    rows: list[tuple[str, str]] = []
+    for entry in snapshot["counters"]:
+        rows.append((_series_name(entry), f"{entry['value']:g}"))
+    for entry in snapshot["gauges"]:
+        rows.append((_series_name(entry), f"{entry['value']:g}"))
+    for entry in snapshot["histograms"]:
+        if not entry["count"]:
+            continue
+        rows.append(
+            (
+                _series_name(entry),
+                f"count={entry['count']} sum={entry['sum']:.6g} "
+                f"min={entry['min']:.6g} mean={entry['mean']:.6g} "
+                f"max={entry['max']:.6g}",
+            )
+        )
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+def render_span_tree(source=None) -> str:
+    """The span log as an indented tree, in completion order.
+
+    Indentation follows each span's recorded path depth, so nested stages
+    read as a call tree even though spans are logged on completion
+    (children therefore appear above the parent that contains them).
+    """
+    snapshot = _snapshot(source)
+    spans = snapshot["spans"]
+    if not spans:
+        return "(no spans recorded)"
+    lines = []
+    for span in spans:
+        depth = span["path"].count("/")
+        attributes = "".join(
+            f" {key}={value}" for key, value in sorted(span["attributes"].items())
+        )
+        lines.append(
+            f"{'  ' * depth}{span['path'].rsplit('/', 1)[-1]} "
+            f"[{span['duration']:.6f}s]{attributes}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot files                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def write_snapshot(path, source=None) -> Path:
+    """Write the snapshot as JSON to ``path``; returns the path.
+
+    This is the interchange file of the observability surface: the CI bench
+    job uploads one as an artifact, and ``repro-anon stats --metrics-file``
+    renders one back in any format.
+    """
+    path = Path(path)
+    path.write_text(render_json(source) + "\n", encoding="ascii")
+    return path
+
+
+def load_snapshot(path) -> dict:
+    """Read a snapshot written by :func:`write_snapshot` (schema-checked)."""
+    data = json.loads(Path(path).read_text(encoding="ascii"))
+    if not isinstance(data, dict) or "counters" not in data:
+        raise ValueError(f"{path} is not a telemetry snapshot")
+    return data

@@ -1,0 +1,509 @@
+"""Zero-dependency metrics: counters, gauges, histograms, and a registry.
+
+The estimation stack — ``TrialEngine.run_accumulate`` chunks, the sharded
+worker pool, the result cache, the adaptive scheduler, and the service facade
+— reports what it does through one :class:`MetricsRegistry`.  Three primitive
+kinds cover everything the stack needs:
+
+:class:`Counter`
+    A monotone sum (trials processed, cache hits, adaptive stops).
+:class:`Gauge`
+    A settable level (in-flight requests).
+:class:`Histogram`
+    A bucketed distribution with exact ``count``/``sum``/``min``/``max``
+    (chunk wall times, per-chunk trials/sec, span durations).  Bucket bounds
+    are cumulative upper edges, Prometheus-style.
+
+Metrics are identified by ``(name, labels)``: the same name with different
+label values (``engine="five-class"`` vs ``engine="cycle"``) is a family of
+independent series.  All mutation is thread-safe — the service's worker
+threads share one registry.
+
+**Determinism for tests** — the registry takes an injectable monotonic
+``clock`` (default :func:`time.perf_counter`); every duration the telemetry
+layer measures (span timings, chunk timings) reads this clock, so a test can
+drive a fake clock and assert exact histogram contents.
+
+**Off-by-default cost** — the process-wide active registry starts as the
+:data:`NULL_REGISTRY`, whose metric handles are shared no-op singletons and
+whose ``enabled`` flag lets hot paths skip even the timing reads::
+
+    telemetry = get_registry()
+    if telemetry.enabled:
+        started = telemetry.clock()
+        ...
+
+With telemetry disabled the per-chunk cost is one attribute read and one
+branch; ``benchmarks/bench_overhead.py`` holds this under 5% of chunk time.
+Enable collection with :func:`set_registry` or the :func:`activate` context
+manager; see ``docs/observability.md`` for the metric catalogue.
+"""
+
+from __future__ import annotations
+
+import bisect
+import logging
+import re
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_RATE_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "activate",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Snapshot schema version; bumped on incompatible layout changes so saved
+#: snapshots (CI artifacts, ``repro-anon stats`` inputs) are never misread.
+SNAPSHOT_VERSION = 1
+
+#: Default histogram bucket upper edges for durations in seconds: 100 µs up
+#: to one minute, roughly geometric, wide enough for a chunk and a request.
+DEFAULT_TIME_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Default bucket upper edges for throughput rates (trials/sec): the engines
+#: span ~1e3 (hop-by-hop) to ~1e8 (numpy kernels).
+DEFAULT_RATE_BUCKETS = (
+    1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8,
+)
+
+#: Metric names follow the Prometheus convention so exposition never has to
+#: mangle them: lowercase words joined by underscores.
+_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+
+def _canonical_labels(labels: dict) -> tuple[tuple[str, str], ...]:
+    """Sort and stringify a label mapping — the identity of one series."""
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotone sum; :meth:`inc` by non-negative amounts only."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A settable level that can move both ways (e.g. in-flight requests)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with exact count/sum/min/max.
+
+    ``buckets`` are the finite upper edges; an implicit ``+Inf`` bucket
+    catches the overflow, so :attr:`bucket_counts` has ``len(buckets) + 1``
+    entries and the last one equals :attr:`count` when rendered cumulatively.
+    """
+
+    __slots__ = (
+        "name", "labels", "buckets", "_counts", "_count", "_sum",
+        "_min", "_max", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        edges = tuple(sorted(float(edge) for edge in buckets))
+        if not edges:
+            raise ConfigurationError(f"histogram {name!r} needs >= 1 bucket edge")
+        self.name = name
+        self.labels = labels
+        self.buckets = edges
+        self._counts = [0] * (len(edges) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (``inf`` when empty)."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest observation (``-inf`` when empty)."""
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (``nan`` when empty)."""
+        return self._sum / self._count if self._count else float("nan")
+
+    def bucket_counts(self) -> tuple[tuple[float, int], ...]:
+        """Cumulative ``(upper_edge, count)`` pairs, ``+Inf`` last."""
+        with self._lock:
+            cumulative = []
+            running = 0
+            for edge, count in zip(self.buckets, self._counts):
+                running += count
+                cumulative.append((edge, running))
+            cumulative.append((float("inf"), running + self._counts[-1]))
+        return tuple(cumulative)
+
+
+class MetricsRegistry:
+    """One process-local family of metrics plus a bounded span log.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source used for *every* duration the telemetry layer
+        measures (spans, engine chunk timings).  Injectable so tests drive a
+        fake clock and get bit-deterministic snapshots; defaults to
+        :func:`time.perf_counter`.
+    max_spans:
+        Capacity of the finished-span log (oldest dropped first).  Span
+        *aggregates* — the ``span_seconds`` histogram per span path — are
+        unbounded and never dropped.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None, max_spans: int = 1024) -> None:
+        if max_spans < 1:
+            raise ConfigurationError(f"max_spans must be >= 1, got {max_spans}")
+        self.clock = clock if clock is not None else time.perf_counter
+        self._metrics: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=max_spans)
+
+    # ------------------------------------------------------------------ #
+    # Metric handles                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _metric(self, kind: str, factory, name: str, labels: dict, **extra):
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(
+                f"metric name {name!r} must match [a-z_][a-z0-9_]* "
+                "(lowercase words joined by underscores)"
+            )
+        key = (kind, name, _canonical_labels(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory(name, key[2], **extra)
+                self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter registered under ``(name, labels)`` (created on demand)."""
+        return self._metric("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge registered under ``(name, labels)`` (created on demand)."""
+        return self._metric("gauge", Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        """The histogram under ``(name, labels)``; ``buckets`` applies on creation."""
+        return self._metric("histogram", Histogram, name, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+    # Spans                                                               #
+    # ------------------------------------------------------------------ #
+
+    def record_span(self, record) -> None:
+        """Log one finished :class:`~repro.telemetry.tracing.SpanRecord`.
+
+        The record lands in the bounded span log *and* feeds the per-path
+        ``span_seconds`` histogram, so aggregates survive even after the raw
+        log wraps.
+        """
+        self._spans.append(record)
+        self.histogram("span_seconds", span=record.path).observe(record.duration)
+
+    @property
+    def spans(self) -> tuple:
+        """Finished spans, oldest first (bounded by ``max_spans``)."""
+        return tuple(self._spans)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot                                                            #
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """One JSON-able view of every metric and the span log.
+
+        Series are sorted by ``(name, labels)``, histograms carry their
+        cumulative buckets, and nothing in the result depends on insertion
+        order — under a fake clock the snapshot is fully deterministic.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda kv: (kv[0][1], kv[0][2]))
+        counters, gauges, histograms = [], [], []
+        for (kind, name, labels), metric in items:
+            entry = {"name": name, "labels": dict(labels)}
+            if kind == "counter":
+                entry["value"] = metric.value
+                counters.append(entry)
+            elif kind == "gauge":
+                entry["value"] = metric.value
+                gauges.append(entry)
+            else:
+                count = metric.count
+                entry.update(
+                    count=count,
+                    sum=metric.sum,
+                    min=metric.min if count else None,
+                    max=metric.max if count else None,
+                    mean=metric.mean if count else None,
+                    buckets=[
+                        [edge if edge != float("inf") else "+Inf", total]
+                        for edge, total in metric.bucket_counts()
+                    ],
+                )
+                histograms.append(entry)
+        return {
+            "schema": SNAPSHOT_VERSION,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": [
+                {
+                    "path": record.path,
+                    "name": record.name,
+                    "start": record.start,
+                    "duration": record.duration,
+                    "attributes": dict(record.attributes),
+                }
+                for record in self._spans
+            ],
+        }
+
+    def reset(self) -> None:
+        """Drop every metric and span (tests and long-lived services)."""
+        with self._lock:
+            self._metrics.clear()
+        self._spans.clear()
+
+
+# ---------------------------------------------------------------------- #
+# The disabled path                                                       #
+# ---------------------------------------------------------------------- #
+
+
+class _NullCounter:
+    """Shared no-op counter: the disabled path's ``inc`` costs one call."""
+
+    __slots__ = ()
+    name = "null"
+    labels = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    labels = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    labels = ()
+    buckets = ()
+    count = 0
+    sum = 0.0
+    min = float("inf")
+    max = float("-inf")
+    mean = float("nan")
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def bucket_counts(self) -> tuple:
+        return ()
+
+
+class NullRegistry:
+    """The off-by-default registry: every handle is a shared no-op singleton.
+
+    Hot paths check :attr:`enabled` before reading the clock, so with the
+    null registry active the instrumentation cost is one attribute read and
+    one branch per chunk — the ≤5% overhead bound of
+    ``benchmarks/bench_overhead.py`` rests on this class staying trivial.
+    """
+
+    enabled = False
+    clock = staticmethod(time.perf_counter)
+
+    _counter = _NullCounter()
+    _gauge = _NullGauge()
+    _histogram = _NullHistogram()
+
+    def counter(self, name: str, **labels) -> _NullCounter:
+        return self._counter
+
+    def gauge(self, name: str, **labels) -> _NullGauge:
+        return self._gauge
+
+    def histogram(self, name: str, buckets=DEFAULT_TIME_BUCKETS, **labels):
+        return self._histogram
+
+    def record_span(self, record) -> None:
+        pass
+
+    @property
+    def spans(self) -> tuple:
+        return ()
+
+    def snapshot(self) -> dict:
+        return {
+            "schema": SNAPSHOT_VERSION,
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+            "spans": [],
+        }
+
+    def reset(self) -> None:
+        pass
+
+
+#: The process-wide disabled registry; ``get_registry()`` starts here.
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The active registry (the :data:`NULL_REGISTRY` unless one was set)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | None):
+    """Install ``registry`` as the active one; returns the previous registry.
+
+    Passing ``None`` restores the disabled :data:`NULL_REGISTRY`.  Prefer the
+    :func:`activate` context manager, which restores the previous registry on
+    exit, for scoped collection.
+    """
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    logger.debug(
+        "telemetry %s", "enabled" if _active.enabled else "disabled"
+    )
+    return previous
+
+
+@contextmanager
+def activate(registry: MetricsRegistry | None = None, clock=None):
+    """Collect telemetry inside a ``with`` block; yields the live registry.
+
+    ``registry=None`` creates a fresh :class:`MetricsRegistry` (with
+    ``clock``, when given).  The previously active registry — usually the
+    null one — is restored on exit, so collection never leaks out of scope::
+
+        with activate() as telemetry:
+            service.estimate(request)
+        print(render_text(telemetry.snapshot()))
+    """
+    if registry is None:
+        registry = MetricsRegistry(clock=clock)
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous if previous is not NULL_REGISTRY else None)

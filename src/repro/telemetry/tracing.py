@@ -1,0 +1,136 @@
+"""Hierarchical tracing: ``trace_span`` context managers over the registry clock.
+
+A *span* is one timed stage of a request.  Spans nest through a thread-local
+stack, so their paths reconstruct the call hierarchy without any plumbing::
+
+    with trace_span("service.estimate", digest=digest[:16]):
+        with trace_span("adaptive.run", backend="batch"):
+            ...
+
+produces the paths ``service.estimate`` and
+``service.estimate/adaptive.run``.  On exit a span is recorded into the
+active :class:`~repro.telemetry.metrics.MetricsRegistry` — appended to its
+bounded span log and observed into the per-path ``span_seconds`` histogram —
+and logged at ``DEBUG`` with its duration, both read from the registry's
+injectable clock (so fake-clock tests see exact durations, and debug logs
+agree with the metrics to the tick).
+
+With telemetry disabled (the null registry) ``trace_span`` yields a shared
+no-op span without reading the clock or touching the stack: the disabled
+path is one ``enabled`` check.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.telemetry.metrics import get_registry
+
+__all__ = ["SpanRecord", "Span", "trace_span", "current_span_path"]
+
+logger = logging.getLogger(__name__)
+
+_local = threading.local()
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: its path in the hierarchy, timing, and attributes."""
+
+    #: Slash-joined ancestry, e.g. ``service.estimate/adaptive.run``.
+    path: str
+    #: The leaf name this span was opened with.
+    name: str
+    #: Registry-clock reading when the span opened.
+    start: float
+    #: Registry-clock seconds between open and close.
+    duration: float
+    #: Sorted ``(key, value)`` string pairs attached at open or via annotate.
+    attributes: tuple[tuple[str, str], ...]
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (0 for a root span)."""
+        return self.path.count("/")
+
+
+class Span:
+    """The live handle yielded inside a ``with trace_span(...)`` block."""
+
+    __slots__ = ("path", "name", "_attributes")
+
+    def __init__(self, path: str, name: str, attributes: dict) -> None:
+        self.path = path
+        self.name = name
+        self._attributes = {str(k): str(v) for k, v in attributes.items()}
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes discovered mid-span (e.g. a resolved engine name)."""
+        for key, value in attributes.items():
+            self._attributes[str(key)] = str(value)
+
+    def attribute_items(self) -> tuple[tuple[str, str], ...]:
+        return tuple(sorted(self._attributes.items()))
+
+
+class _NullSpan:
+    """Shared no-op span for the disabled path."""
+
+    __slots__ = ()
+    path = ""
+    name = ""
+
+    def annotate(self, **attributes) -> None:
+        pass
+
+    def attribute_items(self) -> tuple:
+        return ()
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def current_span_path() -> str:
+    """The path of the innermost open span on this thread ('' outside spans)."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else ""
+
+
+@contextmanager
+def trace_span(name: str, registry=None, **attributes):
+    """Time one stage; record it into the (given or active) registry on exit.
+
+    The span is recorded even when the block raises — a failed stage still
+    shows up in the trace with its duration.  Nested calls on the same thread
+    extend the path with ``/``; concurrent threads each carry their own
+    stack, so parallel requests trace independently.
+    """
+    telemetry = registry if registry is not None else get_registry()
+    if not telemetry.enabled:
+        yield _NULL_SPAN
+        return
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    path = f"{stack[-1]}/{name}" if stack else name
+    span = Span(path, name, attributes)
+    stack.append(path)
+    started = telemetry.clock()
+    try:
+        yield span
+    finally:
+        duration = telemetry.clock() - started
+        stack.pop()
+        telemetry.record_span(
+            SpanRecord(
+                path=path,
+                name=name,
+                start=started,
+                duration=duration,
+                attributes=span.attribute_items(),
+            )
+        )
+        logger.debug("span %s: %.6fs", path, duration)

@@ -206,7 +206,10 @@ class TestEngineRegistry:
             # The worker path: round-trip the task through pickle (what the
             # spawn pool does) and run it without consulting the registry.
             task = pickle.loads(pickle.dumps(tasks[0]))
-            accumulator = _run_shard(task)
+            shard = _run_shard(task)
+            assert shard.engine_name == _ConstantEngine.name
+            assert shard.n_trials == task.n_trials
+            accumulator = shard.accumulator
             assert accumulator.classes == {
                 "constant-class": (task.n_trials, 1.5, False)
             }
