@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.adversary.observation import Observation, RECEIVER
+from repro.adversary.observation import Observation, RECEIVER, observation_from_path
 from repro.combinatorics.arrangements import count_arrangements, total_paths
 from repro.combinatorics.fragments import FragmentSet
 from repro.combinatorics.walks import (
@@ -54,11 +54,150 @@ from repro.combinatorics.walks import (
     normalized_free_walks,
 )
 from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.core.topology import TopologyPathLaw
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError, InferenceError
-from repro.utils.mathx import entropy_bits, falling_factorial
+from repro.utils.mathx import entropy_bits, falling_factorial, kahan_sum
 
-__all__ = ["SenderPosterior", "BayesianPathInference"]
+__all__ = [
+    "SenderPosterior",
+    "BayesianPathInference",
+    "TopologyClassTable",
+    "observation_class_key",
+]
+
+
+def observation_class_key(
+    observation: Observation, adversary: AdversaryModel
+) -> tuple:
+    """Canonical observation-class key, matching the exhaustive analyzer's.
+
+    Two observations with the same key are indistinguishable to the given
+    adversary and therefore share one exact posterior.  The key shapes mirror
+    ``ExhaustiveAnalyzer._observation_key`` exactly — ``("origin", node)``
+    for a betrayed compromised sender, ``("pred", node, predecessor)`` /
+    ``("pred-silent",)`` for the Crowds-style adversary, and
+    ``("obs", reports, receiver_report)`` otherwise — so joint tables built
+    from observations and from enumerated paths are directly comparable.
+    """
+    if observation.origin_node is not None:
+        return ("origin", observation.origin_node)
+    reports: list[tuple] = []
+    for report in observation.hop_reports:
+        successor = "R" if report.successor == RECEIVER else report.successor
+        if adversary is AdversaryModel.POSITION_AWARE:
+            if report.position is None:
+                raise InferenceError(
+                    f"a position-aware adversary needs hop positions, but the "
+                    f"report from node {report.node} carries none"
+                )
+            reports.append(
+                (report.node, report.position, report.predecessor, successor)
+            )
+        else:
+            reports.append((report.node, report.predecessor, successor))
+    if adversary is AdversaryModel.PREDECESSOR_ONLY:
+        if reports:
+            return ("pred", reports[0][0], reports[0][1])
+        return ("pred-silent",)
+    receiver_report = None
+    if observation.receiver_report is not None:
+        receiver_report = observation.receiver_report.predecessor
+    return ("obs", tuple(reports), receiver_report)
+
+
+class TopologyClassTable:
+    """Exact observation classes of one topology-routed configuration.
+
+    Enumerates every ``(sender, path)`` outcome of the
+    :class:`~repro.core.topology.TopologyPathLaw`, derives each outcome's
+    observation through the reference threat model
+    (:func:`~repro.adversary.observation.observation_from_path`), and
+    accumulates the exact joint distribution ``Pr[sender, class]``.  This is
+    the topology counterpart of the clique symmetry classes: the batch
+    ``topology`` engine scores its class keys from this table, the Bayesian
+    inference engine reads posteriors out of it, and
+    :meth:`exact_degree` reproduces the exhaustive analyzer's ``H*`` to
+    floating-point agreement by construction.
+    """
+
+    def __init__(
+        self,
+        model: SystemModel,
+        distribution: PathLengthDistribution,
+        compromised: frozenset[int] | set[int] | None = None,
+        law: TopologyPathLaw | None = None,
+    ) -> None:
+        if model.topology is None:
+            raise ConfigurationError(
+                "TopologyClassTable needs a model that carries a topology"
+            )
+        if compromised is None:
+            compromised = model.compromised_nodes()
+        self._model = model
+        self._distribution = distribution
+        self._compromised = frozenset(compromised)
+        if law is None:
+            law = TopologyPathLaw(
+                model.topology,
+                allow_cycles=model.path_model is PathModel.CYCLE_ALLOWED,
+                length_probs=dict(distribution.items()),
+            )
+        self._law = law
+        n = model.n_nodes
+        prior = 1.0 / n
+        joint: dict[tuple, list[float]] = {}
+        for sender in range(n):
+            for _length, path, probability in law.entries(sender):
+                observation = observation_from_path(
+                    sender,
+                    path,
+                    self._compromised,
+                    receiver_compromised=model.receiver_compromised,
+                )
+                key = observation_class_key(observation, model.adversary)
+                weights = joint.get(key)
+                if weights is None:
+                    weights = [0.0] * n
+                    joint[key] = weights
+                weights[sender] += prior * probability
+        self._joint = {key: tuple(w) for key, w in joint.items()}
+
+    @property
+    def law(self) -> TopologyPathLaw:
+        """The path law the table was built from."""
+        return self._law
+
+    @property
+    def joint(self) -> dict[tuple, tuple[float, ...]]:
+        """Exact joint ``Pr[sender, class]`` indexed by class key."""
+        return self._joint
+
+    def weights(self, key: tuple) -> tuple[float, ...]:
+        """Per-sender joint weights of one class key."""
+        try:
+            return self._joint[key]
+        except KeyError:
+            raise InferenceError(
+                f"observation class {key!r} cannot arise on topology "
+                f"{self._model.topology.spec} under this configuration"
+            ) from None
+
+    def exact_degree(self) -> float:
+        """Exact ``H*(S)`` from the class table — no sampling involved.
+
+        Identical (to floating-point accumulation order) to
+        ``ExhaustiveAnalyzer.anonymity_degree`` on the same model, which the
+        topology parity tests assert to ``1e-10``.
+        """
+        degree = 0.0
+        for weights in self._joint.values():
+            total = kahan_sum(weights)
+            if total <= 0.0:
+                continue
+            posterior = [w / total for w in weights]
+            degree += total * entropy_bits(posterior)
+        return degree
 
 
 @dataclass(frozen=True)
@@ -125,6 +264,9 @@ class BayesianPathInference:
             )
         if any(not 0 <= node < model.n_nodes for node in self._compromised):
             raise ConfigurationError("compromised node identities must lie in [0, N)")
+        #: Lazily-built class table for non-clique topologies; the clique
+        #: branches below never pay for it.
+        self._topology_table: TopologyClassTable | None = None
 
     # ------------------------------------------------------------------ #
     # Public API                                                          #
@@ -148,6 +290,8 @@ class BayesianPathInference:
     def posterior(self, observation: Observation) -> SenderPosterior:
         """Exact posterior over senders given one observation."""
         adversary = self._model.adversary
+        if not self._model.clique_routing:
+            return self._posterior_topology(observation)
         if self._model.path_model is PathModel.CYCLE_ALLOWED:
             return self._posterior_cycle(observation)
         if adversary is AdversaryModel.FULL_BAYES:
@@ -157,6 +301,35 @@ class BayesianPathInference:
         if adversary is AdversaryModel.PREDECESSOR_ONLY:
             return self._posterior_predecessor_only(observation)
         raise ConfigurationError(f"unsupported adversary model {adversary!r}")
+
+    # ------------------------------------------------------------------ #
+    # Arbitrary topologies                                                #
+    # ------------------------------------------------------------------ #
+
+    def _posterior_topology(self, observation: Observation) -> SenderPosterior:
+        """Exact posterior on a non-clique topology, via the class table.
+
+        The clique branches exploit relabelling symmetry that a general graph
+        does not have, so topology inference compares the observation's
+        canonical class key against the exact joint distribution enumerated
+        from the :class:`~repro.core.topology.TopologyPathLaw`.  Posterior
+        computation stays exact — only the table construction cost depends on
+        the topology's path count.
+        """
+        if observation.origin_node is not None:
+            return self._delta_posterior(observation.origin_node)
+        table = self.topology_table()
+        key = observation_class_key(observation, self._model.adversary)
+        weights = table.weights(key)
+        return self._normalise(dict(enumerate(weights)))
+
+    def topology_table(self) -> TopologyClassTable:
+        """The (lazily built) exact class table of a topology-routed model."""
+        if self._topology_table is None:
+            self._topology_table = TopologyClassTable(
+                self._model, self._distribution, self._compromised
+            )
+        return self._topology_table
 
     # ------------------------------------------------------------------ #
     # FULL_BAYES                                                          #

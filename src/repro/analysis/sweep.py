@@ -79,6 +79,12 @@ def _degree_evaluator(
                 "sampling backends; the 'exact' backend takes none "
                 "(pass e.g. backend='sharded' to use workers/shards)"
             )
+        if not model.clique_routing:
+            # The closed forms assume a clique; exact topology sweeps go
+            # through full enumeration (small N only — it raises beyond).
+            from repro.core.enumeration import ExhaustiveAnalyzer
+
+            return ExhaustiveAnalyzer(model).anonymity_degree
         return AnonymityAnalyzer(model).anonymity_degree
     generator = ensure_rng(rng)
     # Resolve the backend once per sweep so stateful engines (e.g. the
@@ -136,6 +142,7 @@ def _service_evaluator(
             adversary=model.adversary.value,
             receiver_compromised=model.receiver_compromised,
             path_model=model.path_model.value,
+            topology=None if model.topology is None else model.topology.spec,
             backend=backend_name,
             backend_options=tuple(sorted((backend_options or {}).items())),
             # precision=None keeps the sweep's fixed n_trials budget — passing

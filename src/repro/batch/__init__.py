@@ -93,6 +93,7 @@ from repro.batch.estimator import BatchAccumulator, BatchMonteCarlo
 from repro.batch.multiclass import ClassScoreTable, count_class_keys
 from repro.batch.sampler import BatchTrialSampler, MultiTrialSampler
 from repro.batch.sharded import ShardedBackend, split_trials
+from repro.batch.topoengine import TopologyEngine, TopologyTrialBlock
 
 __all__ = [
     "HAVE_NUMPY",
@@ -115,6 +116,8 @@ __all__ = [
     "ArrangementEngine",
     "CycleBatchEngine",
     "MultiCycleEngine",
+    "TopologyEngine",
+    "TopologyTrialBlock",
     "available_engines",
     "get_engine",
     "register_engine",

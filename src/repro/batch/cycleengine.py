@@ -189,7 +189,8 @@ class CycleBatchEngine(TrialEngine):
     @classmethod
     def covers(cls, model, strategy, compromised) -> bool:
         return (
-            strategy.path_model is PathModel.CYCLE_ALLOWED
+            model.clique_routing
+            and strategy.path_model is PathModel.CYCLE_ALLOWED
             and len(compromised) == 1
         )
 
@@ -228,7 +229,8 @@ class MultiCycleEngine(CycleBatchEngine):
     @classmethod
     def covers(cls, model, strategy, compromised) -> bool:
         return (
-            strategy.path_model is PathModel.CYCLE_ALLOWED
+            model.clique_routing
+            and strategy.path_model is PathModel.CYCLE_ALLOWED
             and len(compromised) != 1
         )
 

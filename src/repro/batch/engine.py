@@ -391,7 +391,8 @@ class FiveClassEngine(TrialEngine):
     @classmethod
     def covers(cls, model, strategy, compromised) -> bool:
         return (
-            strategy.path_model is PathModel.SIMPLE
+            model.clique_routing
+            and strategy.path_model is PathModel.SIMPLE
             and len(compromised) == 1
             and model.receiver_compromised
         )
@@ -463,7 +464,7 @@ class ArrangementEngine(TrialEngine):
 
     @classmethod
     def covers(cls, model, strategy, compromised) -> bool:
-        return strategy.path_model is PathModel.SIMPLE
+        return model.clique_routing and strategy.path_model is PathModel.SIMPLE
 
     def sample_block(self, n_trials: int, generator):
         return self._sampler.draw(n_trials, generator, use_numpy=self.use_numpy)

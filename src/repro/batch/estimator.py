@@ -35,9 +35,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-# Importing the cycle engines registers them alongside the simple-path
-# engines that repro.batch.engine registers at import.
+# Importing the cycle and topology engines registers them alongside the
+# simple-path engines that repro.batch.engine registers at import.
 import repro.batch.cycleengine  # noqa: F401  (registration side effect)
+import repro.batch.topoengine  # noqa: F401  (registration side effect)
 from repro.batch.engine import BatchAccumulator, TrialEngine, select_engine
 from repro.core.model import SystemModel
 from repro.distributions.base import PathLengthDistribution

@@ -1,0 +1,251 @@
+"""The ``topology`` trial engine: vectorized estimation on arbitrary graphs.
+
+The four clique engines (``five-class``, ``arrangement``, ``cycle``,
+``cycle-multi``) all rest on relabelling symmetry: honest identities are
+interchangeable, so classes can be keyed by *pattern* instead of identity.
+On a general topology that symmetry is gone — a star's hub and a leaf are
+different worlds — so this engine takes the graph-general route:
+
+``sample_block``
+    One trial is two bulk draws: a uniform sender and one uniform float that
+    indexes the sender's flattened inverse-CDF over every enumerated
+    ``(length, path)`` outcome of the
+    :class:`~repro.core.topology.TopologyPathLaw`.  The table bakes the law's
+    exact probabilities (row-normalised transition walks for cycle paths,
+    per-sender renormalised uniform simple paths) into one cumulative array
+    per sender, so the sampled outcomes follow the law exactly and the draw
+    count per trial is fixed — part of the ``(seed -> bits)`` determinism
+    contract shared by the pure-Python and NumPy kernels.
+``classify``
+    Each enumerated outcome's observation-class key is precomputed at
+    construction (identity-carrying keys — no canonical relabelling), so a
+    block classifies with one gather plus a bincount.
+``score``
+    Classes are priced from the exact joint table of
+    :class:`~repro.adversary.inference.TopologyClassTable` — the same table
+    the topology-aware Bayesian inference reads — so batch estimates and the
+    exhaustive analyzer agree on every class entropy to floating point.
+
+The engine covers *both* path models on any connected non-clique topology at
+any number of compromised nodes; construction cost is the path enumeration
+(bounded by the law's per-(sender, length) cap), after which sampling is
+O(log paths) per trial.  :meth:`TopologyEngine.exact_degree` exposes the
+zero-variance degree of the underlying class table for parity tests and
+experiments.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.adversary.inference import TopologyClassTable, observation_class_key
+from repro.adversary.observation import observation_from_path
+from repro.batch._accel import resolve_use_numpy
+from repro.batch.engine import TrialEngine, register_engine
+from repro.core.model import PathModel, SystemModel
+from repro.core.topology import TopologyPathLaw
+from repro.exceptions import ConfigurationError
+from repro.routing.strategies import PathSelectionStrategy
+from repro.simulation.results import IDENTIFIED_THRESHOLD
+from repro.utils.mathx import entropy_bits, kahan_sum
+
+__all__ = ["TopologyEngine", "TopologyTrialBlock", "CHUNK_TRIALS"]
+
+#: Trials per columnar block; matches the cycle engines and is part of the
+#: (seed -> bits) determinism contract.
+CHUNK_TRIALS = 65_536
+
+
+@dataclass(frozen=True)
+class TopologyTrialBlock:
+    """One columnar block of resolved topology trials.
+
+    ``senders`` / ``lengths`` / ``keys`` are parallel columns (lists in the
+    pure kernel, int64 arrays in the NumPy kernel); ``keys`` holds the
+    precomputed class id of each trial's enumerated outcome, so
+    classification never revisits paths.
+    """
+
+    senders: object
+    lengths: object
+    keys: object
+
+    def as_numpy(self):
+        """The three columns as NumPy int64 arrays (senders, lengths, keys)."""
+        import numpy as np
+
+        return (
+            np.asarray(self.senders, dtype=np.int64),
+            np.asarray(self.lengths, dtype=np.int64),
+            np.asarray(self.keys, dtype=np.int64),
+        )
+
+
+class TopologyEngine(TrialEngine):
+    """Columnar Monte-Carlo kernel for any connected non-clique topology."""
+
+    name = "topology"
+    chunk_trials = CHUNK_TRIALS
+
+    def __init__(
+        self,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        compromised: frozenset[int],
+        use_numpy: bool | None = None,
+    ) -> None:
+        super().__init__(model, strategy, compromised, use_numpy)
+        if model.topology is None:
+            raise ConfigurationError(
+                "the topology engine needs a model that carries a topology; "
+                "clique models run on the symmetry engines"
+            )
+        table_model = model.with_path_model(strategy.path_model).with_compromised(
+            len(self.compromised)
+        )
+        law = TopologyPathLaw(
+            model.topology,
+            allow_cycles=strategy.path_model is PathModel.CYCLE_ALLOWED,
+            length_probs=dict(self._distribution.items()),
+        )
+        self._table = TopologyClassTable(
+            table_model, self._distribution, self.compromised, law=law
+        )
+
+        # Flatten every (sender, length, path) outcome into global parallel
+        # arrays: a per-sender cumulative-probability ramp for inverse-CDF
+        # sampling plus the outcome's length and class id.
+        n = model.n_nodes
+        key_ids: dict[tuple, int] = {}
+        self._entry_lengths: list[int] = []
+        self._entry_keys: list[int] = []
+        self._offsets: list[int] = []
+        self._cum: list[list[float]] = []
+        for sender in range(n):
+            self._offsets.append(len(self._entry_lengths))
+            running = 0.0
+            ramp: list[float] = []
+            for length, path, probability in law.entries(sender):
+                observation = observation_from_path(
+                    sender,
+                    path,
+                    self.compromised,
+                    receiver_compromised=model.receiver_compromised,
+                )
+                key = observation_class_key(observation, model.adversary)
+                key_id = key_ids.setdefault(key, len(key_ids))
+                running += probability
+                ramp.append(running)
+                self._entry_lengths.append(length)
+                self._entry_keys.append(key_id)
+            self._cum.append(ramp)
+
+        # Exact per-class scores, priced once from the joint table.
+        self._scores: list[tuple[float, bool]] = []
+        for key, _key_id in sorted(key_ids.items(), key=lambda item: item[1]):
+            weights = self._table.weights(key)
+            total = kahan_sum(weights)
+            posterior = [w / total for w in weights]
+            self._scores.append(
+                (entropy_bits(posterior), max(posterior) >= IDENTIFIED_THRESHOLD)
+            )
+
+        self._np_cache = None
+
+    @classmethod
+    def covers(cls, model, strategy, compromised) -> bool:
+        return not model.clique_routing
+
+    # ------------------------------------------------------------------ #
+    # The three stages                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _numpy_tables(self):
+        if self._np_cache is None:
+            import numpy as np
+
+            self._np_cache = (
+                [np.asarray(ramp, dtype=np.float64) for ramp in self._cum],
+                np.asarray(self._offsets, dtype=np.int64),
+                np.asarray(self._entry_lengths, dtype=np.int64),
+                np.asarray(self._entry_keys, dtype=np.int64),
+            )
+        return self._np_cache
+
+    def sample_block(self, n_trials: int, generator) -> TopologyTrialBlock:
+        n = self.model.n_nodes
+        senders = generator.integers(0, n, size=n_trials)
+        draws = generator.random(n_trials)
+        if resolve_use_numpy(self.use_numpy):
+            import numpy as np
+
+            ramps, offsets, lengths, keys = self._numpy_tables()
+            entry = np.empty(n_trials, dtype=np.int64)
+            for sender in range(n):
+                mask = senders == sender
+                if not mask.any():
+                    continue
+                ramp = ramps[sender]
+                local = np.searchsorted(ramp, draws[mask], side="right")
+                np.minimum(local, len(ramp) - 1, out=local)
+                entry[mask] = offsets[sender] + local
+            return TopologyTrialBlock(
+                senders=senders.astype(np.int64),
+                lengths=lengths[entry],
+                keys=keys[entry],
+            )
+        sender_list = [int(s) for s in senders]
+        length_col: list[int] = []
+        key_col: list[int] = []
+        for sender, draw in zip(sender_list, draws):
+            ramp = self._cum[sender]
+            local = bisect_right(ramp, draw)
+            if local >= len(ramp):
+                local = len(ramp) - 1
+            index = self._offsets[sender] + local
+            length_col.append(self._entry_lengths[index])
+            key_col.append(self._entry_keys[index])
+        return TopologyTrialBlock(
+            senders=sender_list, lengths=length_col, keys=key_col
+        )
+
+    def classify(self, block) -> dict[object, tuple[int, int | None]]:
+        if resolve_use_numpy(self.use_numpy):
+            import numpy as np
+
+            histogram = np.bincount(
+                block.as_numpy()[2], minlength=len(self._scores)
+            )
+            return {
+                key_id: (int(count), None)
+                for key_id, count in enumerate(histogram)
+                if count
+            }
+        return {
+            key_id: (count, None)
+            for key_id, count in sorted(Counter(block.keys).items())
+        }
+
+    def score(self, key, block, representative) -> tuple[float, bool]:
+        return self._scores[key]
+
+    # ------------------------------------------------------------------ #
+    # Exact results                                                       #
+    # ------------------------------------------------------------------ #
+
+    def exact_degree(self) -> float:
+        """Zero-variance ``H*`` of the engine's class table (no sampling).
+
+        Agrees with ``ExhaustiveAnalyzer.anonymity_degree`` on the same
+        configuration to floating point; the topology parity tests pin the
+        two to ``1e-10``.
+        """
+        return self._table.exact_degree()
+
+
+# Registered after the clique built-ins (see repro.batch.estimator): the
+# registry is walked latest-first, and the covers() predicates keep the
+# domains disjoint anyway — clique models never reach this engine.
+register_engine(TopologyEngine.name, TopologyEngine)

@@ -67,6 +67,7 @@ from repro.batch.backends import available_backends, estimate_anonymity
 from repro.exceptions import ConfigurationError
 from repro.core.anonymity import AnonymityAnalyzer
 from repro.core.model import AdversaryModel, SystemModel
+from repro.core.topology import Topology
 from repro.core.optimizer import best_fixed_length, best_uniform_for_mean, optimize_distribution
 from repro.distributions import (
     FixedLength,
@@ -285,6 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--trials", type=_positive_int, default=100_000)
     batch.add_argument("--seed", type=int, default=0)
     batch.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="route over a restricted graph (ring | star | grid:RxC | "
+        "regular:D:SEED | two-zone:A:B:BRIDGES | adj:HEX); default is the "
+        "paper's clique",
+    )
+    batch.add_argument(
         "--backend",
         choices=available_backends(),
         default="batch",
@@ -342,6 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard ceiling on total trials",
     )
     estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="route over a restricted graph (ring | star | grid:RxC | "
+        "regular:D:SEED | two-zone:A:B:BRIDGES | adj:HEX); 'clique' and the "
+        "default digest identically to pre-topology requests",
+    )
     estimate.add_argument(
         "--backend",
         choices=available_backends(),
@@ -510,13 +527,19 @@ def _command_batch(args: argparse.Namespace) -> int:
     if backend_options is None:
         return 2
     strategy = _resolve_strategy(args)
-    if args.backend == "exact" and not _exact_backend_covers(args, strategy):
+    topology = (
+        None if args.topology is None else Topology.from_spec(args.topology, args.n)
+    )
+    if topology is not None and topology.is_clique:
+        topology = None
+    if args.backend == "exact" and not _exact_backend_covers(args, strategy, topology):
         return 2
     model = SystemModel(
         n_nodes=args.n,
         n_compromised=args.compromised,
         path_model=strategy.path_model,
         adversary=AdversaryModel(args.adversary),
+        topology=topology,
     )
     distribution = strategy.effective_distribution(args.n)
     started = time.perf_counter()
@@ -539,8 +562,12 @@ def _command_batch(args: argparse.Namespace) -> int:
     }
     if args.workers is not None and args.backend == "sharded":
         lines["workers"] = args.workers
-    if model.n_compromised == 1 and strategy.path_model is PathModel.SIMPLE:
-        # The closed form covers the paper's C=1 simple-path domain only.
+    if (
+        model.n_compromised == 1
+        and strategy.path_model is PathModel.SIMPLE
+        and model.clique_routing
+    ):
+        # The closed form covers the paper's C=1 simple-path clique domain only.
         exact = AnonymityAnalyzer(
             model.with_path_model(PathModel.SIMPLE)
         ).anonymity_degree(distribution)
@@ -570,7 +597,9 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _exact_backend_covers(
-    args: argparse.Namespace, strategy: PathSelectionStrategy
+    args: argparse.Namespace,
+    strategy: PathSelectionStrategy,
+    topology: Topology | None = None,
 ) -> bool:
     """Check the closed form's domain, naming the engine that covers the rest.
 
@@ -593,6 +622,14 @@ def _exact_backend_covers(
             f"error: the exact backend covers the closed form's C=1 domain "
             f"only, got --compromised {args.compromised}; use --backend batch "
             "(the arrangement-class engine) or sharded",
+            file=sys.stderr,
+        )
+        return False
+    if topology is not None:
+        print(
+            f"error: the exact backend evaluates the clique closed form, but "
+            f"--topology {args.topology} restricts routing; use --backend "
+            "batch (the topology engine) or sharded",
             file=sys.stderr,
         )
         return False
@@ -632,6 +669,7 @@ def _command_estimate(args: argparse.Namespace) -> int:
         n_compromised=args.compromised,
         adversary=args.adversary,
         path_model=strategy.path_model.value,
+        topology=args.topology,
         backend=args.backend,
         backend_options=tuple(sorted(backend_options.items())),
         precision=args.precision,
@@ -683,7 +721,11 @@ def _command_estimate(args: argparse.Namespace) -> int:
         "request digest": result.digest[:16],
         "estimated H*": str(report.estimate),
     }
-    if args.compromised == 1 and strategy.path_model is PathModel.SIMPLE:
+    if (
+        args.compromised == 1
+        and strategy.path_model is PathModel.SIMPLE
+        and request.topology is None
+    ):
         exact = AnonymityAnalyzer(request.model()).anonymity_degree(
             request.strategy().effective_distribution(args.n)
         )

@@ -32,9 +32,36 @@ small multiplier at the end.  :func:`normalized_avoiding_walks` and
 :func:`normalized_free_walks` package the multi-node-avoidance form directly
 against the ``(N-1)**-e`` hop law, so a segment factor for any ``C`` stays a
 number in ``[0, 1]``.
+
+Normalisation contract
+----------------------
+Every ``normalized_*`` function in this module divides a raw walk count by
+the total number of walks of the same step count under the **unrestricted
+hop law** of the full system — ``(N - 1)**e`` on the clique, the product of
+the traversed nodes' degrees on a general topology — never by the count of
+walks inside the restricted (honest) subgraph.  The returned value is
+therefore exactly the *probability* that a uniformly-forwarded message
+realises such a walk, lies in ``[0, 1]``, and can be multiplied across
+arbitrarily many segments without overflow.  Callers that need raw counts
+must use the integer forms (:func:`clique_walks`, :func:`walk_count_matrix`).
+
+The avoided set must leave at least one allowed node: ``n_avoid`` is valid
+on ``0 <= n_avoid < n_nodes``, and :func:`normalized_avoiding_walks` /
+:func:`normalized_free_walks` raise a precise
+:class:`~repro.exceptions.ConfigurationError` (never an assert) describing
+both bounds when ``n_avoid`` is negative or ``n_avoid >= n_nodes``.
+
+Beyond the clique, the same quantities follow from matrix powers of an
+arbitrary topology's adjacency matrix: :func:`walk_count_matrix` gives the
+exact integer counts ``(A**e)[u][v]`` and :func:`normalized_walk_matrix` the
+overflow-safe transition-probability powers ``(T**e)[u][v]`` restricted to
+the honest subgraph, which reduce to the spectral clique closed forms above
+when the topology is complete (property-tested in ``tests/test_properties.py``).
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
 
 from repro.exceptions import ConfigurationError
 
@@ -44,6 +71,8 @@ __all__ = [
     "normalized_avoiding_walks",
     "normalized_free_walks",
     "total_cycle_paths",
+    "walk_count_matrix",
+    "normalized_walk_matrix",
 ]
 
 
@@ -115,9 +144,14 @@ def _check_avoidance(n_nodes: int, n_avoid: int) -> int:
     """Validate an avoidance configuration; returns the honest clique size."""
     if n_nodes < 2:
         raise ConfigurationError(f"cycle paths need at least 2 nodes, got {n_nodes}")
-    if not 0 <= n_avoid < n_nodes:
+    if n_avoid < 0:
         raise ConfigurationError(
-            f"can avoid between 0 and N-1 of {n_nodes} nodes, got {n_avoid}"
+            f"the avoided-node count cannot be negative, got n_avoid={n_avoid}"
+        )
+    if n_avoid >= n_nodes:
+        raise ConfigurationError(
+            f"avoiding n_avoid={n_avoid} of {n_nodes} nodes leaves no node to "
+            f"walk on; n_avoid must be at most N-1 = {n_nodes - 1}"
         )
     return n_nodes - n_avoid
 
@@ -157,3 +191,109 @@ def normalized_free_walks(n_nodes: int, n_avoid: int, edges: int) -> float:
     if edges < 0:
         raise ConfigurationError(f"edge count must be >= 0, got {edges}")
     return ((m_allowed - 1) / (n_nodes - 1)) ** edges
+
+
+# ---------------------------------------------------------------------- #
+# Graph-general walk counts: powers of an arbitrary adjacency matrix       #
+# ---------------------------------------------------------------------- #
+
+
+def _check_adjacency(adjacency: Sequence[Sequence[int]]) -> int:
+    n = len(adjacency)
+    if n < 2:
+        raise ConfigurationError(f"walk counting needs at least 2 nodes, got {n}")
+    for row in adjacency:
+        if len(row) != n:
+            raise ConfigurationError(
+                f"adjacency matrix must be square, got a row of length {len(row)} "
+                f"in an {n}-node matrix"
+            )
+    return n
+
+
+def walk_count_matrix(
+    adjacency: Sequence[Sequence[int]], edges: int
+) -> tuple[tuple[int, ...], ...]:
+    """Exact integer ``edges``-step walk counts: the matrix power ``A**e``.
+
+    ``adjacency`` is a 0/1 matrix (any topology, the clique included); entry
+    ``[u][v]`` of the result counts the walks of exactly ``edges`` steps from
+    ``u`` to ``v``.  Plain-integer arithmetic keeps the counts exact at any
+    size — the graph-general analogue of :func:`clique_walks`, to which it
+    reduces entrywise on the complete graph.
+    """
+    n = _check_adjacency(adjacency)
+    if edges < 0:
+        raise ConfigurationError(f"edge count must be >= 0, got {edges}")
+    power = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+    base = [[int(v) for v in row] for row in adjacency]
+    for _ in range(edges):
+        power = [
+            [
+                sum(power[i][k] * base[k][j] for k in range(n) if power[i][k])
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+    return tuple(tuple(row) for row in power)
+
+
+def normalized_walk_matrix(
+    adjacency: Sequence[Sequence[int]],
+    edges: int,
+    avoid: Iterable[int] = (),
+) -> tuple[tuple[float, ...], ...]:
+    """Transition-probability powers restricted to the honest subgraph.
+
+    Entry ``[u][v]`` is the probability that a message forwarded uniformly
+    over the current holder's neighbours performs an ``edges``-step walk from
+    ``u`` to ``v`` whose every vertex — endpoints included — lies outside the
+    ``avoid`` set.  Rows and columns of avoided nodes are zeroed *before*
+    taking the power, so mass that would traverse a compromised node is
+    dropped rather than renormalised; per the module's normalisation
+    contract the values stay in ``[0, 1]`` at any walk length.
+
+    On the complete graph with ``C`` avoided nodes this reduces to
+    ``normalized_avoiding_walks(N, C, e, closed)`` entrywise for honest
+    ``u``/``v`` — the overflow-safe clique closed form.
+    """
+    n = _check_adjacency(adjacency)
+    if edges < 0:
+        raise ConfigurationError(f"edge count must be >= 0, got {edges}")
+    avoided = {int(node) for node in avoid}
+    if any(not 0 <= node < n for node in avoided):
+        raise ConfigurationError(
+            f"avoided node identities must lie in [0, {n}), got {sorted(avoided)}"
+        )
+    if len(avoided) >= n:
+        raise ConfigurationError(
+            f"avoiding {len(avoided)} of {n} nodes leaves no node to walk on; "
+            f"the avoided set must leave at least one honest node"
+        )
+    degrees = [sum(row) for row in adjacency]
+    if any(degree == 0 for degree in degrees):
+        raise ConfigurationError(
+            "every node needs at least one neighbour to define the hop law"
+        )
+    transition = [
+        [
+            (adjacency[i][j] / degrees[i])
+            if i not in avoided and j not in avoided
+            else 0.0
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+    power = [
+        [1.0 if i == j and i not in avoided else 0.0 for j in range(n)]
+        for i in range(n)
+    ]
+    for _ in range(edges):
+        power = [
+            [
+                sum(power[i][k] * transition[k][j] for k in range(n))
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+    return tuple(tuple(row) for row in power)

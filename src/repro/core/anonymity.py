@@ -96,6 +96,12 @@ class AnonymityAnalyzer:
                 "The paper's model assumes the receiver is compromised; set "
                 "receiver_compromised=True or use the enumeration engine."
             )
+        if not model.clique_routing:
+            raise ConfigurationError(
+                "AnonymityAnalyzer's closed forms assume clique routing; topology "
+                f"{model.topology.spec} needs repro.core.enumeration (exact) or "
+                "the topology batch engine (estimates)."
+            )
         self._model = model
 
     # ------------------------------------------------------------------ #

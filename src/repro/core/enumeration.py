@@ -27,6 +27,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.core.topology import TopologyPathLaw
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
 from repro.utils.mathx import entropy_bits, kahan_sum
@@ -97,6 +98,21 @@ class ExhaustiveAnalyzer:
         joint: dict[ObservationKey, list[float]] = defaultdict(lambda: [0.0] * n)
         sender_prior = 1.0 / n
 
+        if not model.clique_routing:
+            # Topology-restricted paths are not equiprobable (degrees differ
+            # and some lengths are infeasible per sender), so the shared path
+            # law supplies each outcome's exact probability.
+            law = TopologyPathLaw(
+                model.topology,
+                allow_cycles=model.path_model is PathModel.CYCLE_ALLOWED,
+                length_probs=dict(distribution.items()),
+            )
+            for sender in range(n):
+                for _length, path, probability in law.entries(sender):
+                    key = self._observation_key(sender, path, compromised)
+                    joint[key][sender] += sender_prior * probability
+            return dict(joint)
+
         for sender in range(n):
             for length, length_prob in distribution.items():
                 paths = list(self._paths(sender, length))
@@ -120,6 +136,10 @@ class ExhaustiveAnalyzer:
                     f"distribution {distribution.name} exceeds the maximum simple-path "
                     f"length {model.max_simple_path_length} for N={model.n_nodes}"
                 )
+        if not model.clique_routing:
+            # The topology path law enforces its own per-(sender, length)
+            # enumeration cap; the clique count formulas below do not apply.
+            return
         for length in distribution.support:
             count = self._path_count(length)
             if count > _MAX_PATHS_PER_LENGTH:

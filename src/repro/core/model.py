@@ -30,6 +30,7 @@ import enum
 import math
 from dataclasses import dataclass, field, replace
 
+from repro.core.topology import Topology
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
@@ -77,6 +78,13 @@ class SystemModel:
     receiver_compromised:
         Whether the receiver reports its predecessor.  The paper always
         assumes it does; turning it off is useful for sensitivity studies.
+    topology:
+        The next-hop graph over the node identities
+        (:class:`~repro.core.topology.Topology`).  ``None`` — the default —
+        means the paper's clique: every node forwards to every other node.
+        A non-clique topology routes the model through the graph-general
+        engines (exhaustive enumeration, the topology-aware inference, the
+        batch ``topology`` engine).
     """
 
     n_nodes: int
@@ -84,6 +92,7 @@ class SystemModel:
     path_model: PathModel = PathModel.SIMPLE
     adversary: AdversaryModel = AdversaryModel.FULL_BAYES
     receiver_compromised: bool = True
+    topology: Topology | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_nodes, "n_nodes")
@@ -100,6 +109,16 @@ class SystemModel:
             raise ConfigurationError(f"path_model must be a PathModel, got {self.path_model!r}")
         if not isinstance(self.adversary, AdversaryModel):
             raise ConfigurationError(f"adversary must be an AdversaryModel, got {self.adversary!r}")
+        if self.topology is not None:
+            if not isinstance(self.topology, Topology):
+                raise ConfigurationError(
+                    f"topology must be a Topology, got {self.topology!r}"
+                )
+            if self.topology.n_nodes != self.n_nodes:
+                raise ConfigurationError(
+                    f"topology {self.topology.spec} has {self.topology.n_nodes} "
+                    f"nodes but the model has n_nodes={self.n_nodes}"
+                )
 
     # ------------------------------------------------------------------ #
     # Derived quantities                                                   #
@@ -119,6 +138,16 @@ class SystemModel:
     def max_entropy(self) -> float:
         """Upper bound ``log2(N)`` on the anonymity degree (paper, Section 5.1)."""
         return math.log2(self.n_nodes)
+
+    @property
+    def clique_routing(self) -> bool:
+        """True when every node may forward to every other node.
+
+        This is the domain of the clique closed forms and the symmetry-based
+        batch engines; a ``False`` here routes estimation through the
+        graph-general topology machinery.
+        """
+        return self.topology is None or self.topology.is_clique
 
     def compromised_nodes(self) -> frozenset[int]:
         """A canonical compromised set: the first ``C`` node identities.
@@ -151,10 +180,16 @@ class SystemModel:
         """
         return replace(self, path_model=path_model)
 
+    def with_topology(self, topology: Topology | None) -> "SystemModel":
+        """Copy of this model routed over a different topology (``None`` = clique)."""
+        return replace(self, topology=topology)
+
     def describe(self) -> str:
         """One-line human-readable description used in reports and benchmarks."""
+        topology = "" if self.topology is None else f", topology={self.topology.spec}"
         return (
             f"N={self.n_nodes}, C={self.n_compromised}, "
             f"paths={self.path_model.value}, adversary={self.adversary.value}, "
             f"receiver {'compromised' if self.receiver_compromised else 'honest'}"
+            f"{topology}"
         )

@@ -20,6 +20,7 @@ from repro.experiments.extensions import (
     protocol_comparison,
     sharded_validation,
     simulation_validation,
+    topology_validation,
 )
 from repro.experiments.fig3 import figure3a, figure3b
 from repro.experiments.fig4 import figure4a, figure4b, figure4c, figure4d
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentData]] = {
     "ext-shard": sharded_validation,
     "ext-adaptive": adaptive_validation,
     "ext-cycle": cycle_validation,
+    "ext-topology": topology_validation,
 }
 
 

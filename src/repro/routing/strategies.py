@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.model import PathModel
+from repro.core.topology import Topology
 from repro.distributions import (
     FixedLength,
     GeometricLength,
@@ -25,10 +26,19 @@ from repro.distributions import (
 )
 from repro.exceptions import ConfigurationError
 from repro.routing.path import ReroutingPath
-from repro.routing.selection import NodeSelector, selector_for
+from repro.routing.selection import (
+    NodeSelector,
+    TopologySimplePathSelector,
+    selector_for,
+)
 from repro.utils.rng import RandomSource, ensure_rng
 
 __all__ = ["PathSelectionStrategy", "deployed_system_strategies"]
+
+#: Bound on length redraws when a sampled length is infeasible for the sender
+#: on a sparse topology; exceeding it means the sender has (almost) no
+#: feasible length at all, which is a configuration error, not bad luck.
+_MAX_LENGTH_REDRAWS = 10_000
 
 
 @dataclass(frozen=True)
@@ -39,9 +49,14 @@ class PathSelectionStrategy:
     distribution: PathLengthDistribution
     path_model: PathModel = PathModel.SIMPLE
 
-    def selector(self, n_nodes: int) -> NodeSelector:
-        """The node-selection rule for a system of ``n_nodes`` nodes."""
-        return selector_for(self.path_model, n_nodes)
+    def selector(self, n_nodes: int, topology: Topology | None = None) -> NodeSelector:
+        """The node-selection rule for a system of ``n_nodes`` nodes.
+
+        A non-clique ``topology`` swaps in the graph-restricted selectors of
+        :mod:`repro.routing.selection`; ``None`` (or a clique) keeps the
+        paper's clique rules and their exact draw sequence.
+        """
+        return selector_for(self.path_model, n_nodes, topology)
 
     def effective_distribution(self, n_nodes: int) -> PathLengthDistribution:
         """The length distribution actually realisable in a system of ``n_nodes`` nodes.
@@ -56,14 +71,39 @@ class PathSelectionStrategy:
                 return self.distribution.truncated(cap)
         return self.distribution
 
-    def build_path(self, sender: int, n_nodes: int, rng: RandomSource = None) -> ReroutingPath:
-        """Draw one rerouting path for ``sender`` in a system of ``n_nodes`` nodes."""
+    def build_path(
+        self,
+        sender: int,
+        n_nodes: int,
+        rng: RandomSource = None,
+        topology: Topology | None = None,
+    ) -> ReroutingPath:
+        """Draw one rerouting path for ``sender`` in a system of ``n_nodes`` nodes.
+
+        On a non-clique ``topology`` with simple paths, a sampled length may
+        be infeasible for this particular sender; the length is then redrawn,
+        which realises exactly the per-sender renormalised length law
+        ``P(l) / Z_i`` that :class:`~repro.core.topology.TopologyPathLaw`
+        assigns (each feasible length keeps its relative probability).
+        """
         if not 0 <= sender < n_nodes:
             raise ConfigurationError(f"sender {sender} outside the node range [0, {n_nodes})")
         generator = ensure_rng(rng)
         distribution = self.effective_distribution(n_nodes)
+        selector = self.selector(n_nodes, topology)
         length = distribution.sample(generator)
-        return self.selector(n_nodes).select(sender, length, generator)
+        if isinstance(selector, TopologySimplePathSelector):
+            redraws = 0
+            while not selector.feasible(sender, length):
+                redraws += 1
+                if redraws > _MAX_LENGTH_REDRAWS:
+                    raise ConfigurationError(
+                        f"no feasible simple-path length for sender {sender} on "
+                        f"topology {topology.spec} after {_MAX_LENGTH_REDRAWS} "
+                        f"redraws from {distribution.name}"
+                    )
+                length = distribution.sample(generator)
+        return selector.select(sender, length, generator)
 
     def describe(self) -> str:
         """Readable one-liner used by reports and the CLI."""

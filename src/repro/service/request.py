@@ -30,6 +30,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field, fields
 
 from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.core.topology import Topology
 from repro.distributions import (
     BinomialLength,
     CategoricalLength,
@@ -49,8 +50,11 @@ __all__ = ["DistributionSpec", "EstimateRequest", "SPEC_FAMILIES"]
 #: Schema version baked into every canonical form.  Bump it whenever the
 #: canonical serialisation changes incompatibly: old cache entries then stop
 #: matching by digest instead of being misread.  Version 2 added the
-#: ``path_model`` field (cycle-allowed requests).
-CANONICAL_VERSION = 2
+#: ``path_model`` field (cycle-allowed requests); version 3 added the
+#: ``topology`` field.  Clique requests (``topology=None`` after
+#: normalisation) still emit the exact version-2 form — no ``topology`` key —
+#: so every pre-topology cache entry keeps matching by digest.
+CANONICAL_VERSION = 3
 
 #: Backend options that only change *how fast* the bits are produced, never
 #: which bits: kept on the request for execution, excluded from the digest.
@@ -267,6 +271,14 @@ class EstimateRequest:
         strategy builds simple paths or Crowds-style walks.  Cycle requests
         run on the vectorized cycle engines (any ``n_compromised``) and
         cache exactly like any other request.
+    topology:
+        A :meth:`~repro.core.topology.Topology.from_spec` string (``"ring"``,
+        ``"grid:2x3"``, ``"two-zone:3:3:1"``, ``"adj:<hex>"``, ...) routing
+        the request over a restricted graph; ``None`` or ``"clique"`` is the
+        paper's clique.  Clique specs normalise to ``None`` and digest
+        byte-identically to pre-topology requests; non-clique requests run on
+        the ``topology`` batch engine and carry the canonical spec string in
+        a version-3 canonical form.
     distribution:
         The :class:`DistributionSpec` of the path-length strategy (a live
         ``PathLengthDistribution`` is accepted and converted).
@@ -293,6 +305,7 @@ class EstimateRequest:
     adversary: str = AdversaryModel.FULL_BAYES.value
     receiver_compromised: bool = True
     path_model: str = PathModel.SIMPLE.value
+    topology: str | None = None
     backend: str = "batch"
     backend_options: tuple[tuple[str, object], ...] = ()
     precision: float | None = 0.01
@@ -315,6 +328,14 @@ class EstimateRequest:
         object.__setattr__(self, "n_nodes", int(self.n_nodes))
         object.__setattr__(self, "adversary", AdversaryModel(self.adversary).value)
         object.__setattr__(self, "path_model", PathModel(self.path_model).value)
+        if self.topology is not None:
+            parsed = Topology.from_spec(str(self.topology), self.n_nodes)
+            # A clique spec is the same executed configuration as no topology
+            # at all; normalising keeps its digest byte-identical to the
+            # pre-topology (version-2) canonical form.
+            object.__setattr__(
+                self, "topology", None if parsed.is_clique else parsed.spec
+            )
         object.__setattr__(self, "backend", str(self.backend))
         object.__setattr__(
             self, "backend_options", _canonical_options(dict(self.backend_options))
@@ -367,6 +388,11 @@ class EstimateRequest:
             path_model=PathModel(self.path_model),
             adversary=AdversaryModel(self.adversary),
             receiver_compromised=self.receiver_compromised,
+            topology=(
+                None
+                if self.topology is None
+                else Topology.from_spec(self.topology, self.n_nodes)
+            ),
         )
 
     def strategy(self) -> PathSelectionStrategy:
@@ -383,9 +409,15 @@ class EstimateRequest:
     # ------------------------------------------------------------------ #
 
     def canonical_dict(self) -> dict:
-        """The canonical serialisable form; the digest hashes exactly this."""
-        return {
-            "version": CANONICAL_VERSION,
+        """The canonical serialisable form; the digest hashes exactly this.
+
+        Clique requests (``topology is None``) emit the exact pre-topology
+        version-2 form — no ``topology`` key, ``"version": 2`` — so their
+        digests, and every cache entry written before topologies existed,
+        are unchanged.  Only non-clique requests carry the version-3 form.
+        """
+        data = {
+            "version": 2 if self.topology is None else CANONICAL_VERSION,
             "n_nodes": self.n_nodes,
             "n_compromised": self.n_compromised,
             "compromised": (
@@ -420,6 +452,9 @@ class EstimateRequest:
             "seed": self.seed,
             "max_trials": self.max_trials,
         }
+        if self.topology is not None:
+            data["topology"] = self.topology
+        return data
 
     def canonical_json(self) -> str:
         """Deterministic JSON encoding of :meth:`canonical_dict`."""
@@ -453,8 +488,9 @@ class EstimateRequest:
         precision = (
             "fixed budget" if self.precision is None else f"±{self.precision:g} bits"
         )
+        topology = "" if self.topology is None else f" {self.topology}"
         return (
             f"{self.distribution.family}{dict(self.distribution.params)} on "
-            f"N={self.n_nodes}, C={self.n_compromised} via {self.backend} "
+            f"N={self.n_nodes}{topology}, C={self.n_compromised} via {self.backend} "
             f"({precision}, seed={self.seed}, block={self.block_size})"
         )

@@ -102,7 +102,9 @@ class StrategyMonteCarlo:
         identified = 0
         for _ in range(n_trials):
             sender = int(generator.integers(0, self.model.n_nodes))
-            path = self.strategy.build_path(sender, self.model.n_nodes, generator)
+            path = self.strategy.build_path(
+                sender, self.model.n_nodes, generator, topology=self.model.topology
+            )
             observation = observation_from_path(
                 sender,
                 path.intermediates,

@@ -106,6 +106,16 @@ class TestRequestCanonicalization:
     def test_golden_digest_is_stable(self):
         assert EstimateRequest(**REFERENCE_KWARGS).digest() == REFERENCE_DIGEST
 
+    def test_clique_topology_spec_keeps_the_golden_digest(self):
+        # An explicit clique is the default routing model: it normalises to
+        # topology=None and must emit the byte-identical version-2 canonical
+        # form, so pre-topology on-disk caches stay valid.
+        request = EstimateRequest(**REFERENCE_KWARGS, topology="clique")
+        assert request.topology is None
+        assert request.digest() == REFERENCE_DIGEST
+        assert request.canonical_dict()["version"] == 2
+        assert "topology" not in request.canonical_dict()
+
     def test_equivalent_requests_hash_identically(self):
         base = EstimateRequest(**REFERENCE_KWARGS)
         live = EstimateRequest(
