@@ -15,28 +15,70 @@ extends its record with :func:`update_record` instead of clobbering it.
 ``python benchmarks/perf_record.py --summary`` consolidates every
 ``BENCH_*.json`` in the working directory into one ``BENCH_summary.json`` —
 the whole perf trajectory of a run as a single artifact, so the numbers can
-be diffed between CI runs as a unit.
+be diffed between CI runs as a unit.  ``--history BENCH_history.jsonl``
+additionally appends one compact line per record to a cross-run history
+file — keyed by benchmark, environment fingerprint, and git sha — which is
+what ``scripts/compare_bench.py --trend`` reads to flag drops against the
+rolling median of previous same-environment runs.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import sys
+import time
 from pathlib import Path
 
-__all__ = ["write_record", "update_record", "merge_records", "telemetry_breakdown"]
+__all__ = [
+    "write_record",
+    "update_record",
+    "merge_records",
+    "telemetry_breakdown",
+    "append_history",
+]
 
 #: File name of the consolidated record; excluded from its own merge.
 SUMMARY_NAME = "BENCH_summary.json"
 
+#: Default name of the cross-run perf-trajectory file (JSONL, one line/record).
+HISTORY_NAME = "BENCH_history.jsonl"
+
 
 def _environment() -> dict:
-    """The interpreter/machine block stamped into every record."""
-    return {
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
-    }
+    """The interpreter/machine block stamped into every record.
+
+    Uses the library's environment fingerprint when importable; CI invokes
+    this file without ``PYTHONPATH=src``, so fall back to the same two keys
+    the fingerprint is built from rather than failing the consolidate step.
+    """
+    try:
+        from repro.utils.env import environment_fingerprint
+    except ImportError:
+        return {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        }
+    return environment_fingerprint()
+
+
+def _git_sha() -> str:
+    """The commit the numbers came from: CI env var, then git, then unknown."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() or "unknown" if out.returncode == 0 else "unknown"
 
 
 def write_record(name: str, smoke: bool, config: dict, **results) -> Path:
@@ -154,6 +196,53 @@ def merge_records(directory: str | Path = ".") -> Path:
     return path
 
 
+def append_history(
+    directory: str | Path = ".",
+    history_path: str | Path = HISTORY_NAME,
+    git_sha: str | None = None,
+    timestamp: float | None = None,
+) -> int:
+    """Append one JSONL history line per ``BENCH_*.json`` record; returns how many.
+
+    Each line carries the benchmark name, smoke flag, timestamp, git sha,
+    environment fingerprint, the record's top-level *numeric* results, and
+    its config — the minimum ``compare_bench.py --trend`` needs to compare a
+    new number against previous runs of the same benchmark on the same
+    environment.  Appending (never rewriting) keeps the file a trajectory:
+    CI restores it from the previous run, adds today's lines, re-uploads.
+    """
+    directory = Path(directory)
+    history = Path(history_path)
+    sha = _git_sha() if git_sha is None else git_sha
+    recorded_at = time.time() if timestamp is None else timestamp
+    lines: list[str] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if path.name == SUMMARY_NAME:
+            continue
+        data = json.loads(path.read_text())
+        results = {
+            key: value
+            for key, value in data.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        entry = {
+            "benchmark": str(data.get("benchmark", path.stem)),
+            "smoke": bool(data.get("smoke", False)),
+            "recorded_at": recorded_at,
+            "git_sha": sha,
+            "environment": data.get("environment", _environment()),
+            "results": results,
+            "config": data.get("config", {}),
+        }
+        lines.append(json.dumps(entry, sort_keys=True))
+    if lines:
+        history.parent.mkdir(parents=True, exist_ok=True)
+        with history.open("a", encoding="ascii") as handle:
+            handle.write("\n".join(lines) + "\n")
+    print(f"[perf_record] appended {len(lines)} record(s) to {history.resolve()}")
+    return len(lines)
+
+
 if __name__ == "__main__":
     import argparse
 
@@ -166,8 +255,17 @@ if __name__ == "__main__":
     parser.add_argument(
         "--directory", default=".", help="directory holding the records"
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="also append one JSONL line per record to this cross-run "
+        "history file (read by compare_bench.py --trend)",
+    )
     arguments = parser.parse_args()
+    if not arguments.summary and arguments.history is None:
+        parser.error("nothing to do; pass --summary and/or --history")
     if arguments.summary:
         merge_records(arguments.directory)
-    else:
-        parser.error("nothing to do; pass --summary")
+    if arguments.history is not None:
+        append_history(arguments.directory, history_path=arguments.history)

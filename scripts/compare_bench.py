@@ -21,11 +21,24 @@ By default violations are warnings (exit 0), so the smoke job stays a
 trend monitor; ``--strict`` turns full-workload violations into exit code 1
 for jobs that run the real workloads.
 
+Beyond the static floors, ``--trend BENCH_history.jsonl`` checks the perf
+*trajectory*: the history file (appended by ``perf_record.py --history``,
+one JSONL line per benchmark per run) is grouped by ``(benchmark,
+environment fingerprint, smoke)``, and the newest entry of each group is
+compared against the rolling median of its previous ``--trend-window`` runs.
+A throughput key (``*per_second*``, ``*speedup*``) more than ``--trend-drop``
+below the median — or a duration key (``*_seconds``) the same fraction above
+it — is flagged.  Smoke groups only warn; full-workload regressions become
+violations, gated by ``--strict`` like the floors.  Groups with fewer than
+two prior runs are skipped (no median to trust yet), as are keys whose
+better-direction cannot be inferred from the name.
+
 Usage::
 
     python scripts/compare_bench.py                       # summary + floors in cwd/repo
     python scripts/compare_bench.py --summary BENCH_summary.json \
         --floors benchmarks/bench_floors.json --strict
+    python scripts/compare_bench.py --trend BENCH_history.jsonl
 """
 
 from __future__ import annotations
@@ -34,9 +47,16 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from statistics import median
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_FLOORS = REPO_ROOT / "benchmarks" / "bench_floors.json"
+
+#: Newest-vs-median drop fraction that flags a trajectory regression.
+DEFAULT_TREND_DROP = 0.25
+
+#: Rolling-median window: previous same-group entries considered.
+DEFAULT_TREND_WINDOW = 5
 
 
 def load_rules(path: Path) -> list[dict]:
@@ -83,6 +103,111 @@ def check(summary: dict, rules: list[dict]) -> tuple[list[str], list[str], list[
     return violations, warnings, skipped
 
 
+def load_history(path: Path) -> list[dict]:
+    """Parse a ``BENCH_history.jsonl`` file, skipping unreadable lines.
+
+    A torn append or a hand-edited line degrades to one fewer data point,
+    never to a failed gate.
+    """
+    entries: list[dict] = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(data, dict) and "benchmark" in data:
+            entries.append(data)
+    return entries
+
+
+def _environment_key(environment: dict) -> str:
+    return "|".join(f"{key}={environment[key]}" for key in sorted(environment))
+
+
+def _direction(key: str) -> int:
+    """+1 when bigger is better, -1 when smaller is, 0 when unknowable."""
+    if "per_second" in key or "speedup" in key:
+        return 1
+    if key.endswith("_seconds"):
+        return -1
+    return 0
+
+
+def check_trend(
+    entries: list[dict],
+    window: int = DEFAULT_TREND_WINDOW,
+    drop: float = DEFAULT_TREND_DROP,
+) -> tuple[list[str], list[str], list[str]]:
+    """Returns (violations, warnings, notes) for the newest run of each group.
+
+    Entries are grouped by ``(benchmark, environment fingerprint, smoke)`` so
+    a machine change starts a fresh baseline instead of poisoning the median.
+    Within a group the newest entry's numeric results are compared key-wise
+    against the median of the previous ``window`` entries; the comparison
+    direction is inferred from the key name (:func:`_direction`).
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for entry in entries:
+        key = (
+            entry.get("benchmark"),
+            _environment_key(entry.get("environment", {})),
+            bool(entry.get("smoke")),
+        )
+        groups.setdefault(key, []).append(entry)
+    violations: list[str] = []
+    warnings: list[str] = []
+    notes: list[str] = []
+    for (benchmark, _, smoke), group in sorted(
+        groups.items(), key=lambda item: (str(item[0][0]), item[0][1], item[0][2])
+    ):
+        group.sort(key=lambda entry: entry.get("recorded_at", 0.0))
+        history, newest = group[:-1], group[-1]
+        if len(history) < 2:
+            notes.append(
+                f"{benchmark}: {len(history)} prior run(s) on this "
+                "environment; trend needs 2"
+            )
+            continue
+        baseline = history[-window:]
+        for key, value in sorted(newest.get("results", {}).items()):
+            direction = _direction(key)
+            if direction == 0 or not isinstance(value, (int, float)):
+                continue
+            samples = [
+                entry["results"][key]
+                for entry in baseline
+                if isinstance(entry.get("results", {}).get(key), (int, float))
+            ]
+            if len(samples) < 2:
+                continue
+            center = median(samples)
+            if center <= 0:
+                continue
+            if direction > 0 and value < center * (1.0 - drop):
+                problem = (
+                    f"{benchmark}.{key}: {value:g} is "
+                    f"{(1.0 - value / center) * 100:.0f}% below the median "
+                    f"{center:g} of the last {len(samples)} run(s)"
+                )
+            elif direction < 0 and value > center * (1.0 + drop):
+                problem = (
+                    f"{benchmark}.{key}: {value:g} is "
+                    f"{(value / center - 1.0) * 100:.0f}% above the median "
+                    f"{center:g} of the last {len(samples)} run(s)"
+                )
+            else:
+                continue
+            if smoke:
+                warnings.append(
+                    problem + " (smoke workload; timing not meaningful)"
+                )
+            else:
+                violations.append(problem)
+    return violations, warnings, notes
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -100,26 +225,77 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 on full-workload violations (smoke records still warn)",
     )
+    parser.add_argument(
+        "--trend",
+        default=None,
+        metavar="PATH",
+        help="BENCH_history.jsonl to check the perf trajectory against "
+        "(newest run of each benchmark/environment group vs rolling median)",
+    )
+    parser.add_argument(
+        "--trend-window",
+        type=int,
+        default=DEFAULT_TREND_WINDOW,
+        help="previous runs forming the rolling median (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trend-drop",
+        type=float,
+        default=DEFAULT_TREND_DROP,
+        help="fractional drop below the median that flags a regression "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
+    violations: list[str] = []
     summary_path = Path(args.summary)
-    if not summary_path.exists():
+    if summary_path.exists():
+        summary = json.loads(summary_path.read_text())
+        rules = load_rules(Path(args.floors))
+        floor_violations, warnings, skipped = check(summary, rules)
+        violations.extend(floor_violations)
+        checked = len(rules) - len(skipped)
+        print(f"[compare_bench] {checked} rule(s) checked against {summary_path}")
+        for line in skipped:
+            print(f"  skip: {line}")
+        for line in warnings:
+            print(f"  WARN: {line}")
+        for line in floor_violations:
+            print(f"  FAIL: {line}")
+        if not floor_violations and not warnings:
+            print("  all checked floors hold")
+    elif args.trend is None:
         print(f"error: summary {summary_path} does not exist", file=sys.stderr)
         return 2
-    summary = json.loads(summary_path.read_text())
-    rules = load_rules(Path(args.floors))
+    else:
+        print(f"[compare_bench] no summary at {summary_path}; floors skipped")
 
-    violations, warnings, skipped = check(summary, rules)
-    checked = len(rules) - len(skipped)
-    print(f"[compare_bench] {checked} rule(s) checked against {summary_path}")
-    for line in skipped:
-        print(f"  skip: {line}")
-    for line in warnings:
-        print(f"  WARN: {line}")
-    for line in violations:
-        print(f"  FAIL: {line}")
-    if not violations and not warnings:
-        print("  all checked floors hold")
+    if args.trend is not None:
+        trend_path = Path(args.trend)
+        if not trend_path.exists():
+            print(
+                f"[compare_bench] no history at {trend_path}; trend skipped "
+                "(first run of this environment?)"
+            )
+        else:
+            entries = load_history(trend_path)
+            trend_violations, warnings, notes = check_trend(
+                entries, window=args.trend_window, drop=args.trend_drop
+            )
+            violations.extend(trend_violations)
+            print(
+                f"[compare_bench] trend checked over {len(entries)} history "
+                f"entr(ies) in {trend_path}"
+            )
+            for line in notes:
+                print(f"  skip: {line}")
+            for line in warnings:
+                print(f"  WARN: {line}")
+            for line in trend_violations:
+                print(f"  FAIL: {line}")
+            if not trend_violations and not warnings:
+                print("  no trajectory regressions")
+
     if violations and args.strict:
         return 1
     return 0

@@ -34,15 +34,23 @@ exposes the library's main entry points without writing any Python:
 * ``repro-anon stats --metrics-file metrics.json --format prometheus`` —
   render a saved telemetry snapshot (from ``--metrics-file`` or the CI bench
   artifact) as a table, JSON, Prometheus text, or a span tree, and/or report
-  cache statistics with ``--cache-dir``.
+  cache statistics with ``--cache-dir``;
+* ``repro-anon history list|show|diff --journal runs.jsonl`` — inspect the
+  run ledger written by ``estimate --journal``: list recent runs, show one
+  record as JSON, or diff the last two runs of one digest (payload fields
+  must be bit-identical; timing fields are free to differ).
 
 Observability: ``batch`` and ``estimate`` accept ``--metrics`` (print the
-telemetry table), ``--trace`` (print the span tree), and ``--metrics-file``
-(save the snapshot as JSON); ``estimate --json`` prints a machine-readable
-document (estimate, CI half-width, trials, stop reason, convergence history)
-instead of the table.  A global ``--log-level debug`` streams the library's
-logs — engine selection, cache decisions, span timings — to stderr; without
-it the library is silent (NullHandler on the root ``repro`` logger).
+telemetry table), ``--trace`` (print the span tree), ``--metrics-file``
+(save the snapshot as JSON), and ``--profile`` / ``--profile-file`` (profile
+the run per trace stage and print/save the hot-function tables);
+``estimate`` additionally accepts ``--journal`` (append the run to the
+ledger) and ``--progress`` (a live single-line convergence meter on a
+terminal stderr); ``estimate --json`` prints a machine-readable document
+(estimate, CI half-width, trials, stop reason, convergence history) instead
+of the table.  A global ``--log-level debug`` streams the library's logs —
+engine selection, cache decisions, span timings — to stderr; without it the
+library is silent (NullHandler on the root ``repro`` logger).
 
 Numeric sanity (positive trial counts, worker counts, precisions) is
 enforced by ``argparse`` type callbacks, and every
@@ -165,6 +173,17 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the telemetry snapshot as JSON to this file "
         "(readable back with 'repro-anon stats --metrics-file')",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run per trace stage (cProfile scoped to each span) "
+        "and print the per-stage hot-function tables",
+    )
+    parser.add_argument(
+        "--profile-file",
+        default=None,
+        help="write the per-stage profile as JSON to this file",
+    )
 
 
 def _telemetry_scope(args: argparse.Namespace):
@@ -172,20 +191,46 @@ def _telemetry_scope(args: argparse.Namespace):
 
     Returns a context manager yielding the live registry, or a no-op
     ``nullcontext`` — so the commands stay on the null-registry fast path
-    unless ``--metrics`` / ``--trace`` / ``--metrics-file`` was given.
+    unless ``--metrics`` / ``--trace`` / ``--metrics-file`` /
+    ``--profile`` / ``--profile-file`` was given.
     """
     from repro.telemetry import activate
 
-    wanted = args.metrics or args.trace or args.metrics_file is not None
+    wanted = (
+        args.metrics
+        or args.trace
+        or args.metrics_file is not None
+        or args.profile
+        or args.profile_file is not None
+    )
     return activate() if wanted else nullcontext()
 
 
+def _profile_scope(args: argparse.Namespace):
+    """A span-aligned stage profiler when ``--profile``/``--profile-file`` asks.
+
+    Must be entered inside :func:`_telemetry_scope` (the profiler rides the
+    active registry's spans); returns ``nullcontext`` otherwise.
+    """
+    if not (args.profile or args.profile_file is not None):
+        return nullcontext()
+    from repro.telemetry import profile_span
+
+    return profile_span()
+
+
 def _emit_telemetry(args: argparse.Namespace, registry) -> None:
-    """Print/write the requested telemetry views after a run."""
+    """Print/write the requested telemetry views after a run.
+
+    Files are written before anything prints: a downstream pager closing the
+    pipe mid-print (BrokenPipeError) must not lose the requested artifact.
+    """
     if registry is None:
         return
     from repro.telemetry import render_span_tree, render_text, write_snapshot
 
+    if args.metrics_file is not None:
+        write_snapshot(args.metrics_file, registry)
     if args.metrics:
         print()
         print("-- telemetry --")
@@ -194,8 +239,24 @@ def _emit_telemetry(args: argparse.Namespace, registry) -> None:
         print()
         print("-- spans --")
         print(render_span_tree(registry.snapshot()))
-    if args.metrics_file is not None:
-        write_snapshot(args.metrics_file, registry)
+
+
+def _emit_profile(args: argparse.Namespace, profiler) -> None:
+    """Print/write the requested stage-profile views after a run.
+
+    Like :func:`_emit_telemetry`, the file is written before printing so a
+    closed pipe cannot lose it.
+    """
+    if profiler is None:
+        return
+    from repro.telemetry import render_profile, write_profile
+
+    if args.profile_file is not None:
+        write_profile(args.profile_file, profiler)
+    if args.profile:
+        print()
+        print("-- profile --")
+        print(render_profile(profiler))
 
 
 def _add_strategy_arguments(
@@ -384,7 +445,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a machine-readable JSON document instead of the table "
         "(estimate, CI half-width, trials, stop reason, convergence history)",
     )
+    estimate.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="append this run to a JSONL run ledger (inspect with "
+        "'repro-anon history list|show|diff --journal FILE')",
+    )
+    estimate.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live single-line convergence meter on stderr "
+        "(suppressed when stderr is not a terminal)",
+    )
     _add_telemetry_arguments(estimate)
+
+    history = subparsers.add_parser(
+        "history",
+        help="inspect a run ledger written by 'estimate --journal'",
+    )
+    history.add_argument(
+        "action",
+        choices=["list", "show", "diff"],
+        help="list matching records, show the latest one as JSON, or diff "
+        "the last two runs of one digest (payload vs timing fields)",
+    )
+    history.add_argument(
+        "digest",
+        nargs="?",
+        default=None,
+        help="request digest, or any prefix of one (required for show/diff)",
+    )
+    history.add_argument(
+        "--journal", required=True, help="path of the run-ledger JSONL file"
+    )
+    history.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=20,
+        help="newest records to list (default: 20)",
+    )
+    history.add_argument(
+        "--backend", default=None, help="only records of this backend"
+    )
 
     stats = subparsers.add_parser(
         "stats",
@@ -542,16 +645,20 @@ def _command_batch(args: argparse.Namespace) -> int:
         topology=topology,
     )
     distribution = strategy.effective_distribution(args.n)
+    from repro.telemetry import trace_span
+
     started = time.perf_counter()
     with _telemetry_scope(args) as registry:
-        report = estimate_anonymity(
-            model,
-            strategy,
-            n_trials=args.trials,
-            rng=args.seed,
-            backend=args.backend,
-            **backend_options,
-        )
+        with _profile_scope(args) as profiler:
+            with trace_span("cli.batch", backend=args.backend):
+                report = estimate_anonymity(
+                    model,
+                    strategy,
+                    n_trials=args.trials,
+                    rng=args.seed,
+                    backend=args.backend,
+                    **backend_options,
+                )
     elapsed = time.perf_counter() - started
     lines = {
         "backend": args.backend,
@@ -593,6 +700,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         )
     )
     _emit_telemetry(args, registry)
+    _emit_profile(args, profiler)
     return 0
 
 
@@ -656,6 +764,37 @@ def _sharded_options(args: argparse.Namespace) -> dict[str, int] | None:
     return options
 
 
+def _progress_callback(stream):
+    """A ``RoundProgress`` observer rewriting one status line on ``stream``.
+
+    Returns ``None`` when ``stream`` is not a terminal — a redirected stderr
+    (logs, CI) must never fill with carriage-return spam — so callers can
+    pass the result straight to ``EstimationService.estimate(on_round=...)``.
+    """
+    isatty = getattr(stream, "isatty", None)
+    if isatty is None or not isatty():
+        return None
+
+    def on_round(progress) -> None:
+        remaining = progress.rounds_to_target
+        eta = "?" if remaining is None else str(remaining)
+        line = (
+            f"round {progress.rounds}: {progress.n_trials} trials, "
+            f"half-width {progress.half_width:.5f} bits, "
+            f"~{eta} round(s) to target"
+        )
+        stream.write("\r" + line[:78].ljust(78))
+        stream.flush()
+
+    return on_round
+
+
+def _clear_progress(stream) -> None:
+    """Erase the rewriting progress line before the final report prints."""
+    stream.write("\r" + " " * 78 + "\r")
+    stream.flush()
+
+
 def _command_estimate(args: argparse.Namespace) -> int:
     from repro.service import DistributionSpec, EstimateRequest, EstimationService
 
@@ -677,9 +816,15 @@ def _command_estimate(args: argparse.Namespace) -> int:
         max_trials=args.max_trials,
         seed=args.seed,
     )
+    on_round = _progress_callback(sys.stderr) if args.progress else None
     with _telemetry_scope(args) as registry:
-        with EstimationService(cache_dir=args.cache_dir) as service:
-            result = service.estimate(request)
+        with _profile_scope(args) as profiler:
+            with EstimationService(
+                cache_dir=args.cache_dir, journal=args.journal
+            ) as service:
+                result = service.estimate(request, on_round=on_round)
+    if on_round is not None:
+        _clear_progress(sys.stderr)
     report = result.report
     if args.json:
         document = {
@@ -706,6 +851,12 @@ def _command_estimate(args: argparse.Namespace) -> int:
             from repro.telemetry import write_snapshot
 
             write_snapshot(args.metrics_file, registry)
+        if profiler is not None:
+            from repro.telemetry import profile_as_dict, write_profile
+
+            document["profile"] = profile_as_dict(profiler)
+            if args.profile_file is not None:
+                write_profile(args.profile_file, profiler)
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     lines: dict[str, object] = {
@@ -748,6 +899,7 @@ def _command_estimate(args: argparse.Namespace) -> int:
         for trials, half_width in result.convergence_history:
             print(f"{trials:>12} trials  half-width {half_width:.6f} bits")
     _emit_telemetry(args, registry)
+    _emit_profile(args, profiler)
     return 0
 
 
@@ -779,6 +931,12 @@ def _command_stats(args: argparse.Namespace) -> int:
             "spans": render_span_tree,
         }
         print(renderers[args.format](snapshot))
+        environment = snapshot.get("environment")
+        if args.format == "table" and environment:
+            described = ", ".join(
+                f"{key}={environment[key]}" for key in sorted(environment)
+            )
+            print(f"environment: {described}")
     if args.cache_dir is not None:
         import os.path
 
@@ -821,6 +979,112 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_history(args: argparse.Namespace) -> int:
+    import os.path
+
+    from repro.telemetry import RunJournal, diff_records
+
+    if args.action in ("show", "diff") and args.digest is None:
+        print(
+            f"error: history {args.action} needs a request digest "
+            "(any unambiguous prefix)",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.exists(args.journal):
+        print(
+            f"error: journal file {args.journal!r} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    journal = RunJournal(args.journal)
+    if args.action == "list":
+        records = journal.query(
+            digest=args.digest, backend=args.backend, limit=args.limit
+        )
+        if not records:
+            print("(no matching records)")
+            return 0
+        from repro.utils.tables import format_table
+
+        rows = [
+            [
+                record.digest[:16],
+                record.backend,
+                record.n_trials,
+                f"{record.estimate_bits:.5f}",
+                f"{record.ci_half_width_bits:.5f}",
+                record.stop_reason,
+                "cache" if record.from_cache else "computed",
+                f"{record.elapsed_seconds:.3f}",
+                time.strftime(
+                    "%Y-%m-%d %H:%M:%S", time.localtime(record.recorded_at)
+                ),
+            ]
+            for record in records
+        ]
+        print(
+            format_table(
+                [
+                    "digest",
+                    "backend",
+                    "trials",
+                    "H* (bits)",
+                    "half-width",
+                    "stop",
+                    "source",
+                    "seconds",
+                    "recorded",
+                ],
+                rows,
+                title=f"Run ledger {args.journal} ({len(records)} shown)",
+            )
+        )
+        return 0
+    records = journal.query(digest=args.digest, backend=args.backend)
+    if not records:
+        print(
+            f"error: no records match digest prefix {args.digest!r}",
+            file=sys.stderr,
+        )
+        return 2
+    digests = {record.digest for record in records}
+    if len(digests) > 1:
+        print(
+            f"error: digest prefix {args.digest!r} is ambiguous "
+            f"({len(digests)} digests match); use a longer prefix",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "show":
+        print(json.dumps(records[-1].as_dict(), indent=2, sort_keys=True))
+        return 0
+    if len(records) < 2:
+        print(
+            f"error: history diff needs two runs of {args.digest!r}, "
+            f"found {len(records)}",
+            file=sys.stderr,
+        )
+        return 2
+    older, newer = records[-2], records[-1]
+    differences = diff_records(older, newer)
+    print(f"diff of the last two runs of {older.digest[:16]} (older vs newer)")
+    for section in ("payload", "timing"):
+        entries = differences[section]
+        print()
+        if not entries:
+            print(f"{section}: identical")
+            continue
+        print(f"{section}:")
+        for name in sorted(entries):
+            left, right = entries[name]
+            print(f"  {name}:")
+            print(f"    - {json.dumps(left, sort_keys=True, default=str)}")
+            print(f"    + {json.dumps(right, sort_keys=True, default=str)}")
+    # Payload drift on one digest is a broken determinism contract.
+    return 1 if differences["payload"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -844,6 +1108,7 @@ def main(argv: list[str] | None = None) -> int:
         "estimate": lambda: _command_estimate(args),
         "stats": lambda: _command_stats(args),
         "cache": lambda: _command_cache(args),
+        "history": lambda: _command_history(args),
     }
     command = commands.get(args.command)
     if command is None:  # pragma: no cover - argparse enforces the choices

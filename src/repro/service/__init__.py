@@ -26,7 +26,7 @@ See ``docs/service.md`` for the request spec, the digest/determinism
 contract, precision semantics, and the cache layout.
 """
 
-from repro.service.adaptive import AdaptiveRun, AdaptiveScheduler
+from repro.service.adaptive import AdaptiveRun, AdaptiveScheduler, RoundProgress
 from repro.service.cache import CachedEstimate, CacheStats, ResultCache
 from repro.service.request import DistributionSpec, EstimateRequest
 from repro.service.service import EstimationService, ServiceResult
@@ -34,6 +34,7 @@ from repro.service.service import EstimationService, ServiceResult
 __all__ = [
     "AdaptiveRun",
     "AdaptiveScheduler",
+    "RoundProgress",
     "CachedEstimate",
     "CacheStats",
     "ResultCache",

@@ -31,6 +31,7 @@ clear error instead of a silent statistical downgrade.
 from __future__ import annotations
 
 import logging
+import math
 import time
 from dataclasses import dataclass
 
@@ -45,7 +46,7 @@ from repro.telemetry.metrics import get_registry
 from repro.telemetry.tracing import trace_span
 from repro.utils.rng import RandomSource, ensure_rng
 
-__all__ = ["AdaptiveRun", "AdaptiveScheduler", "STOP_PRECISION", "STOP_BUDGET", "STOP_WALL_CLOCK", "STOP_EXACT"]
+__all__ = ["AdaptiveRun", "AdaptiveScheduler", "RoundProgress", "STOP_PRECISION", "STOP_BUDGET", "STOP_WALL_CLOCK", "STOP_EXACT"]
 
 logger = logging.getLogger(__name__)
 
@@ -90,6 +91,42 @@ class AdaptiveRun:
         return self.trajectory
 
 
+@dataclass(frozen=True)
+class RoundProgress:
+    """Live state after one adaptive round, for ``on_round`` observers.
+
+    Carries the convergence point of the round plus a ``1/sqrt(n)``
+    extrapolation of the work remaining — the CI half-width shrinks as the
+    inverse square root of the trial count, so the trials needed to reach the
+    target are ``n * (half_width / precision)^2``, capped by the budget.
+    """
+
+    rounds: int
+    n_trials: int
+    half_width: float
+    precision: float | None
+    block_size: int
+    max_trials: int
+
+    @property
+    def trials_to_target(self) -> int | None:
+        """Extrapolated further trials needed (``None`` without a target)."""
+        if self.precision is None or self.half_width <= 0.0:
+            return None
+        if self.half_width <= self.precision:
+            return 0
+        needed = self.n_trials * (self.half_width / self.precision) ** 2
+        return int(min(math.ceil(needed), self.max_trials) - self.n_trials)
+
+    @property
+    def rounds_to_target(self) -> int | None:
+        """Extrapolated further rounds needed (``None`` without a target)."""
+        trials = self.trials_to_target
+        if trials is None:
+            return None
+        return math.ceil(trials / self.block_size)
+
+
 class AdaptiveScheduler:
     """Run trial blocks through a backend until the CI is narrow enough.
 
@@ -109,6 +146,12 @@ class AdaptiveScheduler:
     max_seconds:
         Optional wall-clock ceiling, checked between rounds.  Runs stopped by
         it are marked non-deterministic (:attr:`AdaptiveRun.deterministic`).
+    on_round:
+        Optional callback invoked with a :class:`RoundProgress` after every
+        round — trials done, achieved half-width, and the extrapolated
+        rounds-to-target — the substrate of the CLI's ``--progress`` line.
+        Purely observational: it cannot change the trial sequence, so the
+        determinism contract is unaffected.
     """
 
     def __init__(
@@ -118,6 +161,7 @@ class AdaptiveScheduler:
         block_size: int = 10_000,
         max_trials: int = 1_000_000,
         max_seconds: float | None = None,
+        on_round=None,
         **backend_options,
     ) -> None:
         if precision is not None and precision <= 0.0:
@@ -141,6 +185,7 @@ class AdaptiveScheduler:
         self.block_size = block_size
         self.max_trials = max_trials
         self.max_seconds = max_seconds
+        self.on_round = on_round
 
     def run(
         self,
@@ -211,11 +256,23 @@ class AdaptiveScheduler:
         while True:
             block = min(self.block_size, self.max_trials - (merged.n_trials if merged else 0))
             sub_seed = int(generator.integers(0, 2**63 - 1))
-            part = accumulate(block, rng=sub_seed)
+            with trace_span("engine.chunk", trials=block):
+                part = accumulate(block, rng=sub_seed)
             merged = part if merged is None else BatchAccumulator.merge([merged, part])
             rounds += 1
             half_width = self._half_width(merged)
             trajectory.append((merged.n_trials, half_width))
+            if self.on_round is not None:
+                self.on_round(
+                    RoundProgress(
+                        rounds=rounds,
+                        n_trials=merged.n_trials,
+                        half_width=half_width,
+                        precision=self.precision,
+                        block_size=self.block_size,
+                        max_trials=self.max_trials,
+                    )
+                )
             if self.precision is not None and half_width <= self.precision:
                 converged = True
                 stop_reason = STOP_PRECISION

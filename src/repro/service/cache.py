@@ -37,7 +37,10 @@ __all__ = ["CachedEstimate", "CacheStats", "ResultCache"]
 logger = logging.getLogger(__name__)
 
 #: On-disk entry schema version; bumped on incompatible layout changes.
-ENTRY_VERSION = 1
+#: Version 2 added the per-round convergence ``trajectory``, so a cache hit
+#: replays the full convergence history bit-identically (the run-ledger diff
+#: contract); version-1 entries stop matching and are recomputed.
+ENTRY_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,8 @@ class CachedEstimate:
     rounds: int
     converged: bool
     stop_reason: str
+    #: Per-round ``(cumulative trials, CI half-width)`` of the computing run.
+    trajectory: tuple[tuple[int, float], ...] = ()
 
     @property
     def half_width(self) -> float:
@@ -109,6 +114,11 @@ def _encode_entry(request: EstimateRequest, cached: CachedEstimate) -> dict:
             "rounds": cached.rounds,
             "converged": cached.converged,
             "stop_reason": cached.stop_reason,
+            # Float-hex like every other float here: the replayed history
+            # must equal the computing run's bit-for-bit.
+            "trajectory": [
+                [trials, _float_hex(width)] for trials, width in cached.trajectory
+            ],
         },
     }
 
@@ -139,6 +149,10 @@ def _decode_entry(data: dict, digest: str) -> CachedEstimate:
         rounds=int(result["rounds"]),
         converged=bool(result["converged"]),
         stop_reason=str(result["stop_reason"]),
+        trajectory=tuple(
+            (int(trials), float.fromhex(width))
+            for trials, width in result["trajectory"]
+        ),
     )
 
 

@@ -37,6 +37,7 @@ from repro.exceptions import ConfigurationError
 from repro.service.adaptive import AdaptiveRun, AdaptiveScheduler
 from repro.service.cache import CachedEstimate, CacheStats, ResultCache
 from repro.service.request import EstimateRequest
+from repro.telemetry.journal import RunJournal
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.tracing import trace_span
 
@@ -56,7 +57,8 @@ class ServiceResult:
     stop_reason: str
     from_cache: bool
     elapsed_seconds: float
-    #: Per-round ``(cumulative trials, CI half-width)``; empty on cache hits.
+    #: Per-round ``(cumulative trials, CI half-width)`` of the run that
+    #: computed the bits — replayed bit-identically on cache hits.
     trajectory: tuple[tuple[int, float], ...] = ()
 
     @property
@@ -98,6 +100,11 @@ class EstimationService:
     max_seconds:
         Optional per-request wall-clock ceiling.  Requests stopped by it
         return their best estimate so far, un-converged and un-cached.
+    journal:
+        Optional run ledger — a :class:`~repro.telemetry.journal.RunJournal`
+        or a path to one.  Every answered request (computed, cache hit, or
+        coalesced) appends one record; a failing append degrades to a log
+        line and a counter, never to a lost result.
     """
 
     def __init__(
@@ -106,11 +113,15 @@ class EstimationService:
         memory_entries: int = 256,
         max_workers: int = 4,
         max_seconds: float | None = None,
+        journal: RunJournal | str | None = None,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         self._cache = ResultCache(cache_dir=cache_dir, memory_entries=memory_entries)
         self._max_seconds = max_seconds
+        if journal is not None and not isinstance(journal, RunJournal):
+            journal = RunJournal(journal)
+        self._journal = journal
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
@@ -123,12 +134,15 @@ class EstimationService:
     # Estimation                                                          #
     # ------------------------------------------------------------------ #
 
-    def estimate(self, request: EstimateRequest) -> ServiceResult:
+    def estimate(self, request: EstimateRequest, on_round=None) -> ServiceResult:
         """Answer one request synchronously (cache first, compute on miss).
 
         Identical concurrent requests are coalesced: if another thread is
         already computing this digest, the call waits for that result
-        instead of recomputing it.
+        instead of recomputing it.  ``on_round`` (see
+        :class:`~repro.service.adaptive.AdaptiveScheduler`) observes the
+        adaptive rounds when this call is the one computing; cache and
+        dedup hits never invoke it.
         """
         started = time.perf_counter()
         digest = request.digest()
@@ -139,7 +153,7 @@ class EstimationService:
             cached = self._cache.get(digest)
             if cached is not None:
                 span.annotate(outcome="cache_hit")
-                return self._from_cache(digest, cached, started)
+                return self._ledger(request, self._from_cache(digest, cached, started))
             with self._lock:
                 pending = self._inflight.get(digest)
                 if pending is None:
@@ -158,25 +172,28 @@ class EstimationService:
                 result: ServiceResult = pending.result()
                 # Re-stamp the wait as this caller's elapsed time, from cache's
                 # point of view: the bits were computed exactly once.
-                return ServiceResult(
-                    digest=result.digest,
-                    report=result.report,
-                    rounds=result.rounds,
-                    converged=result.converged,
-                    stop_reason=result.stop_reason,
-                    from_cache=True,
-                    elapsed_seconds=time.perf_counter() - started,
-                    trajectory=(),
+                return self._ledger(
+                    request,
+                    ServiceResult(
+                        digest=result.digest,
+                        report=result.report,
+                        rounds=result.rounds,
+                        converged=result.converged,
+                        stop_reason=result.stop_reason,
+                        from_cache=True,
+                        elapsed_seconds=time.perf_counter() - started,
+                        trajectory=result.trajectory,
+                    ),
                 )
             span.annotate(outcome="computed")
             try:
-                result = self._compute(request, digest, started)
+                result = self._compute(request, digest, started, on_round=on_round)
             except BaseException as error:
                 pending.set_exception(error)
                 raise
             else:
                 pending.set_result(result)
-                return result
+                return self._ledger(request, result)
             finally:
                 with self._lock:
                     self._inflight.pop(digest, None)
@@ -211,7 +228,30 @@ class EstimationService:
             stop_reason=cached.stop_reason,
             from_cache=True,
             elapsed_seconds=time.perf_counter() - started,
+            trajectory=cached.trajectory,
         )
+
+    def _ledger(self, request: EstimateRequest, result: ServiceResult) -> ServiceResult:
+        """Append ``result`` to the run ledger (when one is configured).
+
+        A failing append (full disk, permissions) is counted and logged; the
+        caller's just-computed result is never sacrificed to bookkeeping.
+        """
+        if self._journal is None:
+            return result
+        telemetry = get_registry()
+        try:
+            self._journal.record(request, result, registry=telemetry)
+        except OSError as error:
+            if telemetry.enabled:
+                telemetry.counter("journal_failures_total").inc()
+            logger.warning(
+                "run-ledger append failed for %s: %s", result.digest[:16], error
+            )
+        else:
+            if telemetry.enabled:
+                telemetry.counter("journal_records_total").inc()
+        return result
 
     def _backend(self, request: EstimateRequest):
         key = (request.backend, request.backend_options)
@@ -225,7 +265,11 @@ class EstimationService:
         return backend
 
     def _compute(
-        self, request: EstimateRequest, digest: str, started: float
+        self,
+        request: EstimateRequest,
+        digest: str,
+        started: float,
+        on_round=None,
     ) -> ServiceResult:
         scheduler = AdaptiveScheduler(
             backend=self._backend(request),
@@ -233,6 +277,7 @@ class EstimationService:
             block_size=request.block_size,
             max_trials=request.max_trials,
             max_seconds=self._max_seconds,
+            on_round=on_round,
         )
         run: AdaptiveRun = scheduler.run(
             request.model(), request.strategy(), rng=request.seed
@@ -245,6 +290,7 @@ class EstimationService:
                     rounds=run.rounds,
                     converged=run.converged,
                     stop_reason=run.stop_reason,
+                    trajectory=run.trajectory,
                 ),
             )
         return ServiceResult(
@@ -266,6 +312,11 @@ class EstimationService:
     def cache(self) -> ResultCache:
         """The underlying two-tier result cache."""
         return self._cache
+
+    @property
+    def journal(self) -> RunJournal | None:
+        """The run ledger every answered request is appended to (if any)."""
+        return self._journal
 
     def cache_stats(self) -> CacheStats:
         """Hit/miss counters and tier sizes."""

@@ -13,6 +13,13 @@ A zero-dependency observability layer with an off-by-default cost model:
 :mod:`repro.telemetry.export`
     JSON and Prometheus text exposition, CLI table/tree renderers, and
     snapshot files (the CI metrics artifact).
+:mod:`repro.telemetry.journal`
+    :class:`RunJournal` — the append-only JSONL **run ledger** every service
+    estimate can be recorded into, with rotation, a query API, and
+    field-by-field run diffing (CLI ``repro-anon history``).
+:mod:`repro.telemetry.profiling`
+    :func:`profile_span` — opt-in cProfile harness aligned to the span
+    hierarchy: per-stage exclusive hot-function tables (CLI ``--profile``).
 
 Instrumented layers: ``TrialEngine.run_accumulate`` (per-chunk trials and
 timings), ``ShardedBackend`` (per-shard worker timings), ``ResultCache``
@@ -38,6 +45,12 @@ from repro.telemetry.export import (
     render_text,
     write_snapshot,
 )
+from repro.telemetry.journal import (
+    RunJournal,
+    RunRecord,
+    condense_spans,
+    diff_records,
+)
 from repro.telemetry.metrics import (
     DEFAULT_RATE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
@@ -50,6 +63,13 @@ from repro.telemetry.metrics import (
     activate,
     get_registry,
     set_registry,
+)
+from repro.telemetry.profiling import (
+    StageProfiler,
+    profile_as_dict,
+    profile_span,
+    render_profile,
+    write_profile,
 )
 from repro.telemetry.tracing import Span, SpanRecord, current_span_path, trace_span
 
@@ -78,4 +98,15 @@ __all__ = [
     "render_span_tree",
     "write_snapshot",
     "load_snapshot",
+    # Run ledger
+    "RunJournal",
+    "RunRecord",
+    "diff_records",
+    "condense_spans",
+    # Profiling
+    "StageProfiler",
+    "profile_span",
+    "render_profile",
+    "profile_as_dict",
+    "write_profile",
 ]

@@ -22,6 +22,7 @@ Three renderers:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.telemetry.metrics import get_registry
@@ -189,10 +190,14 @@ def write_snapshot(path, source=None) -> Path:
 
     This is the interchange file of the observability surface: the CI bench
     job uploads one as an artifact, and ``repro-anon stats --metrics-file``
-    renders one back in any format.
+    renders one back in any format.  The write is atomic (tmp +
+    ``os.replace``, the ``ResultCache`` hygiene), so a crash or a concurrent
+    reader never sees a torn snapshot.
     """
     path = Path(path)
-    path.write_text(render_json(source) + "\n", encoding="ascii")
+    temporary = path.with_suffix(f"{path.suffix}.tmp.{os.getpid()}")
+    temporary.write_text(render_json(source) + "\n", encoding="ascii")
+    os.replace(temporary, path)
     return path
 
 

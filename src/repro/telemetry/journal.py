@@ -1,0 +1,315 @@
+"""The run ledger: an append-only JSONL journal of every estimate produced.
+
+The paper's claims are quantitative, so the repo must be able to say *which
+run produced which number, how fast, and whether it got slower*.  The
+telemetry registry answers that for one in-process run and then forgets; the
+:class:`RunJournal` makes it durable.  Every answered
+:class:`~repro.service.service.EstimationService` request (and every CLI
+``estimate`` run pointed at a journal) appends one :class:`RunRecord`:
+
+* **identity** — the request's content digest plus its full canonical form,
+  so any logged run can be re-submitted bit-identically
+  (``EstimateRequest.from_canonical_dict(record.request)`` digests to the
+  same key and hits the same cache entry);
+* **provenance** — backend, seed, environment fingerprint (python, platform,
+  repro version), whether the answer came from cache, and when;
+* **result** — trials, estimate (decimal *and* ``float.hex`` for bit-exact
+  comparison), CI half-width, stop reason, rounds, convergence history;
+* **cost** — elapsed seconds plus per-span stage timings condensed from the
+  active telemetry snapshot (empty when telemetry is off).
+
+Appends are atomic: each record is one ``os.write`` of one complete line on
+an ``O_APPEND`` descriptor, so concurrent writers interleave whole records,
+never bytes.  The journal rotates at ``max_bytes`` (``journal.jsonl`` →
+``journal.jsonl.1`` → ...), and readers skip corrupt or foreign lines
+instead of failing.  Diffing two runs of the same digest
+(:func:`diff_records`, CLI ``repro-anon history diff DIGEST``) separates
+**payload** fields — which must be bit-identical for a deterministic request
+— from **timing** fields, which legitimately differ run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.utils.env import environment_fingerprint
+
+__all__ = [
+    "RunRecord",
+    "RunJournal",
+    "diff_records",
+    "condense_spans",
+    "TIMING_FIELDS",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Record schema version; bumped on incompatible layout changes so old
+#: journals are skipped as foreign instead of misread.
+JOURNAL_VERSION = 1
+
+#: Fields expected to differ between two runs of the same digest: wall-clock
+#: and provenance, never the estimate.  Everything else is payload — the
+#: determinism contract says it must be bit-identical.
+TIMING_FIELDS = frozenset(
+    {"recorded_at", "elapsed_seconds", "spans", "from_cache", "environment"}
+)
+
+
+def condense_spans(snapshot: dict) -> dict:
+    """Per-span stage totals from a telemetry snapshot's histograms.
+
+    Returns ``{span_path: {"count": n, "total_seconds": s}}`` — the stage
+    timing summary a :class:`RunRecord` carries, built from the
+    ``span_seconds`` histogram family so it survives span-log rotation.
+    """
+    spans: dict[str, dict] = {}
+    for entry in snapshot.get("histograms", ()):
+        if entry["name"] != "span_seconds" or not entry["count"]:
+            continue
+        spans[entry["labels"].get("span", "")] = {
+            "count": entry["count"],
+            "total_seconds": round(entry["sum"], 9),
+        }
+    return spans
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ledger line: who asked for what, what came back, what it cost."""
+
+    digest: str
+    request: dict
+    backend: str
+    seed: int
+    n_trials: int
+    rounds: int
+    converged: bool
+    stop_reason: str
+    estimate_bits: float
+    estimate_hex: str
+    ci_half_width_bits: float
+    convergence_history: tuple[tuple[int, float], ...]
+    from_cache: bool
+    elapsed_seconds: float
+    recorded_at: float
+    environment: dict = field(default_factory=environment_fingerprint)
+    spans: dict = field(default_factory=dict)
+    schema: int = JOURNAL_VERSION
+
+    @classmethod
+    def from_result(
+        cls, request, result, registry=None, recorded_at: float | None = None
+    ) -> "RunRecord":
+        """Build a record from an ``EstimateRequest`` and its ``ServiceResult``.
+
+        ``registry`` (when given and enabled) contributes the condensed
+        per-span stage timings; with the null registry ``spans`` stays empty.
+        """
+        spans: dict = {}
+        if registry is not None and registry.enabled:
+            spans = condense_spans(registry.snapshot())
+        mean = result.report.estimate.mean
+        return cls(
+            digest=result.digest,
+            request=request.canonical_dict(),
+            backend=request.backend,
+            seed=request.seed,
+            n_trials=result.report.n_trials,
+            rounds=result.rounds,
+            converged=result.converged,
+            stop_reason=result.stop_reason,
+            estimate_bits=mean,
+            estimate_hex=float(mean).hex(),
+            ci_half_width_bits=result.half_width,
+            convergence_history=tuple(
+                (int(trials), float(width))
+                for trials, width in result.convergence_history
+            ),
+            from_cache=result.from_cache,
+            elapsed_seconds=result.elapsed_seconds,
+            recorded_at=time.time() if recorded_at is None else recorded_at,
+            spans=spans,
+        )
+
+    def as_dict(self) -> dict:
+        """The JSON-able line form (convergence history as nested lists)."""
+        data = {name.name: getattr(self, name.name) for name in fields(self)}
+        data["convergence_history"] = [
+            [trials, width] for trials, width in self.convergence_history
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        """Rebuild a record from one parsed journal line (schema-checked)."""
+        if data.get("schema") != JOURNAL_VERSION:
+            raise ValueError(f"unknown journal schema {data.get('schema')!r}")
+        known = {entry.name for entry in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown journal fields {sorted(unknown)}")
+        data = dict(data)
+        data["convergence_history"] = tuple(
+            (int(trials), float(width))
+            for trials, width in data.get("convergence_history", ())
+        )
+        return cls(**data)
+
+
+def diff_records(a: RunRecord, b: RunRecord) -> dict:
+    """Field-by-field diff of two records: ``{"payload": ..., "timing": ...}``.
+
+    Each side maps differing field names to ``(a_value, b_value)``.  For two
+    runs of the same digest the determinism contract demands an empty
+    ``payload`` side — estimate, trials, and convergence history bit-identical
+    — while the ``timing`` side (wall clock, cache tier, stage timings) is
+    free to differ.
+    """
+    payload: dict[str, tuple] = {}
+    timing: dict[str, tuple] = {}
+    for entry in fields(RunRecord):
+        left = getattr(a, entry.name)
+        right = getattr(b, entry.name)
+        if left == right:
+            continue
+        bucket = timing if entry.name in TIMING_FIELDS else payload
+        bucket[entry.name] = (left, right)
+    return {"payload": payload, "timing": timing}
+
+
+class RunJournal:
+    """Append-only JSONL ledger with rotation and a query API.
+
+    Parameters
+    ----------
+    path:
+        The journal file (created, with parents, on the first append).
+    max_bytes:
+        Rotation threshold: when an append would push the file past this
+        size, the file moves to ``<path>.1`` (older generations shift up to
+        ``backups``) and a fresh journal starts.  Queries read the live file
+        only — rotated generations are archives.
+    backups:
+        Rotated generations to keep (older ones are dropped).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_bytes: int = 16 * 1024 * 1024,
+        backups: int = 3,
+    ) -> None:
+        if max_bytes < 1:
+            raise ConfigurationError(f"max_bytes must be >= 1, got {max_bytes}")
+        if backups < 0:
+            raise ConfigurationError(f"backups must be >= 0, got {backups}")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+
+    # ------------------------------------------------------------------ #
+    # Writing                                                             #
+    # ------------------------------------------------------------------ #
+
+    def append(self, record: RunRecord) -> None:
+        """Append one record as one atomic line (rotating first if needed)."""
+        line = json.dumps(record.as_dict(), sort_keys=True) + "\n"
+        payload = line.encode("ascii")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._rotate_if_needed(len(payload))
+        descriptor = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(descriptor, payload)
+        finally:
+            os.close(descriptor)
+
+    def record(self, request, result, registry=None) -> RunRecord:
+        """Build a :class:`RunRecord` from a service result and append it."""
+        entry = RunRecord.from_result(request, result, registry=registry)
+        self.append(entry)
+        return entry
+
+    def _rotate_if_needed(self, incoming: int) -> None:
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size == 0 or size + incoming <= self.max_bytes:
+            return
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+            return
+        for generation in range(self.backups - 1, 0, -1):
+            older = self.path.with_name(f"{self.path.name}.{generation}")
+            if older.exists():
+                os.replace(
+                    older, self.path.with_name(f"{self.path.name}.{generation + 1}")
+                )
+        os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        logger.debug("rotated run journal %s (%d bytes)", self.path, size)
+
+    # ------------------------------------------------------------------ #
+    # Reading                                                             #
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> list[RunRecord]:
+        """Every readable record in the live journal, oldest first.
+
+        Corrupt or foreign lines (a torn write survived a crash, an old
+        schema) are skipped and counted in the debug log, never raised.
+        """
+        try:
+            text = self.path.read_text(encoding="ascii")
+        except FileNotFoundError:
+            return []
+        entries: list[RunRecord] = []
+        skipped = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entries.append(RunRecord.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                skipped += 1
+        if skipped:
+            logger.debug("skipped %d unreadable journal line(s) in %s", skipped, self.path)
+        return entries
+
+    def query(
+        self,
+        digest: str | None = None,
+        backend: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+        limit: int | None = None,
+    ) -> list[RunRecord]:
+        """Records filtered by digest prefix, backend, and time range.
+
+        ``digest`` matches as a prefix so the CLI's shortened digests work;
+        ``since``/``until`` bound ``recorded_at`` (inclusive).  ``limit``
+        keeps the **newest** matches.
+        """
+        matches = [
+            record
+            for record in self.records()
+            if (digest is None or record.digest.startswith(digest))
+            and (backend is None or record.backend == backend)
+            and (since is None or record.recorded_at >= since)
+            and (until is None or record.recorded_at <= until)
+        ]
+        if limit is not None and limit >= 0:
+            matches = matches[-limit:] if limit else []
+        return matches
+
+    def last(self, digest: str, count: int = 2) -> list[RunRecord]:
+        """The newest ``count`` records of one digest prefix, oldest first."""
+        return self.query(digest=digest, limit=count)

@@ -50,6 +50,7 @@ from collections import deque
 from contextlib import contextmanager
 
 from repro.exceptions import ConfigurationError
+from repro.utils.env import environment_fingerprint
 
 __all__ = [
     "Counter",
@@ -243,6 +244,12 @@ class MetricsRegistry:
 
     enabled = True
 
+    #: Optional :class:`~repro.telemetry.profiling.StageProfiler` notified on
+    #: span boundaries.  ``None`` (the default) keeps tracing profile-free;
+    #: the attribute is only consulted on the enabled path, so the disabled
+    #: cost model is untouched.
+    profiler = None
+
     def __init__(self, clock=None, max_spans: int = 1024) -> None:
         if max_spans < 1:
             raise ConfigurationError(f"max_spans must be >= 1, got {max_spans}")
@@ -314,7 +321,9 @@ class MetricsRegistry:
 
         Series are sorted by ``(name, labels)``, histograms carry their
         cumulative buckets, and nothing in the result depends on insertion
-        order — under a fake clock the snapshot is fully deterministic.
+        order — under a fake clock the snapshot is fully deterministic.  An
+        ``environment`` fingerprint (python, platform, repro version) makes a
+        saved snapshot self-describing, like a ``BENCH_*.json`` record.
         """
         with self._lock:
             items = sorted(self._metrics.items(), key=lambda kv: (kv[0][1], kv[0][2]))
@@ -343,6 +352,7 @@ class MetricsRegistry:
                 histograms.append(entry)
         return {
             "schema": SNAPSHOT_VERSION,
+            "environment": environment_fingerprint(),
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
@@ -427,6 +437,7 @@ class NullRegistry:
 
     enabled = False
     clock = staticmethod(time.perf_counter)
+    profiler = None
 
     _counter = _NullCounter()
     _gauge = _NullGauge()
@@ -451,6 +462,7 @@ class NullRegistry:
     def snapshot(self) -> dict:
         return {
             "schema": SNAPSHOT_VERSION,
+            "environment": environment_fingerprint(),
             "counters": [],
             "gauges": [],
             "histograms": [],

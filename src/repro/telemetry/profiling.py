@@ -1,0 +1,234 @@
+"""Span-aligned stage profiling: cProfile scoped to the active trace span.
+
+Spans answer *which stage* of a request spent the time; this module answers
+*which functions inside that stage*.  A :class:`StageProfiler` attached to
+the active registry (usually via the :func:`profile_span` harness) runs one
+:class:`cProfile.Profile` per span path, enabled exactly while that path is
+the innermost open span on its thread:
+
+* entering a child span suspends the parent's profile and resumes it when
+  the child closes, so each stage's profile holds its **exclusive** time —
+  ``service.estimate`` does not re-count what ``adaptive.run`` already
+  attributes, and ``adaptive.run`` does not re-count ``engine.chunk``;
+* repeated visits to the same path (every adaptive round's ``engine.chunk``)
+  accumulate into one profile per ``(thread, path)``, merged across threads
+  by :meth:`StageProfiler.stats`;
+* code outside any span is never profiled — the profiler observes the same
+  hierarchy the trace renders.
+
+Cost model: profiling only exists behind an *enabled* registry whose
+``profiler`` attribute is set.  The disabled telemetry path is untouched
+(``trace_span`` returns before the attribute is read), and an enabled
+registry without a profiler pays one ``getattr`` per span — both inside the
+measured ≤5% contract of ``benchmarks/bench_overhead.py``.
+
+CLI: ``repro-anon batch|estimate --profile`` prints the per-stage top-N
+table (:func:`render_profile`); ``--profile-file`` saves the structured form
+(:func:`write_profile`) for later inspection.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import pstats
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.telemetry.metrics import get_registry
+
+__all__ = [
+    "StageProfiler",
+    "profile_span",
+    "render_profile",
+    "profile_as_dict",
+    "write_profile",
+]
+
+
+def _function_label(func: tuple) -> str:
+    """``file:line(name)`` for a pstats function key (built-ins included)."""
+    filename, line, name = func
+    if filename == "~" and line == 0:
+        return name  # "{built-in method ...}" / "{method ... of ...}"
+    return f"{Path(filename).name}:{line}({name})"
+
+
+class StageProfiler:
+    """One exclusive cProfile per span path, merged across threads.
+
+    Thread model: each thread keeps its own span stack and its own
+    ``path -> Profile`` table (cProfile instruments one thread at a time),
+    registered under a lock so :meth:`stats` can merge everything at the
+    end.  ``span_started``/``span_finished`` are called by ``trace_span``
+    for every span while this profiler is attached to the active registry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._tables: list[dict[str, cProfile.Profile]] = []
+
+    # ------------------------------------------------------------------ #
+    # Span hooks (called by trace_span)                                   #
+    # ------------------------------------------------------------------ #
+
+    def _table(self) -> dict:
+        table = getattr(self._local, "table", None)
+        if table is None:
+            table = self._local.table = {}
+            with self._lock:
+                self._tables.append(table)
+        return table
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span_started(self, path: str) -> None:
+        """Suspend the enclosing stage's profile and start this path's."""
+        stack = self._stack()
+        if stack:
+            stack[-1][1].disable()
+        table = self._table()
+        profile = table.get(path)
+        if profile is None:
+            profile = table[path] = cProfile.Profile()
+        stack.append((path, profile))
+        profile.enable()
+
+    def span_finished(self, path: str) -> None:
+        """Stop this path's profile and resume the enclosing stage's."""
+        stack = self._stack()
+        while stack:
+            finished_path, profile = stack.pop()
+            profile.disable()
+            if finished_path == path:
+                break
+        if stack:
+            stack[-1][1].enable()
+
+    # ------------------------------------------------------------------ #
+    # Results                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        """Every span path that accumulated profile data, sorted."""
+        with self._lock:
+            tables = list(self._tables)
+        return tuple(sorted({path for table in tables for path in table}))
+
+    def stats(self) -> dict[str, pstats.Stats]:
+        """Merged :class:`pstats.Stats` per span path, across threads."""
+        with self._lock:
+            tables = list(self._tables)
+        merged: dict[str, pstats.Stats] = {}
+        for table in tables:
+            for path, profile in table.items():
+                existing = merged.get(path)
+                if existing is None:
+                    merged[path] = pstats.Stats(profile)
+                else:
+                    existing.add(profile)
+        return merged
+
+    def top_functions(self, path: str, top: int = 10) -> list[dict]:
+        """The ``top`` hottest functions of one stage, by cumulative time."""
+        stats = self.stats().get(path)
+        if stats is None:
+            return []
+        rows = []
+        for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+            rows.append(
+                {
+                    "function": _function_label(func),
+                    "ncalls": nc,
+                    "tottime": tt,
+                    "cumtime": ct,
+                }
+            )
+        rows.sort(key=lambda row: (-row["cumtime"], row["function"]))
+        return rows[:top]
+
+
+class _NullStageProfiler(StageProfiler):
+    """The inert profiler :func:`profile_span` yields when telemetry is off."""
+
+    def span_started(self, path: str) -> None:
+        pass
+
+    def span_finished(self, path: str) -> None:
+        pass
+
+
+@contextmanager
+def profile_span(registry=None):
+    """Attach a :class:`StageProfiler` to the (given or active) registry.
+
+    Yields the profiler; every span traced inside the block contributes to
+    its per-stage profiles.  The previous ``profiler`` attribute is restored
+    on exit, so profiling never leaks out of scope.  With telemetry disabled
+    (the null registry) an inert profiler is yielded and nothing is hooked —
+    the disabled cost model is preserved.
+    """
+    telemetry = registry if registry is not None else get_registry()
+    if not telemetry.enabled:
+        yield _NullStageProfiler()
+        return
+    profiler = StageProfiler()
+    previous = telemetry.profiler
+    telemetry.profiler = profiler
+    try:
+        yield profiler
+    finally:
+        telemetry.profiler = previous
+
+
+# ---------------------------------------------------------------------- #
+# Rendering                                                               #
+# ---------------------------------------------------------------------- #
+
+
+def render_profile(profiler: StageProfiler, top: int = 10) -> str:
+    """Per-stage top-N hot-function tables, one block per span path."""
+    paths = profiler.paths
+    if not paths:
+        return "(no profile recorded)"
+    blocks = []
+    for path in paths:
+        rows = profiler.top_functions(path, top=top)
+        total = sum(row["tottime"] for row in rows)
+        lines = [f"stage {path}  (self {total:.6f}s over top {len(rows)})"]
+        lines.append(f"  {'ncalls':>8}  {'tottime':>10}  {'cumtime':>10}  function")
+        for row in rows:
+            lines.append(
+                f"  {row['ncalls']:>8}  {row['tottime']:>10.6f}  "
+                f"{row['cumtime']:>10.6f}  {row['function']}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def profile_as_dict(profiler: StageProfiler, top: int = 25) -> dict:
+    """The structured form behind ``--profile-file``: stage -> hot functions."""
+    return {
+        "stages": {
+            path: profiler.top_functions(path, top=top)
+            for path in profiler.paths
+        }
+    }
+
+
+def write_profile(path, profiler: StageProfiler, top: int = 25) -> Path:
+    """Write :func:`profile_as_dict` as JSON, atomically (tmp + replace)."""
+    path = Path(path)
+    payload = json.dumps(profile_as_dict(profiler, top=top), indent=2, sort_keys=True)
+    temporary = path.with_suffix(f"{path.suffix}.tmp.{os.getpid()}")
+    temporary.write_text(payload + "\n", encoding="ascii")
+    os.replace(temporary, path)
+    return path

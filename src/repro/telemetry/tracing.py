@@ -118,11 +118,19 @@ def trace_span(name: str, registry=None, **attributes):
     path = f"{stack[-1]}/{name}" if stack else name
     span = Span(path, name, attributes)
     stack.append(path)
+    # A stage profiler (telemetry/profiling.py) rides the span boundaries;
+    # the attribute is only read here, on the enabled path, so disabled
+    # tracing stays one `enabled` check.
+    profiler = getattr(telemetry, "profiler", None)
+    if profiler is not None:
+        profiler.span_started(path)
     started = telemetry.clock()
     try:
         yield span
     finally:
         duration = telemetry.clock() - started
+        if profiler is not None:
+            profiler.span_finished(path)
         stack.pop()
         telemetry.record_span(
             SpanRecord(

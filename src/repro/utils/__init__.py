@@ -1,5 +1,6 @@
 """Small shared utilities: math helpers, RNG handling, validation, tables."""
 
+from repro.utils.env import environment_fingerprint, environment_key
 from repro.utils.mathx import (
     entropy_bits,
     falling_factorial,
@@ -16,6 +17,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "environment_fingerprint",
+    "environment_key",
     "entropy_bits",
     "falling_factorial",
     "log2_safe",

@@ -1,0 +1,38 @@
+"""Environment fingerprinting: which interpreter/machine produced a number.
+
+Every durable observability artifact — telemetry snapshots, run-ledger
+records, ``BENCH_*.json`` perf records and the ``BENCH_history.jsonl``
+trajectory — embeds the same small fingerprint so numbers from different
+machines or interpreters are never compared as if they were comparable.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+from repro._version import __version__
+
+__all__ = ["environment_fingerprint", "environment_key"]
+
+
+def environment_fingerprint() -> dict:
+    """The interpreter/machine/package block stamped into saved artifacts."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repro_version": __version__,
+    }
+
+
+def environment_key(environment: dict | None = None) -> str:
+    """A stable one-line identity for grouping records by environment.
+
+    Perf-trajectory tooling (``compare_bench.py --trend``) groups history
+    entries by this key so a laptop's numbers never gate a CI runner's.
+    """
+    if environment is None:
+        environment = environment_fingerprint()
+    return "|".join(
+        f"{key}={environment[key]}" for key in sorted(environment)
+    )

@@ -1,0 +1,326 @@
+"""Tests for the run ledger: record round-trips, atomic appends with
+rotation, the service wiring, the payload/timing diff contract, and the
+``repro-anon history`` CLI.
+
+The headline property is the **ledger round-trip**: re-submitting the
+canonical request stored in a journal record digests to the same key, hits
+the same cache entry, and diffs against the original run with an *empty
+payload side* — estimate, trials, and convergence history bit-identical —
+while only timing fields differ.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.distributions import UniformLength
+from repro.exceptions import ConfigurationError
+from repro.service import DistributionSpec, EstimateRequest, EstimationService
+from repro.telemetry import (
+    RunJournal,
+    RunRecord,
+    activate,
+    diff_records,
+    set_registry,
+)
+from repro.telemetry.journal import JOURNAL_VERSION, TIMING_FIELDS, condense_spans
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry():
+    set_registry(None)
+    yield
+    set_registry(None)
+
+
+def _request(**overrides) -> EstimateRequest:
+    parameters = dict(
+        n_nodes=40,
+        distribution=DistributionSpec.from_distribution(UniformLength(2, 8)),
+        precision=0.05,
+        block_size=5_000,
+        max_trials=50_000,
+        seed=11,
+    )
+    parameters.update(overrides)
+    return EstimateRequest(**parameters)
+
+
+def _journal_result(journal: RunJournal, request: EstimateRequest):
+    with EstimationService(journal=journal) as service:
+        return service.estimate(request)
+
+
+class TestRunRecord:
+    def test_round_trips_through_dict(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        request = _request()
+        result = _journal_result(journal, request)
+        record = journal.records()[-1]
+        assert record == RunRecord.from_dict(record.as_dict())
+        assert record.digest == result.digest
+        assert record.estimate_bits == result.report.estimate.mean
+        assert float.fromhex(record.estimate_hex) == record.estimate_bits
+        assert record.convergence_history == result.convergence_history
+        assert record.schema == JOURNAL_VERSION
+        assert set(record.environment) == {"python", "platform", "repro_version"}
+
+    def test_unknown_schema_and_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            RunRecord.from_dict({"schema": 999})
+        journal_line = {"schema": JOURNAL_VERSION, "bogus_field": 1}
+        with pytest.raises(ValueError, match="bogus_field"):
+            RunRecord.from_dict(journal_line)
+
+    def test_canonical_request_resubmits_to_the_same_digest(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        original = _request()
+        _journal_result(journal, original)
+        record = journal.records()[-1]
+        replayed = EstimateRequest.from_canonical_dict(record.request)
+        assert replayed.digest() == record.digest == original.digest()
+
+    def test_spans_condensed_when_telemetry_active(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        with activate():
+            _journal_result(journal, _request())
+        record = journal.records()[-1]
+        # The outer service.estimate span is still open when the ledger
+        # appends, so the record carries the completed child stages.
+        assert "service.estimate/adaptive.run" in record.spans
+        stage = record.spans["service.estimate/adaptive.run"]
+        assert stage["count"] == 1 and stage["total_seconds"] >= 0.0
+
+    def test_spans_empty_when_telemetry_off(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        _journal_result(journal, _request())
+        assert journal.records()[-1].spans == {}
+
+
+class TestCondenseSpans:
+    def test_reads_span_histograms_only(self):
+        snapshot = {
+            "histograms": [
+                {
+                    "name": "span_seconds",
+                    "labels": {"span": "a/b"},
+                    "count": 2,
+                    "sum": 1.5,
+                },
+                {"name": "engine_chunk_seconds", "labels": {}, "count": 3, "sum": 9.0},
+                {"name": "span_seconds", "labels": {"span": "idle"}, "count": 0, "sum": 0.0},
+            ]
+        }
+        assert condense_spans(snapshot) == {
+            "a/b": {"count": 2, "total_seconds": 1.5}
+        }
+
+
+class TestJournalFile:
+    def test_append_query_and_last(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        fast = _request()
+        slow = _request(seed=99)
+        with EstimationService(journal=journal) as service:
+            service.estimate(fast)
+            service.estimate(slow)
+            service.estimate(fast)
+        assert len(journal.records()) == 3
+        digest = fast.digest()
+        assert [r.digest for r in journal.query(digest=digest[:12])] == [digest, digest]
+        assert len(journal.query(backend="batch")) == 3
+        assert journal.query(backend="sharded") == []
+        newest_two = journal.last(digest[:12])
+        assert len(newest_two) == 2
+        assert newest_two[-1].from_cache  # the replay hit the service cache
+
+    def test_limit_keeps_newest(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        for seed in range(4):
+            _journal_result(journal, _request(seed=seed))
+        limited = journal.query(limit=2)
+        assert len(limited) == 2
+        assert limited == journal.records()[-2:]
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        journal = RunJournal(path)
+        _journal_result(journal, _request())
+        with path.open("a") as handle:
+            handle.write("{torn line\n")
+            handle.write(json.dumps({"schema": 999}) + "\n")
+        assert len(journal.records()) == 1
+
+    def test_rotation_shifts_generations(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        journal = RunJournal(path, max_bytes=1, backups=2)
+        for seed in range(3):
+            _journal_result(journal, _request(seed=seed))
+        # Every append overflows max_bytes=1, so each run rotates the last.
+        assert len(journal.records()) == 1
+        assert path.with_name("runs.jsonl.1").exists()
+        assert path.with_name("runs.jsonl.2").exists()
+        assert not path.with_name("runs.jsonl.3").exists()
+
+    def test_zero_backups_truncates(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        journal = RunJournal(path, max_bytes=1, backups=0)
+        _journal_result(journal, _request(seed=0))
+        _journal_result(journal, _request(seed=1))
+        assert len(journal.records()) == 1
+        assert not path.with_name("runs.jsonl.1").exists()
+
+    def test_invalid_configuration_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_bytes"):
+            RunJournal(tmp_path / "j", max_bytes=0)
+        with pytest.raises(ConfigurationError, match="backups"):
+            RunJournal(tmp_path / "j", backups=-1)
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        assert RunJournal(tmp_path / "never-written.jsonl").records() == []
+
+
+class TestServiceWiring:
+    def test_service_accepts_a_path_and_exposes_the_journal(self, tmp_path):
+        with EstimationService(journal=str(tmp_path / "runs.jsonl")) as service:
+            assert isinstance(service.journal, RunJournal)
+            service.estimate(_request())
+            assert len(service.journal.records()) == 1
+
+    def test_no_journal_by_default(self):
+        with EstimationService() as service:
+            assert service.journal is None
+            service.estimate(_request())
+
+    def test_failing_append_never_loses_the_result(self, tmp_path):
+        # A directory where the journal file should be makes appends fail.
+        blocked = tmp_path / "runs.jsonl"
+        blocked.mkdir()
+        with activate() as telemetry:
+            with EstimationService(journal=blocked) as service:
+                result = service.estimate(_request())
+        assert result.converged
+        snapshot = telemetry.snapshot()
+        counters = {
+            entry["name"]: entry["value"] for entry in snapshot["counters"]
+        }
+        assert counters.get("journal_failures_total") == 1
+        assert "journal_records_total" not in counters
+
+    def test_cache_hits_are_journalled_too(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        request = _request()
+        with EstimationService(journal=journal) as service:
+            service.estimate(request)
+            service.estimate(request)
+        records = journal.records()
+        assert [record.from_cache for record in records] == [False, True]
+
+
+class TestLedgerRoundTrip:
+    """The acceptance contract: payload bit-identical, only timing differs."""
+
+    def test_cache_replay_diffs_empty_on_payload(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        request = _request()
+        with EstimationService(
+            cache_dir=tmp_path / "cache", journal=journal
+        ) as service:
+            service.estimate(request)
+        # A fresh service (new process, same disk cache) replays the run
+        # from the canonical request stored in the ledger.
+        record = journal.records()[-1]
+        replayed = EstimateRequest.from_canonical_dict(record.request)
+        with EstimationService(
+            cache_dir=tmp_path / "cache", journal=journal
+        ) as service:
+            result = service.estimate(replayed)
+        assert result.from_cache
+        older, newer = journal.last(record.digest)
+        differences = diff_records(older, newer)
+        assert differences["payload"] == {}
+        assert set(differences["timing"]) <= TIMING_FIELDS
+        assert "from_cache" in differences["timing"]
+
+    def test_diff_flags_payload_drift(self, tmp_path):
+        journal = RunJournal(tmp_path / "runs.jsonl")
+        _journal_result(journal, _request(seed=1))
+        _journal_result(journal, _request(seed=2))
+        older, newer = journal.records()
+        differences = diff_records(older, newer)
+        assert "estimate_hex" in differences["payload"]
+        assert "digest" in differences["payload"]
+
+
+class TestHistoryCli:
+    def _populate(self, tmp_path) -> tuple[str, str]:
+        from repro.cli import main
+
+        journal = str(tmp_path / "runs.jsonl")
+        argv = [
+            "estimate",
+            "--n", "40",
+            "--strategy", "uniform",
+            "--precision", "0.05",
+            "--block-size", "5000",
+            "--seed", "11",
+            "--journal", journal,
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        digest = RunJournal(journal).records()[-1].digest
+        return journal, digest
+
+    def test_list_renders_the_table(self, tmp_path, capsys):
+        journal, digest = self._populate(tmp_path)
+        from repro.cli import main
+
+        capsys.readouterr()
+        assert main(["history", "list", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert digest[:16] in out
+        assert "cache" in out and "computed" in out
+
+    def test_show_prints_one_record_as_json(self, tmp_path, capsys):
+        journal, digest = self._populate(tmp_path)
+        from repro.cli import main
+
+        capsys.readouterr()
+        assert main(["history", "show", digest[:10], "--journal", journal]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["digest"] == digest
+        assert document["from_cache"] is True
+
+    def test_diff_reports_identical_payload(self, tmp_path, capsys):
+        journal, digest = self._populate(tmp_path)
+        from repro.cli import main
+
+        capsys.readouterr()
+        assert main(["history", "diff", digest[:10], "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "payload: identical" in out
+        assert "from_cache" in out
+
+    def test_show_and_diff_need_a_digest(self, tmp_path, capsys):
+        journal, _ = self._populate(tmp_path)
+        from repro.cli import main
+
+        assert main(["history", "diff", "--journal", journal]) == 2
+        assert "needs a request digest" in capsys.readouterr().err
+
+    def test_missing_journal_is_a_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["history", "list", "--journal", missing]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unmatched_digest_is_a_usage_error(self, tmp_path, capsys):
+        journal, _ = self._populate(tmp_path)
+        from repro.cli import main
+
+        assert main(["history", "show", "ffff0000", "--journal", journal]) == 2
+        assert "no records match" in capsys.readouterr().err

@@ -1,0 +1,202 @@
+"""Tests for the span-aligned stage profiler: exclusive attribution per
+span path, inertness without an active registry, rendering/serialisation,
+and the CLI ``--profile`` / ``--profile-file`` flags.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.distributions import UniformLength
+from repro.service import DistributionSpec, EstimateRequest, EstimationService
+from repro.telemetry import (
+    StageProfiler,
+    activate,
+    get_registry,
+    profile_as_dict,
+    profile_span,
+    render_profile,
+    set_registry,
+    trace_span,
+    write_profile,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry():
+    set_registry(None)
+    yield
+    set_registry(None)
+
+
+def _request(**overrides) -> EstimateRequest:
+    parameters = dict(
+        n_nodes=40,
+        distribution=DistributionSpec.from_distribution(UniformLength(2, 8)),
+        precision=0.05,
+        block_size=5_000,
+        max_trials=50_000,
+        seed=11,
+    )
+    parameters.update(overrides)
+    return EstimateRequest(**parameters)
+
+
+def _busy(n: int = 20_000) -> int:
+    return sum(range(n))
+
+
+class TestStageProfiler:
+    def test_each_span_path_gets_its_own_stage(self):
+        with activate():
+            with profile_span() as profiler:
+                with trace_span("outer"):
+                    _busy()
+                    with trace_span("inner"):
+                        _busy()
+        assert set(profiler.paths) == {"outer", "outer/inner"}
+        for path in profiler.paths:
+            functions = profiler.top_functions(path)
+            assert functions, path
+            assert {"function", "ncalls", "tottime", "cumtime"} <= set(functions[0])
+
+    def test_attribution_is_exclusive(self):
+        # The busy work inside the child must not appear in the parent's
+        # stage: entering a child span suspends the parent's profile.
+        with activate():
+            with profile_span() as profiler:
+                with trace_span("outer"):
+                    with trace_span("inner"):
+                        _busy()
+        inner = {row["function"] for row in profiler.top_functions("outer/inner")}
+        outer = {row["function"] for row in profiler.top_functions("outer")}
+        assert any("_busy" in name for name in inner)
+        assert not any("_busy" in name for name in outer)
+
+    def test_profiler_attaches_to_the_active_registry(self):
+        with activate() as telemetry:
+            assert telemetry.profiler is None
+            with profile_span() as profiler:
+                assert telemetry.profiler is profiler
+                assert isinstance(profiler, StageProfiler)
+            assert telemetry.profiler is None
+
+    def test_inert_without_an_active_registry(self):
+        with profile_span() as profiler:
+            with trace_span("never-recorded"):
+                _busy()
+        assert profiler.paths == ()
+        assert render_profile(profiler) == "(no profile recorded)"
+        assert not get_registry().enabled
+
+    def test_spans_on_other_threads_are_profiled_too(self):
+        def work():
+            with trace_span("worker"):
+                _busy()
+
+        with activate():
+            with profile_span() as profiler:
+                thread = threading.Thread(target=work)
+                thread.start()
+                thread.join()
+        assert "worker" in profiler.paths
+
+    def test_service_run_profiles_the_pipeline_stages(self):
+        with activate():
+            with profile_span() as profiler:
+                with EstimationService() as service:
+                    service.estimate(_request())
+        assert "service.estimate/adaptive.run/engine.chunk" in profiler.paths
+
+    def test_profiling_never_changes_the_bits(self):
+        request = _request()
+        with EstimationService() as service:
+            bare = service.estimate(request)
+        with activate():
+            with profile_span():
+                with EstimationService() as service:
+                    profiled = service.estimate(request)
+        assert profiled.report.estimate.mean == bare.report.estimate.mean
+        assert profiled.trajectory == bare.trajectory
+
+
+class TestRendering:
+    def _profiled(self) -> StageProfiler:
+        with activate():
+            with profile_span() as profiler:
+                with trace_span("stage.one"):
+                    _busy()
+        return profiler
+
+    def test_render_profile_lists_stages_and_functions(self):
+        text = render_profile(self._profiled())
+        assert "stage stage.one" in text
+        assert "ncalls" in text and "cumtime" in text
+
+    def test_profile_as_dict_is_json_ready(self):
+        document = profile_as_dict(self._profiled())
+        json.dumps(document)  # must not raise
+        assert "stage.one" in document["stages"]
+
+    def test_write_profile_atomic_and_readable(self, tmp_path):
+        target = tmp_path / "profile.json"
+        write_profile(target, self._profiled())
+        document = json.loads(target.read_text())
+        assert "stage.one" in document["stages"]
+        leftovers = [p for p in tmp_path.iterdir() if p != target]
+        assert leftovers == []
+
+
+class TestProfileCli:
+    _ARGS = [
+        "estimate",
+        "--n", "40",
+        "--strategy", "uniform",
+        "--precision", "0.05",
+        "--block-size", "5000",
+        "--seed", "11",
+    ]
+
+    def test_profile_flag_prints_stage_tables(self, capsys):
+        from repro.cli import main
+
+        assert main([*self._ARGS, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "-- profile --" in out
+        assert "stage service.estimate" in out
+
+    def test_profile_file_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "profile.json"
+        assert main([*self._ARGS, "--profile-file", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "-- profile --" not in out  # printing needs --profile
+        document = json.loads(target.read_text())
+        assert any("adaptive.run" in path for path in document["stages"])
+
+    def test_json_document_embeds_the_profile(self, capsys):
+        from repro.cli import main
+
+        assert main([*self._ARGS, "--profile", "--json"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[out.index("{"):])
+        assert "profile" in document
+        assert document["profile"]["stages"]
+
+    def test_batch_profile_captures_the_cli_stage(self, capsys):
+        from repro.cli import main
+
+        argv = [
+            "batch",
+            "--n", "40",
+            "--strategy", "uniform",
+            "--trials", "5000",
+            "--seed", "11",
+            "--profile",
+        ]
+        assert main(argv) == 0
+        assert "stage cli.batch" in capsys.readouterr().out

@@ -548,3 +548,169 @@ class TestCLIHardening:
     def test_workers_without_sharded_backend_is_a_one_liner(self, capsys):
         assert main(["batch", "--n", "12", "--trials", "100", "--workers", "2"]) == 2
         assert "--workers/--shards only apply" in capsys.readouterr().err
+
+
+class TestTrajectoryReplay:
+    """Cache hits replay the full convergence trajectory bit-identically —
+    the substrate of the run ledger's payload-diff contract."""
+
+    def _request(self, **overrides) -> EstimateRequest:
+        parameters = dict(REFERENCE_KWARGS)
+        parameters.update(overrides)
+        return EstimateRequest(**parameters)
+
+    def test_memory_hit_replays_the_trajectory(self):
+        request = self._request()
+        with EstimationService() as service:
+            cold = service.estimate(request)
+            warm = service.estimate(request)
+        assert warm.from_cache
+        assert cold.trajectory and warm.trajectory == cold.trajectory
+        assert warm.convergence_history == cold.convergence_history
+
+    def test_disk_hit_replays_the_trajectory_bit_for_bit(self, tmp_path):
+        request = self._request()
+        with EstimationService(cache_dir=tmp_path) as first:
+            cold = first.estimate(request)
+        with EstimationService(cache_dir=tmp_path) as second:
+            reloaded = second.estimate(request)
+        assert reloaded.from_cache
+        assert reloaded.trajectory == cold.trajectory
+        for (_, cold_width), (_, warm_width) in zip(
+            cold.trajectory, reloaded.trajectory
+        ):
+            assert cold_width.hex() == warm_width.hex()
+
+    def test_dedup_hit_carries_the_trajectory(self):
+        request = self._request()
+        with EstimationService(max_workers=4) as service:
+            results = service.estimate_many([request] * 4)
+        trajectories = {result.trajectory for result in results}
+        assert len(trajectories) == 1 and results[0].trajectory
+
+
+class TestRoundProgress:
+    def _request(self, **overrides) -> EstimateRequest:
+        parameters = dict(REFERENCE_KWARGS)
+        parameters.update(overrides)
+        return EstimateRequest(**parameters)
+
+    def test_service_invokes_on_round_per_round(self):
+        from repro.service import RoundProgress
+
+        seen: list[RoundProgress] = []
+        request = self._request()
+        with EstimationService() as service:
+            result = service.estimate(request, on_round=seen.append)
+        assert len(seen) == result.rounds
+        assert [p.rounds for p in seen] == list(range(1, result.rounds + 1))
+        final = seen[-1]
+        assert final.n_trials == result.n_trials
+        assert final.half_width == result.trajectory[-1][1]
+        assert final.trials_to_target == 0  # the run converged
+
+    def test_cache_hit_never_invokes_on_round(self):
+        calls: list[object] = []
+        request = self._request()
+        with EstimationService() as service:
+            service.estimate(request)
+            warm = service.estimate(request, on_round=calls.append)
+        assert warm.from_cache and calls == []
+
+    def test_extrapolation_follows_inverse_square_root(self):
+        from repro.service import RoundProgress
+
+        progress = RoundProgress(
+            rounds=1,
+            n_trials=10_000,
+            half_width=0.04,
+            precision=0.01,
+            block_size=10_000,
+            max_trials=1_000_000,
+        )
+        # Halving the width four times over needs 16x the trials.
+        assert progress.trials_to_target == 150_000
+        assert progress.rounds_to_target == 15
+
+    def test_extrapolation_caps_at_the_budget(self):
+        from repro.service import RoundProgress
+
+        progress = RoundProgress(
+            rounds=1,
+            n_trials=10_000,
+            half_width=1.0,
+            precision=0.0001,
+            block_size=10_000,
+            max_trials=50_000,
+        )
+        assert progress.trials_to_target == 40_000
+        assert progress.rounds_to_target == 4
+
+    def test_no_precision_target_means_no_extrapolation(self):
+        from repro.service import RoundProgress
+
+        progress = RoundProgress(
+            rounds=1,
+            n_trials=10_000,
+            half_width=0.5,
+            precision=None,
+            block_size=10_000,
+            max_trials=50_000,
+        )
+        assert progress.trials_to_target is None
+        assert progress.rounds_to_target is None
+
+    def test_callback_cannot_change_the_bits(self):
+        request = self._request()
+        with EstimationService() as bare, EstimationService() as observed:
+            plain = bare.estimate(request)
+            watched = observed.estimate(request, on_round=lambda p: None)
+        assert watched.report == plain.report
+        assert watched.trajectory == plain.trajectory
+
+
+class TestProgressCli:
+    def test_non_tty_stderr_suppresses_the_meter(self):
+        import io
+
+        from repro.cli import _progress_callback
+
+        assert _progress_callback(io.StringIO()) is None
+
+    def test_tty_stderr_gets_a_rewriting_line(self):
+        import io
+
+        from repro.cli import _progress_callback
+        from repro.service import RoundProgress
+
+        class Tty(io.StringIO):
+            def isatty(self) -> bool:
+                return True
+
+        stream = Tty()
+        on_round = _progress_callback(stream)
+        assert on_round is not None
+        on_round(
+            RoundProgress(
+                rounds=2,
+                n_trials=20_000,
+                half_width=0.02,
+                precision=0.01,
+                block_size=10_000,
+                max_trials=100_000,
+            )
+        )
+        output = stream.getvalue()
+        assert output.startswith("\r")
+        assert "round 2" in output and "20000 trials" in output
+        assert "round(s) to target" in output
+
+    def test_progress_flag_is_quiet_when_redirected(self, capsys):
+        argv = [
+            "estimate", "--n", "40", "--strategy", "uniform",
+            "--precision", "0.05", "--seed", "3", "--progress",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "\r" not in captured.err  # pytest's capture is not a tty
+        assert "estimated H*" in captured.out

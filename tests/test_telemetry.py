@@ -690,3 +690,149 @@ class TestCliObservability:
         assert main(["stats", "--cache-dir", str(tmp_path)]) == 0
         output = capsys.readouterr().out
         assert "disk entries" in output
+
+
+class TestPrometheusLabelEscaping:
+    """Label values must survive the 0.0.4 text format: backslash, quote,
+    and newline escape in that order, so rendered series always parse."""
+
+    def test_special_characters_escape(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", path='a\\b"c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        assert "\nrepro_odd_total{" in text
+
+    def test_backslash_escapes_before_quote_and_newline(self):
+        # A pre-escaped-looking value must not double-unescape: the literal
+        # two characters backslash-n stay distinct from one newline.
+        registry = MetricsRegistry()
+        registry.counter("one_total", value="\\n").inc()
+        registry.counter("two_total", value="\n").inc()
+        text = render_prometheus(registry)
+        assert 'value="\\\\n"' in text  # literal backslash + n
+        assert 'value="\\n"' in text    # escaped newline
+
+    def test_plain_labels_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total", tier="memory").inc()
+        assert 'tier="memory"' in render_prometheus(registry)
+
+
+class TestAtomicSnapshotWrite:
+    def test_no_temporary_leftovers(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc()
+        target = tmp_path / "snapshot.json"
+        write_snapshot(target, registry)
+        assert json.loads(target.read_text())["counters"]
+        assert [p.name for p in tmp_path.iterdir()] == ["snapshot.json"]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        target = tmp_path / "snapshot.json"
+        first = MetricsRegistry()
+        first.counter("a_total").inc()
+        write_snapshot(target, first)
+        second = MetricsRegistry()
+        second.counter("b_total").inc(2)
+        write_snapshot(target, second)
+        names = [entry["name"] for entry in json.loads(target.read_text())["counters"]]
+        assert names == ["b_total"]
+
+
+class TestEnvironmentFingerprint:
+    def test_snapshots_carry_the_fingerprint(self):
+        from repro import __version__
+
+        for registry in (MetricsRegistry(), NullRegistry()):
+            environment = registry.snapshot()["environment"]
+            assert set(environment) == {"python", "platform", "repro_version"}
+            assert environment["repro_version"] == __version__
+
+    def test_environment_key_is_stable_and_sorted(self):
+        from repro.utils.env import environment_fingerprint, environment_key
+
+        key = environment_key({"b": "2", "a": "1"})
+        assert key == "a=1|b=2"
+        assert environment_key() == environment_key(environment_fingerprint())
+
+    def test_stats_prints_the_environment_line(self, tmp_path, capsys):
+        from repro.cli import main
+
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc()
+        target = tmp_path / "snapshot.json"
+        write_snapshot(target, registry)
+        assert main(["stats", "--metrics-file", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "environment: " in output
+        assert "python=" in output and "repro_version=" in output
+
+    def test_json_format_has_no_extra_line(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "snapshot.json"
+        write_snapshot(target, MetricsRegistry())
+        assert main(["stats", "--metrics-file", str(target), "--format", "json"]) == 0
+        assert "environment: " not in capsys.readouterr().out
+
+
+class TestRegistryConcurrency:
+    """The registry is shared by the service's worker threads: hammering one
+    counter/histogram from many threads must lose no increments."""
+
+    THREADS = 8
+    PER_THREAD = 2_000
+
+    def test_counters_and_histograms_exact_under_contention(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(self.PER_THREAD):
+                registry.counter("hammer_total").inc()
+                registry.counter("hammer_total", worker=str(worker)).inc(2)
+                registry.histogram("hammer_seconds").observe(1.0)
+                if i % 100 == 0:
+                    registry.gauge("hammer_active").set(worker)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = self.THREADS * self.PER_THREAD
+        assert registry.counter("hammer_total").value == total
+        for worker in range(self.THREADS):
+            assert (
+                registry.counter("hammer_total", worker=str(worker)).value
+                == 2 * self.PER_THREAD
+            )
+        histogram = registry.histogram("hammer_seconds")
+        assert histogram.count == total
+        assert histogram.sum == float(total)
+
+    def test_service_pool_increments_are_exact(self):
+        registry = MetricsRegistry()
+        set_registry(registry)
+        try:
+            requests = [_request(seed=seed) for seed in range(6)]
+            with EstimationService(max_workers=4) as service:
+                results = service.estimate_many(requests + requests)
+            assert all(result.converged for result in results)
+            snapshot = registry.snapshot()
+            counters = {
+                (entry["name"], tuple(sorted(entry["labels"].items()))): entry["value"]
+                for entry in snapshot["counters"]
+            }
+            assert counters[("service_requests_total", ())] == 12.0
+            # Six unique digests computed once each; the duplicates were
+            # served by dedup or the cache, never recomputed.
+            assert counters[("adaptive_stops_total", (("reason", "precision"),))] == 6.0
+        finally:
+            set_registry(None)
