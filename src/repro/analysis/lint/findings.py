@@ -1,0 +1,83 @@
+"""Findings and the suppression idiom of the contract linter.
+
+A :class:`Finding` is one violation of a static contract rule: the
+repo-relative file, the 1-based line, the rule id, and a human-readable
+message.  Findings are ordered (path, line, rule) so reports are stable
+across runs and platforms.
+
+Suppression mirrors ``noqa``: a violation is silenced by an explicit
+marker on the flagged line ::
+
+    order_free = {2, 3, 5}
+    total = sum(x for x in order_free)  # repro: ignore[R001]
+
+The marker names the rule (or a comma-separated list of rules) it waives;
+there is deliberately no blanket ``ignore-everything`` form — every
+suppression is a reviewed, rule-specific decision, exactly like a
+``# type: ignore[code]``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Finding", "suppressed_rules", "apply_suppressions"]
+
+#: ``# repro: ignore[R001]`` / ``# repro: ignore[R001, R004]``.
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-contract violation at ``path:line``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line report form: ``path:line: RULE message``."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON form for ``repro-anon check --json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def suppressed_rules(source: str) -> dict[int, frozenset[str]]:
+    """Map each line number to the rule ids suppressed on that line.
+
+    Lines without a ``# repro: ignore[...]`` marker are absent from the
+    mapping.  The scan is line-based (like ``noqa``), so a marker inside a
+    string literal also suppresses — acceptable for a repo-hygiene tool,
+    and the whole-repo clean test keeps markers honest.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match:
+            rules = frozenset(
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            )
+            if rules:
+                suppressions[line_number] = rules
+    return suppressions
+
+
+def apply_suppressions(findings: list[Finding], source: str) -> list[Finding]:
+    """Drop findings whose line carries a matching suppression marker."""
+    suppressions = suppressed_rules(source)
+    if not suppressions:
+        return findings
+    return [
+        finding
+        for finding in findings
+        if finding.rule not in suppressions.get(finding.line, frozenset())
+    ]

@@ -518,6 +518,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", required=True, help="directory of the result cache"
     )
 
+    check = subparsers.add_parser(
+        "check",
+        help="run the static contract linter (determinism, registries, schemas)",
+    )
+    check.add_argument(
+        "--root",
+        default=None,
+        help="repo checkout to lint (default: the checkout this package "
+        "was imported from)",
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        default=None,
+        metavar="RULE",
+        help="run only this rule id (repeatable; default: all registered)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings (or the rule list) as JSON instead of text",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rule ids and titles instead of linting",
+    )
+    check.add_argument(
+        "--update-schemas",
+        action="store_true",
+        help="re-pin analysis/schemas.json from the current tree and exit",
+    )
+
     return parser
 
 
@@ -1085,6 +1119,64 @@ def _command_history(args: argparse.Namespace) -> int:
     return 1 if differences["payload"] else 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is tooling, not part of the estimation
+    # fast path, and the import registers the built-in rules.
+    from repro.analysis.lint import available_rules, get_rule, run_check
+    from repro.analysis.lint.rules import SCHEMA_SNAPSHOT_PATH, current_schemas
+    from repro.analysis.lint.walker import Project, default_root
+
+    if args.list_rules:
+        rules = [
+            {"id": rule_id, "title": get_rule(rule_id).title}
+            for rule_id in available_rules()
+        ]
+        if args.json:
+            print(json.dumps({"rules": rules}, indent=2))
+        else:
+            for rule in rules:
+                print(f"{rule['id']}  {rule['title']}")
+        return 0
+
+    if args.update_schemas:
+        project = Project(default_root() if args.root is None else args.root)
+        snapshot = current_schemas(project)
+        target = project.root / SCHEMA_SNAPSHOT_PATH
+        target.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"pinned {len(snapshot['modules'])} modules -> {target}")
+        return 0
+
+    findings = run_check(
+        root=args.root, rules=tuple(args.rules) if args.rules else None
+    )
+    if args.json:
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.as_dict() for finding in findings],
+                    "counts": counts,
+                    "total": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        print(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+            if findings
+            else "clean: no contract findings"
+        )
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -1109,6 +1201,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": lambda: _command_stats(args),
         "cache": lambda: _command_cache(args),
         "history": lambda: _command_history(args),
+        "check": lambda: _command_check(args),
     }
     command = commands.get(args.command)
     if command is None:  # pragma: no cover - argparse enforces the choices
