@@ -31,7 +31,6 @@ import time
 from perf_record import telemetry_breakdown, write_record
 
 from repro.batch.backends import estimate_anonymity
-from repro.core.model import SystemModel
 from repro.distributions import UniformLength
 from repro.service import DistributionSpec, EstimateRequest, EstimationService
 from repro.telemetry import activate, write_snapshot

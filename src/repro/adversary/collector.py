@@ -13,11 +13,9 @@ the two routes produce identical observations for identical paths.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.adversary.observation import (
-    RECEIVER,
     HopReport,
     Observation,
     ReceiverReport,

@@ -35,7 +35,7 @@ from repro.core.model import PathModel
 from repro.distributions import FixedLength, UniformLength
 from repro.exceptions import ProtocolError
 from repro.network.message import Message
-from repro.protocols.base import DELIVER, SourceRoutedProtocol
+from repro.protocols.base import SourceRoutedProtocol
 from repro.routing.strategies import PathSelectionStrategy
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int, check_range

@@ -22,7 +22,6 @@ from repro.distributions import (
     GeometricLength,
     PathLengthDistribution,
     TwoPointLength,
-    UniformLength,
 )
 from repro.exceptions import ConfigurationError
 from repro.routing.path import ReroutingPath

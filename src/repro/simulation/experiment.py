@@ -28,7 +28,6 @@ from repro.adversary.observation import observation_from_path
 from repro.core.model import SystemModel
 from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
-from repro.protocols.base import ReroutingProtocol
 from repro.routing.strategies import PathSelectionStrategy
 from repro.simulation.engine import AnonymousCommunicationSystem
 from repro.simulation.results import (

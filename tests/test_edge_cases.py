@@ -9,7 +9,6 @@ to make.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -33,7 +33,7 @@ from repro.batch import (
 )
 from repro.batch import engine as engine_module
 from repro.core.model import PathModel, SystemModel
-from repro.distributions import FixedLength, UniformLength
+from repro.distributions import UniformLength
 from repro.exceptions import ConfigurationError
 from repro.routing.strategies import PathSelectionStrategy
 

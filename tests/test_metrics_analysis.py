@@ -19,7 +19,7 @@ from repro.analysis import (
     uniform_width_sweep,
 )
 from repro.core.anonymity import AnonymityAnalyzer
-from repro.core.model import AdversaryModel, SystemModel
+from repro.core.model import SystemModel
 from repro.distributions import FixedLength, UniformLength
 from repro.metrics import (
     effective_set_size,

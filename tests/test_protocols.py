@@ -17,7 +17,6 @@ from repro.core.model import PathModel, SystemModel
 from repro.distributions import FixedLength
 from repro.exceptions import ProtocolError
 from repro.protocols import (
-    DELIVER,
     AnonymizerProtocol,
     CrowdsProtocol,
     FreedomProtocol,

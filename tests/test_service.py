@@ -22,7 +22,6 @@ import math
 import pytest
 
 from repro.analysis.sweep import fixed_length_sweep
-from repro.batch.backends import estimate_anonymity
 from repro.cli import main
 from repro.core.anonymity import AnonymityAnalyzer
 from repro.core.model import AdversaryModel, SystemModel
