@@ -43,6 +43,7 @@ from __future__ import annotations
 import abc
 import logging
 from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro.batch.estimator import BatchMonteCarlo
 from repro.core.anonymity import AnonymityAnalyzer
@@ -52,6 +53,9 @@ from repro.exceptions import ConfigurationError
 from repro.routing.strategies import PathSelectionStrategy
 from repro.simulation.results import IDENTIFIED_THRESHOLD, EstimateWithCI
 from repro.utils.rng import RandomSource
+
+if TYPE_CHECKING:
+    from repro.simulation.experiment import MonteCarloReport
 
 __all__ = [
     "EstimatorBackend",
@@ -80,7 +84,7 @@ class EstimatorBackend(abc.ABC):
         strategy: PathSelectionStrategy,
         n_trials: int = 10_000,
         rng: RandomSource = None,
-    ):
+    ) -> "MonteCarloReport":
         """Estimate ``H*(S)`` and return a ``MonteCarloReport``."""
 
 
@@ -95,7 +99,7 @@ class ExactBackend(EstimatorBackend):
         strategy: PathSelectionStrategy,
         n_trials: int = 10_000,
         rng: RandomSource = None,
-    ):
+    ) -> "MonteCarloReport":
         from repro.simulation.experiment import MonteCarloReport
 
         distribution = strategy.effective_distribution(model.n_nodes)
@@ -128,7 +132,7 @@ class EventBackend(EstimatorBackend):
         strategy: PathSelectionStrategy,
         n_trials: int = 10_000,
         rng: RandomSource = None,
-    ):
+    ) -> "MonteCarloReport":
         from repro.simulation.experiment import StrategyMonteCarlo
 
         return StrategyMonteCarlo(model, strategy).run(n_trials, rng=rng)
@@ -148,11 +152,13 @@ class BatchBackend(EstimatorBackend):
         strategy: PathSelectionStrategy,
         n_trials: int = 10_000,
         rng: RandomSource = None,
-    ):
+    ) -> "MonteCarloReport":
         estimator = BatchMonteCarlo(model, strategy, use_numpy=self._use_numpy)
         return estimator.run(n_trials, rng=rng)
 
-    def accumulate_runner(self, model: SystemModel, strategy: PathSelectionStrategy):
+    def accumulate_runner(
+        self, model: SystemModel, strategy: PathSelectionStrategy
+    ) -> Callable[..., Any]:
         """Bind one kernel for block accumulation (the adaptive-service hook).
 
         Returns a callable ``(n_trials, rng) -> BatchAccumulator``.  The
@@ -179,7 +185,7 @@ def available_backends() -> tuple[str, ...]:
     return tuple(_BACKENDS)
 
 
-def get_backend(name: str, **options) -> EstimatorBackend:
+def get_backend(name: str, **options: Any) -> EstimatorBackend:
     """Instantiate the backend registered under ``name``.
 
     ``options`` are forwarded to the backend factory — e.g.
@@ -225,8 +231,8 @@ def estimate_anonymity(
     n_trials: int = 10_000,
     rng: RandomSource = None,
     backend: str = "batch",
-    **backend_options,
-):
+    **backend_options: Any,
+) -> "MonteCarloReport":
     """One-call estimation through a named backend.
 
     ``strategy`` may be a full :class:`PathSelectionStrategy` or a bare

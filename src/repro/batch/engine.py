@@ -58,6 +58,7 @@ import logging
 import math
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.batch._accel import resolve_use_numpy
 from repro.batch.classify import class_counts, classify_columns
@@ -72,6 +73,11 @@ from repro.routing.strategies import PathSelectionStrategy
 from repro.simulation.results import IDENTIFIED_THRESHOLD, EstimateWithCI
 from repro.telemetry.metrics import DEFAULT_RATE_BUCKETS, get_registry
 from repro.utils.rng import RandomSource, ensure_rng
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.simulation.experiment import MonteCarloReport
 
 logger = logging.getLogger(__name__)
 
@@ -160,7 +166,7 @@ class BatchAccumulator:
         )
         return mean, math.sqrt(variance / n)
 
-    def report(self, model: SystemModel, distribution_name: str):
+    def report(self, model: SystemModel, distribution_name: str) -> "MonteCarloReport":
         """Summarise into a :class:`~repro.simulation.experiment.MonteCarloReport`."""
         from repro.simulation.experiment import MonteCarloReport
 
@@ -243,11 +249,11 @@ class TrialEngine(abc.ABC):
     # ------------------------------------------------------------------ #
 
     @abc.abstractmethod
-    def sample_block(self, n_trials: int, generator):
+    def sample_block(self, n_trials: int, generator: "np.random.Generator") -> Any:
         """Draw one columnar block of ``n_trials`` trials."""
 
     @abc.abstractmethod
-    def classify(self, block) -> dict[object, tuple[int, int | None]]:
+    def classify(self, block: Any) -> dict[object, tuple[int, int | None]]:
         """Histogram a block into ``{class key: (count, representative)}``.
 
         ``representative`` is the block index of the first trial of the class
@@ -257,7 +263,7 @@ class TrialEngine(abc.ABC):
 
     @abc.abstractmethod
     def score(
-        self, key: object, block, representative: int | None
+        self, key: object, block: Any, representative: int | None
     ) -> tuple[float, bool]:
         """Exact ``(entropy_bits, identified)`` of one observation class."""
 
@@ -265,7 +271,7 @@ class TrialEngine(abc.ABC):
     # The driver                                                          #
     # ------------------------------------------------------------------ #
 
-    def block_length_sum(self, block) -> int:
+    def block_length_sum(self, block: Any) -> int:
         """Summed path length of one block (NumPy-accelerated when enabled)."""
         if resolve_use_numpy(self.use_numpy):
             return int(block.as_numpy()[1].sum())
@@ -331,7 +337,7 @@ class TrialEngine(abc.ABC):
             classes={key: tuple(value) for key, value in classes.items()},
         )
 
-    def run(self, n_trials: int, rng: RandomSource = None):
+    def run(self, n_trials: int, rng: RandomSource = None) -> "MonteCarloReport":
         """Run ``n_trials`` trials and summarise into a ``MonteCarloReport``."""
         accumulator = self.run_accumulate(n_trials, rng=rng)
         return accumulator.report(self.model, self._distribution.name)
@@ -389,7 +395,12 @@ class FiveClassEngine(TrialEngine):
         self._identified_codes = frozenset(identified)
 
     @classmethod
-    def covers(cls, model, strategy, compromised) -> bool:
+    def covers(
+        cls,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        compromised: frozenset[int],
+    ) -> bool:
         return (
             model.clique_routing
             and strategy.path_model is PathModel.SIMPLE
@@ -397,10 +408,10 @@ class FiveClassEngine(TrialEngine):
             and model.receiver_compromised
         )
 
-    def sample_block(self, n_trials: int, generator):
+    def sample_block(self, n_trials: int, generator: "np.random.Generator") -> Any:
         return self._sampler.draw(n_trials, generator, use_numpy=self.use_numpy)
 
-    def classify(self, block) -> dict[object, tuple[int, int | None]]:
+    def classify(self, block: Any) -> dict[object, tuple[int, int | None]]:
         codes = classify_columns(
             block,
             self._compromised_node,
@@ -423,7 +434,7 @@ class FiveClassEngine(TrialEngine):
             if counts[cls]
         }
 
-    def score(self, key, block, representative) -> tuple[float, bool]:
+    def score(self, key: Any, block: Any, representative: int | None) -> tuple[float, bool]:
         return self._entropy_by_code[key], key in self._identified_codes
 
 
@@ -463,17 +474,22 @@ class ArrangementEngine(TrialEngine):
         )
 
     @classmethod
-    def covers(cls, model, strategy, compromised) -> bool:
+    def covers(
+        cls,
+        model: SystemModel,
+        strategy: PathSelectionStrategy,
+        compromised: frozenset[int],
+    ) -> bool:
         return model.clique_routing and strategy.path_model is PathModel.SIMPLE
 
-    def sample_block(self, n_trials: int, generator):
+    def sample_block(self, n_trials: int, generator: "np.random.Generator") -> Any:
         return self._sampler.draw(n_trials, generator, use_numpy=self.use_numpy)
 
-    def classify(self, block) -> dict[object, tuple[int, int | None]]:
+    def classify(self, block: Any) -> dict[object, tuple[int, int | None]]:
         keyed = count_class_keys(block, self.compromised, use_numpy=self.use_numpy)
         return {key: (count, None) for key, count in keyed.items()}
 
-    def score(self, key, block, representative) -> tuple[float, bool]:
+    def score(self, key: Any, block: Any, representative: int | None) -> tuple[float, bool]:
         score = self._score_table.score(key)
         return score.entropy_bits, score.identified
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import abc
 from array import array
 from bisect import bisect_left
-from collections.abc import Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -148,13 +148,13 @@ class PathLengthDistribution(abc.ABC):
         """Standard deviation of the path length."""
         return float(np.sqrt(self.variance()))
 
-    def expectation_of(self, func) -> float:
+    def expectation_of(self, func: Callable[[int], float]) -> float:
         """Expectation ``E[func(L)]`` of an arbitrary function of the length."""
         return kahan_sum(prob * func(length) for length, prob in self.items())
 
     # -- sampling --------------------------------------------------------
 
-    def sample(self, rng: RandomSource = None, size: int | None = None):
+    def sample(self, rng: RandomSource = None, size: int | None = None) -> int | np.ndarray:
         """Draw one path length (``size=None``) or an array of ``size`` lengths."""
         generator = ensure_rng(rng)
         lengths = np.array(self.support, dtype=np.int64)

@@ -33,7 +33,9 @@ from __future__ import annotations
 import logging
 import math
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.batch.backends import EstimatorBackend, get_backend
 from repro.batch.estimator import BatchAccumulator
@@ -45,6 +47,9 @@ from repro.simulation.results import _Z_95 as Z_95
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.tracing import trace_span
 from repro.utils.rng import RandomSource, ensure_rng
+
+if TYPE_CHECKING:
+    from repro.simulation.experiment import MonteCarloReport
 
 __all__ = ["AdaptiveRun", "AdaptiveScheduler", "RoundProgress", "STOP_PRECISION", "STOP_BUDGET", "STOP_WALL_CLOCK", "STOP_EXACT"]
 
@@ -161,8 +166,8 @@ class AdaptiveScheduler:
         block_size: int = 10_000,
         max_trials: int = 1_000_000,
         max_seconds: float | None = None,
-        on_round=None,
-        **backend_options,
+        on_round: Callable[[RoundProgress], None] | None = None,
+        **backend_options: Any,
     ) -> None:
         if precision is not None and precision <= 0.0:
             raise ConfigurationError(f"precision must be > 0, got {precision}")

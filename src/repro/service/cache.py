@@ -26,11 +26,15 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError
 from repro.service.request import EstimateRequest
 from repro.simulation.results import EstimateWithCI
 from repro.telemetry.metrics import get_registry
+
+if TYPE_CHECKING:
+    from repro.simulation.experiment import MonteCarloReport
 
 __all__ = ["CachedEstimate", "CacheStats", "ResultCache"]
 

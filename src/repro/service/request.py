@@ -73,7 +73,7 @@ SPEC_FAMILIES: dict[str, tuple] = {
 }
 
 
-def _plain_number(value):
+def _plain_number(value: object) -> int | float:
     """Coerce a numeric parameter to a canonical plain ``int`` or ``float``.
 
     Booleans and NumPy scalars are rejected or unwrapped so that the JSON

@@ -26,20 +26,25 @@ service's wall-clock ceiling — are returned but never cached.
 from __future__ import annotations
 
 import logging
+import os
 import threading
 import time
+from collections.abc import Callable, Iterable
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
-from repro.batch.backends import get_backend
+from repro.batch.backends import EstimatorBackend, get_backend
 from repro.exceptions import ConfigurationError
-from repro.service.adaptive import AdaptiveRun, AdaptiveScheduler
+from repro.service.adaptive import AdaptiveRun, AdaptiveScheduler, RoundProgress
 from repro.service.cache import CachedEstimate, CacheStats, ResultCache
 from repro.service.request import EstimateRequest
 from repro.telemetry.journal import RunJournal
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.tracing import trace_span
+
+if TYPE_CHECKING:
+    from repro.simulation.experiment import MonteCarloReport
 
 __all__ = ["EstimationService", "ServiceResult"]
 
@@ -109,7 +114,7 @@ class EstimationService:
 
     def __init__(
         self,
-        cache_dir=None,
+        cache_dir: str | os.PathLike | None = None,
         memory_entries: int = 256,
         max_workers: int = 4,
         max_seconds: float | None = None,
@@ -127,14 +132,18 @@ class EstimationService:
         )
         self._lock = threading.Lock()
         self._inflight: dict[str, Future] = {}
-        self._backends: dict[tuple, object] = {}
+        self._backends: dict[tuple, EstimatorBackend] = {}
         self._closed = False
 
     # ------------------------------------------------------------------ #
     # Estimation                                                          #
     # ------------------------------------------------------------------ #
 
-    def estimate(self, request: EstimateRequest, on_round=None) -> ServiceResult:
+    def estimate(
+        self,
+        request: EstimateRequest,
+        on_round: Callable[[RoundProgress], None] | None = None,
+    ) -> ServiceResult:
         """Answer one request synchronously (cache first, compute on miss).
 
         Identical concurrent requests are coalesced: if another thread is
@@ -253,7 +262,7 @@ class EstimationService:
                 telemetry.counter("journal_records_total").inc()
         return result
 
-    def _backend(self, request: EstimateRequest):
+    def _backend(self, request: EstimateRequest) -> EstimatorBackend:
         key = (request.backend, request.backend_options)
         with self._lock:
             backend = self._backends.get(key)
@@ -269,7 +278,7 @@ class EstimationService:
         request: EstimateRequest,
         digest: str,
         started: float,
-        on_round=None,
+        on_round: Callable[[RoundProgress], None] | None = None,
     ) -> ServiceResult:
         scheduler = AdaptiveScheduler(
             backend=self._backend(request),
@@ -341,5 +350,5 @@ class EstimationService:
     def __enter__(self) -> "EstimationService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -37,8 +37,15 @@ import time
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 
+from typing import TYPE_CHECKING
+
 from repro.exceptions import ConfigurationError
 from repro.utils.env import environment_fingerprint
+
+if TYPE_CHECKING:
+    from repro.service.request import EstimateRequest
+    from repro.service.service import ServiceResult
+    from repro.telemetry.metrics import MetricsRegistry, NullRegistry
 
 __all__ = [
     "RunRecord",
@@ -105,7 +112,11 @@ class RunRecord:
 
     @classmethod
     def from_result(
-        cls, request, result, registry=None, recorded_at: float | None = None
+        cls,
+        request: "EstimateRequest",
+        result: "ServiceResult",
+        registry: "MetricsRegistry | NullRegistry | None" = None,
+        recorded_at: float | None = None,
     ) -> "RunRecord":
         """Build a record from an ``EstimateRequest`` and its ``ServiceResult``.
 
@@ -232,7 +243,12 @@ class RunJournal:
         finally:
             os.close(descriptor)
 
-    def record(self, request, result, registry=None) -> RunRecord:
+    def record(
+        self,
+        request: "EstimateRequest",
+        result: "ServiceResult",
+        registry: "MetricsRegistry | NullRegistry | None" = None,
+    ) -> RunRecord:
         """Build a :class:`RunRecord` from a service result and append it."""
         entry = RunRecord.from_result(request, result, registry=registry)
         self.append(entry)
