@@ -12,16 +12,23 @@ inline links and images, and checks every *intra-repository* target:
 * external schemes (``http://``, ``https://``, ``mailto:``) are ignored —
   this checker is for repo hygiene, not the internet.
 
-Exit status 0 when every link resolves, 1 otherwise (one line per broken
-link).  Stdlib only; used by the CI ``docs`` job:
+With ``--rules-json``, every contract-rule id mentioned in the docs (R001,
+R002, ...) is additionally checked against the linter's registry, as listed
+by ``repro-anon check --list-rules --json`` — a rule renamed or removed in
+code cannot silently leave stale mentions behind:
 
-    python scripts/check_links.py
+    PYTHONPATH=src python -m repro.cli check --list-rules --json > rules.json
+    python scripts/check_links.py --rules-json rules.json
+
+Exit status 0 when every link (and rule mention) resolves, 1 otherwise (one
+line per problem).  Stdlib only; used by the CI ``static-analysis`` job.
 """
 
 from __future__ import annotations
 
 import argparse
 import glob
+import json
 import re
 import sys
 from pathlib import Path
@@ -32,6 +39,10 @@ _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
 _FENCE_RE = re.compile(r"^(```|~~~)")
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Contract-rule ids as the docs write them (R001, R123, ...).  The word
+#: boundary keeps hex strings and issue numbers out.
+_RULE_ID_RE = re.compile(r"\bR\d{3}\b")
 
 
 def github_slug(heading: str) -> str:
@@ -103,12 +114,52 @@ def check_file(path: Path, repo_root: Path) -> list[str]:
     return problems
 
 
+def check_rule_mentions(path: Path, repo_root: Path, known: set[str]) -> list[str]:
+    """Complaints for doc-mentioned rule ids missing from the registry.
+
+    Scans prose *and* code fences: suppression examples
+    (``# repro: ignore[R001]``) name rule ids inside fenced blocks, and a
+    stale id there misleads exactly as much as one in prose.
+    """
+    problems: list[str] = []
+    try:
+        display = path.relative_to(repo_root)
+    except ValueError:
+        display = path
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for rule_id in _RULE_ID_RE.findall(line):
+            if rule_id not in known:
+                problems.append(
+                    f"{display}:{line_number}: rule {rule_id} is not in the "
+                    "linter registry (repro-anon check --list-rules)"
+                )
+    return problems
+
+
+def load_known_rules(rules_json: Path) -> set[str]:
+    """Rule ids from a ``repro-anon check --list-rules --json`` dump.
+
+    ``R000`` is always known: it is the walker's reserved parse-error id,
+    documented but never registered as a rule class.
+    """
+    payload = json.loads(rules_json.read_text(encoding="utf-8"))
+    return {rule["id"] for rule in payload["rules"]} | {"R000"}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "files",
         nargs="*",
         help="Markdown files to check (default: README.md and docs/*.md)",
+    )
+    parser.add_argument(
+        "--rules-json",
+        default=None,
+        help="output of 'repro-anon check --list-rules --json'; when given, "
+        "every R### id mentioned in the docs must be a registered rule",
     )
     args = parser.parse_args(argv)
     repo_root = Path(__file__).resolve().parent.parent
@@ -119,12 +170,17 @@ def main(argv: list[str] | None = None) -> int:
             Path(name).resolve()
             for name in sorted(glob.glob(str(repo_root / "docs" / "*.md")))
         ]
+    known_rules: set[str] | None = None
+    if args.rules_json is not None:
+        known_rules = load_known_rules(Path(args.rules_json))
     problems: list[str] = []
     for path in files:
         if not path.exists():
             problems.append(f"{path}: file not found")
             continue
         problems.extend(check_file(path, repo_root))
+        if known_rules is not None:
+            problems.extend(check_rule_mentions(path, repo_root, known_rules))
     for problem in problems:
         print(problem, file=sys.stderr)
 
