@@ -3,21 +3,33 @@
 These are not paper figures; they document the cost of the building blocks a
 downstream user composes: the exact anonymity-degree computation, the
 Bayesian posterior for one observation, the optimizer, a single end-to-end
-protocol transmission, and the Monte-Carlo estimator.
+protocol transmission, and the Monte-Carlo estimator — plus the kernel-tier
+comparison: every engine's fused single-pass accumulator against its staged
+``sample_block → classify → score`` twin, with the asserted floor **fused
+five-class >= 2x staged** written to ``BENCH_engines.json``.
 """
 
 from __future__ import annotations
 
+import time
+import types
+
 import numpy as np
+from perf_record import write_record
 
 from repro.adversary.inference import BayesianPathInference
 from repro.adversary.observation import observation_from_path
+from repro.batch.engine import TrialEngine, select_engine
+from repro.batch.jit import HAVE_NUMBA, FiveClassJitEngine
 from repro.core.anonymity import AnonymityAnalyzer
-from repro.core.model import SystemModel
+from repro.core.model import PathModel, SystemModel
 from repro.core.optimizer import best_uniform_for_mean
-from repro.distributions import FixedLength, UniformLength
+from repro.distributions import FixedLength, GeometricLength, UniformLength
 from repro.protocols import OnionRoutingI
-from repro.routing.strategies import deployed_system_strategies
+from repro.routing.strategies import (
+    PathSelectionStrategy,
+    deployed_system_strategies,
+)
 from repro.simulation import AnonymousCommunicationSystem, StrategyMonteCarlo
 
 
@@ -72,3 +84,130 @@ def test_monte_carlo_batch(benchmark):
     )
     exact = AnonymityAnalyzer(model).anonymity_degree(FixedLength(5))
     assert report.estimate.contains(exact, slack=0.05)
+
+
+# ---------------------------------------------------------------------- #
+# Kernel tiers: fused single-pass accumulators vs their staged twins      #
+# ---------------------------------------------------------------------- #
+
+#: The kernel-tier workload: the paper-sized system over geometric lengths.
+KERNEL_NODES = 100
+KERNEL_TRIALS = 2_000_000
+KERNEL_SMOKE_TRIALS = 100_000
+KERNEL_DISTRIBUTION = GeometricLength(0.25, max_length=40)
+#: Chunk size of the comparison — the fused tier's cache-resident sweet spot
+#: (the autotune ladder's typical winner); ``chunk_trials=None`` would measure
+#: allocator and cache pressure on the 2M-element temporaries instead of
+#: kernel cost.
+KERNEL_CHUNK = 16_384
+#: Acceptance floor: the fused five-class kernel at >= 2x its staged twin.
+MIN_FUSED_SPEEDUP = 2.0
+
+#: The engine domains compared: (record key, path model, compromised set).
+KERNEL_DOMAINS = [
+    ("five_class", PathModel.SIMPLE, frozenset({7})),
+    ("arrangement", PathModel.SIMPLE, frozenset({7, 23})),
+    ("cycle", PathModel.CYCLE_ALLOWED, frozenset({7})),
+]
+
+
+def _kernel_engine(path_model, compromised) -> TrialEngine:
+    model = SystemModel(
+        n_nodes=KERNEL_NODES,
+        n_compromised=len(compromised),
+        path_model=path_model,
+    )
+    strategy = PathSelectionStrategy(
+        KERNEL_DISTRIBUTION.name, KERNEL_DISTRIBUTION, path_model=path_model
+    )
+    factory = select_engine(model, strategy, compromised)
+    engine = factory(model, strategy, compromised)
+    engine.chunk_trials = KERNEL_CHUNK
+    return engine
+
+
+def _staged_twin(engine: TrialEngine) -> TrialEngine:
+    """The same engine instance shape, pinned to the staged default path."""
+    twin = _kernel_engine(
+        engine.strategy.path_model, engine.compromised
+    )
+    twin.fused_accumulate = types.MethodType(TrialEngine.fused_accumulate, twin)
+    return twin
+
+
+def _accumulate_tps(engine: TrialEngine, n_trials: int) -> float:
+    """Best-of-three trials/sec of one engine's ``run_accumulate``."""
+    best = 0.0
+    for _ in range(3):
+        started = time.perf_counter()
+        engine.run_accumulate(n_trials, rng=9)
+        best = max(best, n_trials / (time.perf_counter() - started))
+    return best
+
+
+def test_fused_kernel_tier_floor(smoke):
+    """The kernel-tier record: fused vs staged trials/sec for every engine.
+
+    Correctness rides along: each fused accumulator is asserted bit-identical
+    to its staged twin's before the clocks matter, so the record can never
+    report the speed of a wrong kernel.  The floor — fused five-class >= 2x
+    staged — is asserted on the full workload only.
+    """
+    n_trials = KERNEL_SMOKE_TRIALS if smoke else KERNEL_TRIALS
+    results: dict[str, float] = {}
+    print()
+    for key, path_model, compromised in KERNEL_DOMAINS:
+        fused = _kernel_engine(path_model, compromised)
+        staged = _staged_twin(fused)
+        assert fused.run_accumulate(50_000, rng=1) == staged.run_accumulate(
+            50_000, rng=1
+        ), f"fused {fused.name} kernel is not bit-identical to its staged twin"
+        fused_tps = _accumulate_tps(fused, n_trials)
+        staged_tps = _accumulate_tps(staged, n_trials)
+        results[f"fused_{key}_trials_per_sec"] = round(fused_tps, 1)
+        results[f"staged_{key}_trials_per_sec"] = round(staged_tps, 1)
+        results[f"fused_{key}_speedup"] = round(fused_tps / staged_tps, 2)
+        print(
+            f"{fused.name:<14}: fused {fused_tps:>12,.0f} trials/sec, "
+            f"staged {staged_tps:>12,.0f} trials/sec "
+            f"({fused_tps / staged_tps:.2f}x)"
+        )
+
+    if HAVE_NUMBA:
+        model = SystemModel(
+            n_nodes=KERNEL_NODES, n_compromised=1, path_model=PathModel.SIMPLE
+        )
+        strategy = PathSelectionStrategy(
+            KERNEL_DISTRIBUTION.name, KERNEL_DISTRIBUTION
+        )
+        jit_engine = FiveClassJitEngine(model, strategy, frozenset({7}))
+        jit_engine.chunk_trials = KERNEL_CHUNK
+        jit_engine.run_accumulate(KERNEL_CHUNK, rng=0)  # compile outside the clock
+        jit_tps = _accumulate_tps(jit_engine, n_trials)
+        results["jit_five_class_trials_per_sec"] = round(jit_tps, 1)
+        results["jit_five_class_speedup"] = round(
+            jit_tps / results["staged_five_class_trials_per_sec"], 2
+        )
+        print(f"five-class-jit: fused {jit_tps:>12,.0f} trials/sec")
+
+    write_record(
+        "engines",
+        smoke=smoke,
+        config={
+            "n_nodes": KERNEL_NODES,
+            "n_trials": n_trials,
+            "chunk_trials": KERNEL_CHUNK,
+            "distribution": KERNEL_DISTRIBUTION.name,
+            "floor_fused_five_class_speedup": MIN_FUSED_SPEEDUP,
+            "have_numba": HAVE_NUMBA,
+        },
+        **results,
+    )
+
+    if smoke:
+        return  # floors are only meaningful on the full workload
+    assert results["fused_five_class_speedup"] >= MIN_FUSED_SPEEDUP, (
+        f"fused five-class kernel is only "
+        f"{results['fused_five_class_speedup']:.2f}x its staged twin; "
+        f"the floor is {MIN_FUSED_SPEEDUP}x"
+    )

@@ -112,6 +112,10 @@ _STDLIB_RANDOM_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
 _WALL_CLOCK = {
     ("time", "time"),
     ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
     ("os", "urandom"),
     ("uuid", "uuid1"),
     ("uuid", "uuid4"),
@@ -133,8 +137,12 @@ class DeterminismRule(ContractRule):
     * calls through the ``random`` module's global generator and
       ``numpy.random``'s legacy global state (explicit ``Generator``
       construction — ``default_rng``, ``SeedSequence`` — stays legal);
-    * wall-clock and entropy taps: ``time.time()``, ``datetime.now()``,
-      ``os.urandom()``, ``uuid.uuid4()``, anything from ``secrets``;
+    * wall-clock and entropy taps: ``time.time()``, ``time.perf_counter()``,
+      ``time.monotonic()`` (and their ``_ns`` twins), ``datetime.now()``,
+      ``os.urandom()``, ``uuid.uuid4()``, anything from ``secrets`` — kernel
+      timing must flow through the injectable telemetry clock
+      (``registry.clock``) so tests can fake it and results never depend on
+      it; deliberate elapsed-time *reporting* is suppressed per line;
     * iteration directly over a set literal or ``set()``/``frozenset()``
       call in a ``for`` or comprehension — hash-seed-dependent order that
       leaks into whatever the loop builds; sort first.

@@ -48,6 +48,13 @@ Layout
     (:func:`register_engine` / :func:`select_engine`), and the two built-in
     simple-path engines (:class:`FiveClassEngine`,
     :class:`ArrangementEngine`).
+:mod:`repro.batch.fused`
+    The single-pass fused kernel tier behind
+    :meth:`TrialEngine.fused_accumulate` — bit-identical, faster twins of the
+    staged numpy pipelines.
+:mod:`repro.batch.jit`
+    The optional numba-compiled tier (:class:`FiveClassJitEngine`),
+    registered only when the ``[jit]`` extra is installed.
 :mod:`repro.batch.estimator`
     The drop-in estimator (:class:`BatchMonteCarlo`), a thin dispatcher over
     the engine registry.
@@ -90,6 +97,8 @@ from repro.batch.engine import (
     select_engine,
 )
 from repro.batch.estimator import BatchAccumulator, BatchMonteCarlo
+from repro.batch.fused import InverseCdfDecoder
+from repro.batch.jit import HAVE_NUMBA, FiveClassJitEngine
 from repro.batch.multiclass import ClassScoreTable, count_class_keys
 from repro.batch.sampler import BatchTrialSampler, MultiTrialSampler
 from repro.batch.sharded import ShardedBackend, split_trials
@@ -97,6 +106,7 @@ from repro.batch.topoengine import TopologyEngine, TopologyTrialBlock
 
 __all__ = [
     "HAVE_NUMPY",
+    "HAVE_NUMBA",
     "ABSENT",
     "TrialColumns",
     "MultiTrialColumns",
@@ -113,7 +123,9 @@ __all__ = [
     "CycleScoreTable",
     "TrialEngine",
     "FiveClassEngine",
+    "FiveClassJitEngine",
     "ArrangementEngine",
+    "InverseCdfDecoder",
     "CycleBatchEngine",
     "MultiCycleEngine",
     "TopologyEngine",

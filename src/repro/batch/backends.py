@@ -143,8 +143,23 @@ class BatchBackend(EstimatorBackend):
 
     name = "batch"
 
-    def __init__(self, use_numpy: bool | None = None) -> None:
+    def __init__(
+        self,
+        use_numpy: bool | None = None,
+        chunk_trials: int | str | None = None,
+    ) -> None:
         self._use_numpy = use_numpy
+        self._chunk_trials = chunk_trials
+
+    def _estimator(
+        self, model: SystemModel, strategy: PathSelectionStrategy
+    ) -> BatchMonteCarlo:
+        return BatchMonteCarlo(
+            model,
+            strategy,
+            use_numpy=self._use_numpy,
+            chunk_trials=self._chunk_trials,
+        )
 
     def estimate(
         self,
@@ -153,8 +168,7 @@ class BatchBackend(EstimatorBackend):
         n_trials: int = 10_000,
         rng: RandomSource = None,
     ) -> "MonteCarloReport":
-        estimator = BatchMonteCarlo(model, strategy, use_numpy=self._use_numpy)
-        return estimator.run(n_trials, rng=rng)
+        return self._estimator(model, strategy).run(n_trials, rng=rng)
 
     def accumulate_runner(
         self, model: SystemModel, strategy: PathSelectionStrategy
@@ -163,10 +177,11 @@ class BatchBackend(EstimatorBackend):
 
         Returns a callable ``(n_trials, rng) -> BatchAccumulator``.  The
         kernel — including its exact per-class score table — is built once
-        here and reused across every block of an adaptive run.
+        here and reused across every block of an adaptive run; adaptive
+        autotuning (``block_size="auto"``) reaches the underlying engine
+        through the bound estimator's ``engine`` property.
         """
-        estimator = BatchMonteCarlo(model, strategy, use_numpy=self._use_numpy)
-        return estimator.run_accumulate
+        return self._estimator(model, strategy).run_accumulate
 
 
 # ---------------------------------------------------------------------- #

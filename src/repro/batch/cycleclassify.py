@@ -51,6 +51,7 @@ __all__ = [
     "ADJACENT",
     "cycle_trial_key",
     "classify_cycle_trials",
+    "classify_cycle_arrays",
 ]
 
 #: Class key of a compromised sender (identified outright).
@@ -171,10 +172,32 @@ def _classify_numpy(
     adversary: AdversaryModel,
     receiver_compromised: bool,
 ) -> dict[tuple, tuple[int, int]]:
+    senders, lengths, hops = columns.as_numpy()
+    return classify_cycle_arrays(
+        senders, lengths, hops, compromised, adversary, receiver_compromised
+    )
+
+
+def classify_cycle_arrays(
+    senders,
+    lengths,
+    hops,
+    compromised: frozenset[int],
+    adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
+    receiver_compromised: bool = True,
+) -> dict[tuple, tuple[int, int]]:
+    """The NumPy class-key histogram, on bare arrays.
+
+    ``hops`` is the ``n_trials x width`` hop matrix (any layout numpy can
+    index — the fused cycle kernel passes a transposed view of its live
+    level-major draw matrix, skipping the row-major copy the columnar
+    sampler makes).  Shared by :func:`classify_cycle_trials` and
+    :mod:`repro.batch.fused`; produces the same mapping as the pure kernel.
+    """
     import numpy as np
 
-    senders, lengths, hops = columns.as_numpy()
-    n_trials = len(columns)
+    n_trials = len(senders)
+    width = hops.shape[1]
     result: dict[tuple, tuple[int, int]] = {}
 
     def add(mask, key) -> None:
@@ -190,13 +213,13 @@ def _classify_numpy(
         members = np.fromiter(sorted(compromised), dtype=np.int64)
         occurrences = np.isin(hops, members)
         origin = np.isin(senders, members)
-    valid = np.arange(columns.width) < lengths[:, None]
+    valid = np.arange(width) < lengths[:, None]
     occurrences &= valid
     hits = occurrences.sum(axis=1)
     add(origin, ORIGIN_KEY)
     add(~origin & (hits == 0), SILENT_KEY)
     on_path = ~origin & (hits > 0)
-    if columns.width == 0:
+    if width == 0:
         return result  # every path is direct: only origin/silent occur
 
     if adversary is AdversaryModel.PREDECESSOR_ONLY:

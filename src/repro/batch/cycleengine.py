@@ -46,6 +46,7 @@ from __future__ import annotations
 
 from repro.adversary.inference import BayesianPathInference
 from repro.adversary.observation import observation_from_path
+from repro.batch._accel import resolve_use_numpy
 from repro.batch.cycleclassify import classify_cycle_trials
 from repro.batch.cyclesampler import CycleTrialSampler
 from repro.batch.engine import TrialEngine, register_engine
@@ -210,6 +211,13 @@ class CycleBatchEngine(TrialEngine):
         return self._score_table.score(
             key, block.senders[representative], block.path(representative)
         )
+
+    def fused_accumulate(self, n_trials, generator):
+        if not resolve_use_numpy(self.use_numpy):
+            return super().fused_accumulate(n_trials, generator)
+        from repro.batch.fused import fused_cycle_accumulate
+
+        return fused_cycle_accumulate(self, n_trials, generator)
 
 
 class MultiCycleEngine(CycleBatchEngine):

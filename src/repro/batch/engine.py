@@ -20,12 +20,18 @@ module factors the shared shape out into one formal protocol:
     via the closed form, the fragment-arrangement counts, or the cycle walk
     counts.  Scoring happens once per distinct key, never per trial.
 
-The concrete driver :meth:`TrialEngine.run_accumulate` strings the three
-stages together and reduces a run to a :class:`BatchAccumulator` — per-class
-counts plus a length sum — the currency every layer above understands: the
-``sharded`` backend ships accumulators between processes, the adaptive
-scheduler merges them block by block, and the result cache replays the
-reports they summarise bit for bit.
+The concrete driver :meth:`TrialEngine.run_accumulate` reduces a run to a
+:class:`BatchAccumulator` — per-class counts plus a length sum — the currency
+every layer above understands: the ``sharded`` backend ships accumulators
+between processes, the adaptive scheduler merges them block by block, and the
+result cache replays the reports they summarise bit for bit.  Each chunk runs
+through :meth:`TrialEngine.fused_accumulate`: by default the staged
+three-stage pipeline, overridden by the five-class, arrangement, and cycle
+engines with the single-pass kernels of :mod:`repro.batch.fused` (and, when
+numba is installed, by the compiled engines of :mod:`repro.batch.jit`) —
+all draw-for-draw identical to the staged path.  The driver also owns
+chunk-size autotuning: ``chunk_trials = AUTO_CHUNK`` walks a fixed geometric
+ladder once and locks in the fastest rung (see ``docs/backends.md``).
 
 Engines register themselves in a registry that mirrors
 :func:`repro.batch.backends.register_backend`:
@@ -82,6 +88,8 @@ if TYPE_CHECKING:
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "AUTO_CHUNK",
+    "AUTOTUNE_LADDER",
     "BatchAccumulator",
     "TrialEngine",
     "FiveClassEngine",
@@ -90,12 +98,43 @@ __all__ = [
     "get_engine",
     "register_engine",
     "select_engine",
+    "validate_chunk_trials",
 ]
 
 #: Relative tolerance when merging per-class entropies across shards; scores
 #: are deterministic functions of the class, so any real disagreement means
 #: the shards were configured inconsistently.
 _MERGE_RTOL = 1e-9
+
+#: ``chunk_trials`` sentinel that turns on chunk-size autotuning: the driver
+#: walks :data:`AUTOTUNE_LADDER` once (timing each rung with the injectable
+#: telemetry clock) and then locks in the fastest rung.  Opt-in — the
+#: defaults (``None`` or a constant) stay bit-reproducible across machines,
+#: autotuned runs are reproducible only for a fixed clock (see
+#: ``docs/backends.md``).
+AUTO_CHUNK = "auto"
+
+#: The fixed geometric warmup ladder of chunk autotuning.  Rungs are measured
+#: in ladder order, one full chunk each; ties break toward the earlier rung,
+#: so for a given sequence of clock readings the choice is deterministic.
+AUTOTUNE_LADDER: tuple[int, ...] = (4_096, 8_192, 16_384, 32_768, 65_536)
+
+
+def validate_chunk_trials(value: int | str | None) -> int | str | None:
+    """Validate a ``chunk_trials`` setting and return it unchanged.
+
+    Accepts ``None`` (one block per run), :data:`AUTO_CHUNK`, or an integer
+    ``>= 1``.  Anything else — notably ``0`` or a negative count, which would
+    spin :meth:`TrialEngine.run_accumulate` forever without ever shrinking the
+    remaining budget — raises a :class:`~repro.exceptions.ConfigurationError`.
+    """
+    if value is None or value == AUTO_CHUNK:
+        return value
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ConfigurationError(
+            f"chunk_trials must be None, {AUTO_CHUNK!r}, or an integer >= 1, got {value!r}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -199,14 +238,24 @@ class TrialEngine(abc.ABC):
     ``None``) fixes how a budget splits into blocks — so a run is a pure
     function of the seed, identical between the pure-Python and NumPy
     kernels, and shard merges can never disagree on a class entropy.
+    Engines that override :meth:`fused_accumulate` must keep the fused kernel
+    draw-for-draw identical to the staged stages (same generator consumption,
+    same class histogram, same scores); the parity tests in
+    ``tests/test_fused.py`` enforce this bit for bit.  The :data:`AUTO_CHUNK`
+    setting trades that bit-stability across machines for throughput: the
+    chunk sequence then depends on the telemetry clock's readings (and only
+    on them), so autotuned results are reproducible for a fixed clock but
+    not across hosts — which is why the adaptive service never caches them.
     """
 
     #: Registry key and display name of the engine.
     name: str = "abstract"
     #: Trials sampled per columnar block.  ``None`` runs the whole budget as
     #: one block; a constant bounds the live column memory of huge runs and
-    #: is part of the ``(seed -> bits)`` determinism contract.
-    chunk_trials: int | None = None
+    #: is part of the ``(seed -> bits)`` determinism contract;
+    #: :data:`AUTO_CHUNK` lets the driver pick the fastest rung of
+    #: :data:`AUTOTUNE_LADDER` (opting out of cross-machine bit-stability).
+    chunk_trials: int | str | None = None
 
     def __init__(
         self,
@@ -223,7 +272,16 @@ class TrialEngine(abc.ABC):
             raise ConfigurationError(
                 "compromised node identities must lie in [0, N)"
             )
+        validate_chunk_trials(self.chunk_trials)
         self._distribution = strategy.effective_distribution(model.n_nodes)
+        #: Per-key score cache: scores are pure functions of the key for a
+        #: fixed engine configuration, so pricing survives across chunks and
+        #: runs of one instance.
+        self._score_memo: dict[object, tuple[float, bool]] = {}
+        # Autotune state lives on the instance so the warmup ladder spans
+        # run_accumulate calls (adaptive rounds are smaller than the ladder).
+        self._autotune_samples: list[float] = []
+        self._autotuned_chunk: int | None = None
 
     # ------------------------------------------------------------------ #
     # Domain                                                              #
@@ -277,47 +335,130 @@ class TrialEngine(abc.ABC):
             return int(block.as_numpy()[1].sum())
         return sum(block.lengths)
 
+    def fused_accumulate(
+        self, n_trials: int, generator: "np.random.Generator"
+    ) -> tuple[int, dict[object, tuple[int, float, bool]]]:
+        """One chunk, reduced to ``(length_sum, {key: (count, entropy, identified)})``.
+
+        The default implementation is the staged pipeline —
+        ``sample_block → classify → score`` — with per-key scores memoised on
+        the instance so a class is priced exactly once no matter how many
+        chunks (or runs) it appears in.  Engines with a single-pass kernel
+        (see :mod:`repro.batch.fused`) override this to draw, encode, and
+        reduce without materialising the intermediate block; overrides must
+        stay draw-for-draw identical to this staged path.
+        """
+        block = self.sample_block(n_trials, generator)
+        length_sum = self.block_length_sum(block)
+        memo = self._score_memo
+        classes: dict[object, tuple[int, float, bool]] = {}
+        for key, (count, representative) in self.classify(block).items():
+            score = memo.get(key)
+            if score is None:
+                score = self.score(key, block, representative)
+                memo[key] = score
+            classes[key] = (count, score[0], score[1])
+        return length_sum, classes
+
+    @property
+    def autotuned_chunk(self) -> int | None:
+        """The chunk size chosen by :data:`AUTO_CHUNK` warmup, once decided."""
+        return self._autotuned_chunk
+
+    def _autotune_next_chunk(self) -> int:
+        """The next chunk size under autotuning: the current rung, or the pick."""
+        if self._autotuned_chunk is not None:
+            return self._autotuned_chunk
+        return AUTOTUNE_LADDER[len(self._autotune_samples)]
+
+    def _autotune_record(
+        self, block_trials: int, chunk_seconds: float, telemetry: Any
+    ) -> None:
+        """Record one warmup measurement; lock in the winner after the ladder.
+
+        Only full rungs count — a run ending mid-rung leaves the ladder where
+        it was, and the next ``run_accumulate`` call resumes it.  Throughput
+        ties break toward the earlier (smaller) rung, so the decision is a
+        deterministic function of the clock readings alone.
+        """
+        if self._autotuned_chunk is not None:
+            return
+        samples = self._autotune_samples
+        if block_trials != AUTOTUNE_LADDER[len(samples)]:
+            return
+        samples.append(
+            block_trials / chunk_seconds if chunk_seconds > 0.0 else math.inf
+        )
+        if len(samples) == len(AUTOTUNE_LADDER):
+            best = max(range(len(samples)), key=samples.__getitem__)
+            self._autotuned_chunk = AUTOTUNE_LADDER[best]
+            logger.debug(
+                "engine %s autotuned chunk_trials=%d (throughputs %r)",
+                self.name,
+                self._autotuned_chunk,
+                samples,
+            )
+            if telemetry.enabled:
+                telemetry.gauge(
+                    "engine_chunk_autotuned", engine=self.name
+                ).set(self._autotuned_chunk)
+
     def run_accumulate(
         self, n_trials: int, rng: RandomSource = None
     ) -> BatchAccumulator:
-        """Run ``n_trials`` trials through the three stages; one accumulator.
+        """Run ``n_trials`` trials through the fused chunks; one accumulator.
 
         This is the shard-sized unit of work of the ``sharded`` backend: the
         returned accumulator is a columnar reduction (per-class counts plus a
-        length sum), cheap to pickle and mergeable by summation.  Each
-        distinct class key is scored exactly once per run, on first sight.
+        length sum), cheap to pickle and mergeable by summation.  Each chunk
+        runs through :meth:`fused_accumulate` — the engine's single-pass
+        kernel where one exists, the staged three-stage pipeline otherwise —
+        and each distinct class key is priced exactly once per instance, on
+        first sight.
 
         When telemetry is active (see :mod:`repro.telemetry`), every chunk
         reports its trial count, wall time, and throughput under the engine's
         name; with the default null registry the instrumentation cost is one
-        ``enabled`` check per chunk.
+        ``enabled`` check per chunk.  Under :data:`AUTO_CHUNK` the clock is
+        read regardless — the warmup ladder needs the timings — and the
+        chosen chunk size is surfaced as the ``engine_chunk_autotuned`` gauge.
         """
         if n_trials < 1:
             raise ConfigurationError("n_trials must be >= 1")
+        # Re-validated here (not only at construction) because chunk_trials
+        # is also assignable on instances; a 0 would otherwise loop forever.
+        chunk_setting = validate_chunk_trials(self.chunk_trials)
+        autotuning = chunk_setting == AUTO_CHUNK
         generator = ensure_rng(rng)
         telemetry = get_registry()
         classes: dict[object, list] = {}
         length_sum = 0
         remaining = n_trials
         while remaining:
-            block_trials = (
-                remaining
-                if self.chunk_trials is None
-                else min(self.chunk_trials, remaining)
-            )
+            if autotuning:
+                block_trials = min(self._autotune_next_chunk(), remaining)
+            elif chunk_setting is None:
+                block_trials = remaining
+            else:
+                assert isinstance(chunk_setting, int)
+                block_trials = min(chunk_setting, remaining)
             remaining -= block_trials
-            chunk_started = telemetry.clock() if telemetry.enabled else 0.0
-            block = self.sample_block(block_trials, generator)
-            length_sum += self.block_length_sum(block)
-            for key, (count, representative) in self.classify(block).items():
+            timed = autotuning or telemetry.enabled
+            chunk_started = telemetry.clock() if timed else 0.0
+            chunk_length, chunk_classes = self.fused_accumulate(
+                block_trials, generator
+            )
+            length_sum += chunk_length
+            for key, (count, entropy, identified) in chunk_classes.items():
                 entry = classes.get(key)
                 if entry is None:
-                    entropy, identified = self.score(key, block, representative)
                     classes[key] = [count, entropy, identified]
                 else:
                     entry[0] += count
+            chunk_seconds = (telemetry.clock() - chunk_started) if timed else 0.0
+            if autotuning:
+                self._autotune_record(block_trials, chunk_seconds, telemetry)
             if telemetry.enabled:
-                chunk_seconds = telemetry.clock() - chunk_started
                 telemetry.counter("engine_chunks_total", engine=self.name).inc()
                 telemetry.counter(
                     "engine_trials_total", engine=self.name
@@ -393,6 +534,10 @@ class FiveClassEngine(TrialEngine):
                 identified.add(code)
         self._entropy_by_code = tuple(entropies)
         self._identified_codes = frozenset(identified)
+        # Hoisted out of classify(): the class codes *are* the histogram
+        # indices (the encoding of EVENT_ORDER), so per-chunk classification
+        # never needs to touch EventClass objects again.
+        self._n_codes = len(EVENT_ORDER)
 
     @classmethod
     def covers(
@@ -421,13 +566,15 @@ class FiveClassEngine(TrialEngine):
         if resolve_use_numpy(self.use_numpy):
             import numpy as np
 
-            codes_np = np.frombuffer(codes, dtype=np.int8)
-            histogram = np.bincount(codes_np, minlength=len(EVENT_ORDER))
-            counts = {
-                cls: int(histogram[code]) for code, cls in enumerate(EVENT_ORDER)
+            histogram = np.bincount(
+                np.frombuffer(codes, dtype=np.int8), minlength=self._n_codes
+            )
+            return {
+                code: (int(count), None)
+                for code, count in enumerate(histogram)
+                if count
             }
-        else:
-            counts = class_counts(codes)
+        counts = class_counts(codes)
         return {
             code: (counts[cls], None)
             for code, cls in enumerate(EVENT_ORDER)
@@ -436,6 +583,15 @@ class FiveClassEngine(TrialEngine):
 
     def score(self, key: Any, block: Any, representative: int | None) -> tuple[float, bool]:
         return self._entropy_by_code[key], key in self._identified_codes
+
+    def fused_accumulate(
+        self, n_trials: int, generator: "np.random.Generator"
+    ) -> tuple[int, dict[object, tuple[int, float, bool]]]:
+        if not resolve_use_numpy(self.use_numpy):
+            return super().fused_accumulate(n_trials, generator)
+        from repro.batch.fused import fused_five_class_accumulate
+
+        return fused_five_class_accumulate(self, n_trials, generator)
 
 
 class ArrangementEngine(TrialEngine):
@@ -492,6 +648,15 @@ class ArrangementEngine(TrialEngine):
     def score(self, key: Any, block: Any, representative: int | None) -> tuple[float, bool]:
         score = self._score_table.score(key)
         return score.entropy_bits, score.identified
+
+    def fused_accumulate(
+        self, n_trials: int, generator: "np.random.Generator"
+    ) -> tuple[int, dict[object, tuple[int, float, bool]]]:
+        if not resolve_use_numpy(self.use_numpy):
+            return super().fused_accumulate(n_trials, generator)
+        from repro.batch.fused import fused_arrangement_accumulate
+
+        return fused_arrangement_accumulate(self, n_trials, generator)
 
 
 # ---------------------------------------------------------------------- #

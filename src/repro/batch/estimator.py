@@ -36,10 +36,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 # Importing the cycle and topology engines registers them alongside the
-# simple-path engines that repro.batch.engine registers at import.
+# simple-path engines that repro.batch.engine registers at import.  The jit
+# module registers its compiled engines only when numba is importable; it
+# comes last so the compiled tier preempts its numpy twins (latest wins).
 import repro.batch.cycleengine  # noqa: F401  (registration side effect)
 import repro.batch.topoengine  # noqa: F401  (registration side effect)
-from repro.batch.engine import BatchAccumulator, TrialEngine, select_engine
+import repro.batch.jit  # noqa: F401  (conditional registration side effect)
+from repro.batch.engine import (
+    BatchAccumulator,
+    TrialEngine,
+    select_engine,
+    validate_chunk_trials,
+)
 from repro.core.model import SystemModel
 from repro.distributions.base import PathLengthDistribution
 from repro.routing.strategies import PathSelectionStrategy
@@ -76,6 +84,11 @@ class BatchMonteCarlo:
     compromised: frozenset[int] | None = None
     #: Tri-state NumPy toggle, see :mod:`repro.batch._accel`.
     use_numpy: bool | None = None
+    #: Chunking override for the selected engine: ``None`` keeps the engine's
+    #: default, an integer fixes the chunk size, and
+    #: :data:`~repro.batch.engine.AUTO_CHUNK` enables throughput autotuning.
+    #: Part of the determinism contract — see ``TrialEngine.chunk_trials``.
+    chunk_trials: int | str | None = None
 
     _engine: TrialEngine = field(init=False, repr=False)
 
@@ -92,6 +105,8 @@ class BatchMonteCarlo:
             compromised=self.compromised,
             use_numpy=self.use_numpy,
         )
+        if self.chunk_trials is not None:
+            self._engine.chunk_trials = validate_chunk_trials(self.chunk_trials)
 
     # ------------------------------------------------------------------ #
     # Estimation                                                          #

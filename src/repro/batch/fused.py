@@ -1,0 +1,275 @@
+"""Single-pass fused kernels: draw → encode → reduce, no intermediate block.
+
+The staged :class:`~repro.batch.engine.TrialEngine` pipeline materialises a
+columnar block (``array('q')`` buffers round-tripped through numpy), re-scans
+it in ``classify``, and rebuilds a per-chunk key dict — three passes over
+memory plus four buffer copies per chunk.  The kernels here fuse the stages
+for the engines whose classification is pure array arithmetic: each one
+
+* consumes the generator in **exactly** the staged sampler's draw order
+  (senders, length uniforms, then the slot/hop columns), so fused and staged
+  runs are draw-for-draw identical under a fixed seed;
+* classifies straight off the live draw arrays — the five-class kernel
+  encodes trials to the small integer codes of
+  :data:`~repro.core.events.EVENT_ORDER` and reduces with ``np.bincount``,
+  the arrangement kernel packs ``(length, mask)`` keys through the shared
+  ``np.unique`` histogram, the cycle kernel classifies a transposed *view*
+  of its level-major hop matrix (skipping the row-major copy and the
+  ``array('q')`` materialisation of the columnar sampler);
+* prices classes through the engine's existing exact score tables, once per
+  distinct key.
+
+Every kernel returns the ``(length_sum, {key: (count, entropy, identified)})``
+chunk reduction of :meth:`TrialEngine.fused_accumulate`; the parity tests in
+``tests/test_fused.py`` assert bit-identical :class:`BatchAccumulator`\\ s
+against the staged pipeline for every ``(seed, chunking)``.
+
+These kernels require numpy (the engines fall back to the staged pipeline on
+the pure-Python path) and are the reference semantics for the optional
+compiled tier of :mod:`repro.batch.jit`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.batch.cycleclassify import classify_cycle_arrays
+from repro.batch.multiclass import count_key_arrays
+from repro.core.events import EventClass, event_code
+from repro.core.model import AdversaryModel
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.batch.cycleengine import CycleBatchEngine
+    from repro.batch.engine import ArrangementEngine, FiveClassEngine
+
+__all__ = [
+    "fused_five_class_accumulate",
+    "fused_arrangement_accumulate",
+    "fused_cycle_accumulate",
+]
+
+_ORIGIN = event_code(EventClass.ORIGIN)
+_SILENT = event_code(EventClass.SILENT)
+_LAST = event_code(EventClass.LAST)
+_PENULTIMATE = event_code(EventClass.PENULTIMATE)
+_INTERIOR = event_code(EventClass.INTERIOR)
+
+#: One chunk reduction: summed lengths plus priced per-class counts.
+ChunkClasses = dict[object, tuple[int, float, bool]]
+
+
+class InverseCdfDecoder:
+    """LUT-accelerated bulk inverse-CDF length decode, bit-identical to
+    :meth:`~repro.distributions.base.PathLengthDistribution.sample_batch`.
+
+    The staged sampler's decode binary-searches the whole cumulative table for
+    every uniform.  Length supports are tiny (tens of entries), so almost
+    every uniform can be resolved by one table gather instead: bucket the
+    unit interval into ``2**12`` equal cells and precompute, per cell, the
+    length every uniform in the cell must decode to.  A cell determines the
+    length exactly when ``searchsorted`` returns the same index for both cell
+    endpoints; cells that straddle a table boundary (at most ``support`` of
+    the 4096) hold a sentinel instead, and their uniforms fall back to the
+    *same* ``searchsorted`` call — so the decoded lengths are exactly the
+    staged sampler's.  The bucket index ``int(u * 2**12)`` is computed
+    exactly — multiplying a float64 by a power of two only shifts its
+    exponent — so no rounding can leak a uniform into the wrong cell.
+
+    One ``generator.random(n)`` draw per chunk, identical to ``sample_batch``:
+    the fused kernels stay draw-for-draw interchangeable with the staged path.
+    """
+
+    _SCALE_BITS = 12
+
+    def __init__(self, distribution: object) -> None:
+        import numpy as np
+
+        lengths, cumulative = distribution.cdf_table()  # type: ignore[attr-defined]
+        self.distribution = distribution
+        self._cum = np.asarray(cumulative)
+        self._lengths = np.asarray(lengths, dtype=np.int64)
+        scale = 1 << self._SCALE_BITS
+        self._scale = scale
+        edges = np.searchsorted(
+            self._cum, np.arange(scale + 1) / scale, side="left"
+        )
+        np.minimum(edges, len(self._lengths) - 1, out=edges)
+        self._sentinel = int(self._lengths.min()) - 1
+        self._table = np.where(
+            edges[:-1] == edges[1:], self._lengths[edges[:-1]], self._sentinel
+        )
+
+    def decode(self, n_trials: int, generator: "np.random.Generator"):
+        """Draw ``n_trials`` lengths as a live int64 array."""
+        import numpy as np
+
+        uniforms = generator.random(n_trials)
+        # int64 buckets: fancy indexing re-casts narrower index arrays to
+        # intp, which costs more than the wider astype saves.
+        buckets = (uniforms * self._scale).astype(np.int64)
+        lengths = self._table[buckets]
+        unresolved = np.nonzero(lengths == self._sentinel)[0]
+        if unresolved.size:
+            indices = np.searchsorted(
+                self._cum, uniforms[unresolved], side="left"
+            )
+            np.minimum(indices, len(self._lengths) - 1, out=indices)
+            lengths[unresolved] = self._lengths[indices]
+        return lengths
+
+
+def _length_decoder(engine: object) -> InverseCdfDecoder:
+    """The engine's cached :class:`InverseCdfDecoder` (built on first use)."""
+    decoder = getattr(engine, "_fused_length_decoder", None)
+    if decoder is None or decoder.distribution is not engine.distribution:  # type: ignore[attr-defined]
+        decoder = InverseCdfDecoder(engine.distribution)  # type: ignore[attr-defined]
+        engine._fused_length_decoder = decoder  # type: ignore[attr-defined]
+    return decoder
+
+
+def fused_five_class_accumulate(
+    engine: "FiveClassEngine", n_trials: int, generator: "np.random.Generator"
+) -> tuple[int, ChunkClasses]:
+    """Draw, encode, and reduce one five-class chunk in a single pass.
+
+    Replicates :class:`~repro.batch.sampler.BatchTrialSampler` draw order
+    (senders, length uniforms, slots) and the mask semantics of the staged
+    :func:`~repro.batch.classify.classify_columns` numpy kernel, but works in
+    *slot* space directly — the staged path's ``positions`` column
+    (``slot + 1`` when on-path, else absent) is never materialised.  The five
+    classes partition the chunk, so the whole histogram is a handful of
+    ``count_nonzero`` reductions and two subtractions: no per-trial code
+    vector is written at all.  The mask algebra mirrors the staged kernel's
+    overwrite order — ORIGIN beats LAST/PENULTIMATE beats INTERIOR — by
+    excluding each stronger class from the weaker counts.
+    """
+    import numpy as np
+
+    adversary = engine.model.adversary
+    senders = generator.integers(0, engine.model.n_nodes, size=n_trials)
+    lengths = _length_decoder(engine).decode(n_trials, generator)
+    slots = generator.integers(0, engine.model.n_nodes - 1, size=n_trials)
+
+    # A trial is on-path at position slot + 1 exactly when slot < length.
+    on_path = slots < lengths
+    origin = senders == engine._compromised_node
+    if adversary is AdversaryModel.POSITION_AWARE:
+        # The first hop sees the sender directly: slot 0 identifies too.
+        origin = origin | (on_path & (slots == 0))
+    n_origin = int(np.count_nonzero(origin))
+    observed = on_path & ~origin
+    n_observed = int(np.count_nonzero(observed))
+    if adversary is AdversaryModel.PREDECESSOR_ONLY:
+        n_last = n_penultimate = 0
+        n_interior = n_observed
+    else:
+        last_slot = lengths - 1
+        n_last = int(np.count_nonzero(observed & (slots == last_slot)))
+        n_penultimate = int(np.count_nonzero(observed & (slots == last_slot - 1)))
+        n_interior = n_observed - n_last - n_penultimate
+    n_silent = n_trials - n_origin - n_observed
+
+    entropy_by_code = engine._entropy_by_code
+    identified_codes = engine._identified_codes
+    counts = (
+        (_ORIGIN, n_origin),
+        (_SILENT, n_silent),
+        (_LAST, n_last),
+        (_PENULTIMATE, n_penultimate),
+        (_INTERIOR, n_interior),
+    )
+    # Ascending code order matches the staged classifier's histogram order,
+    # keeping downstream float-summation order (hence last-ulp results)
+    # bit-identical to the staged path.
+    classes: ChunkClasses = {
+        code: (count, entropy_by_code[code], code in identified_codes)
+        for code, count in sorted(counts)
+        if count
+    }
+    return int(lengths.sum()), classes
+
+
+def fused_arrangement_accumulate(
+    engine: "ArrangementEngine", n_trials: int, generator: "np.random.Generator"
+) -> tuple[int, ChunkClasses]:
+    """Draw, decode, and reduce one arrangement chunk in a single pass.
+
+    Replicates :class:`~repro.batch.sampler.MultiTrialSampler` draw order
+    (senders, length uniforms, one raw slot column per compromised node) and
+    reuses its mask decode and the packed ``np.unique`` key histogram — but on
+    the live draw arrays, skipping both ``array('q')`` conversions and the
+    :class:`~repro.batch.columns.MultiTrialColumns` container.
+    """
+    import numpy as np
+
+    sampler = engine._sampler
+    n_nodes = sampler.n_nodes
+    senders = generator.integers(0, n_nodes, size=n_trials)
+    lengths = _length_decoder(engine).decode(n_trials, generator)
+    raw_columns = [
+        generator.integers(0, n_nodes - 1 - j, size=n_trials)
+        for j in range(sampler._n_slot_columns)
+    ]
+    masks = sampler._decode_masks_numpy(lengths, raw_columns, n_trials)
+
+    keyed = count_key_arrays(senders, lengths, masks, engine.compromised)
+    table = engine._score_table
+    classes: ChunkClasses = {}
+    for key, count in keyed.items():
+        score = table.score(key)
+        classes[key] = (count, score.entropy_bits, score.identified)
+    return int(lengths.sum()), classes
+
+
+def fused_cycle_accumulate(
+    engine: "CycleBatchEngine", n_trials: int, generator: "np.random.Generator"
+) -> tuple[int, ChunkClasses]:
+    """Draw, walk, and reduce one cycle chunk in a single pass.
+
+    Replicates :class:`~repro.batch.cyclesampler.CycleTrialSampler` draw order
+    (senders, length uniforms, one raw column per hop level) and its Markov
+    decode, but keeps the level-major hop matrix live and classifies a
+    transposed view of it — the staged path's ``ascontiguousarray(levels.T)``
+    copy and the row-major ``array('q')`` buffer are never built.  Class
+    representatives are priced immediately, while the matrix is still live,
+    through the engine's memoising :class:`~repro.batch.cycleengine.CycleScoreTable`.
+    """
+    import numpy as np
+
+    n_nodes = engine.model.n_nodes
+    senders_raw = generator.integers(0, n_nodes, size=n_trials)
+    lengths = _length_decoder(engine).decode(n_trials, generator)
+    width = int(lengths.max())
+    raw_columns = [
+        generator.integers(0, n_nodes - 1, size=n_trials) for _ in range(width)
+    ]
+
+    senders = np.asarray(senders_raw, dtype=np.int64)
+    levels = np.empty((width, n_trials), dtype=np.int64)
+    current = senders
+    for h, raw in enumerate(raw_columns):
+        step = raw.astype(np.int64)
+        step += step >= current
+        levels[h] = step
+        current = step
+    hops = levels.T  # (n_trials, width) view — no copy
+
+    keyed = classify_cycle_arrays(
+        senders,
+        lengths,
+        hops,
+        engine.compromised,
+        adversary=engine.model.adversary,
+        receiver_compromised=engine.model.receiver_compromised,
+    )
+    table = engine._score_table
+    classes: ChunkClasses = {}
+    for key, (count, representative) in keyed.items():
+        path = tuple(
+            int(hop) for hop in hops[representative, : int(lengths[representative])]
+        )
+        entropy, identified = table.score(key, int(senders[representative]), path)
+        classes[key] = (count, entropy, identified)
+    return int(lengths.sum()), classes

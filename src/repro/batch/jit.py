@@ -1,0 +1,168 @@
+"""Optional JIT-compiled engine tier (requires the ``[jit]`` extra).
+
+The fused kernels of :mod:`repro.batch.fused` are bound by numpy's
+one-operation-at-a-time evaluation: every mask and comparison is a separate
+pass over the chunk.  A compiled kernel folds the whole classification into
+one scalar loop — no temporaries at all.  This module provides that tier
+behind the project's hard no-required-dependencies rule:
+
+* ``numba`` is probed at import; :data:`HAVE_NUMBA` reports the outcome and
+  nothing in the package requires it to be true.
+* :class:`FiveClassJitEngine` is registered (latest wins, so it preempts its
+  numpy twin) **only** when numba is importable.  With numba absent the
+  module still imports cleanly, ``five-class-jit`` simply never appears in
+  the registry, and constructing the engine directly raises
+  :class:`~repro.exceptions.ConfigurationError`.
+
+Determinism contract: the JIT engine is **draw-for-draw identical** to the
+fused numpy five-class kernel — senders, length uniforms, and slots are drawn
+through the same ``numpy.random.Generator`` calls in the same order, and only
+the (pure, allocation-free) classification loop is compiled.  A fixed seed
+therefore produces bit-identical :class:`~repro.batch.engine.BatchAccumulator`
+results across the staged, fused, and JIT tiers; the parity suite in
+``tests/test_jit.py`` asserts exactly that whenever numba is present.
+
+:func:`five_class_counts` is deliberately written as plain Python over scalar
+indexing: it is *both* the njit-compiled kernel and its own reference
+implementation, so the classification logic stays testable (against the
+staged classifier) even where numba is absent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.batch._accel import HAVE_NUMPY, resolve_use_numpy
+from repro.batch.engine import FiveClassEngine, register_engine
+from repro.core.events import EventClass, event_code
+from repro.core.model import AdversaryModel
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:
+    import numpy as np
+
+try:  # pragma: no cover - exercised only on the CI jit leg
+    import numba
+except ImportError:  # pragma: no cover - the default environment
+    numba = None
+
+#: True when the compiled tier is available (numba on top of numpy).
+HAVE_NUMBA = numba is not None and HAVE_NUMPY
+
+__all__ = ["HAVE_NUMBA", "FiveClassJitEngine", "five_class_counts"]
+
+_ORIGIN = event_code(EventClass.ORIGIN)
+_SILENT = event_code(EventClass.SILENT)
+_LAST = event_code(EventClass.LAST)
+_PENULTIMATE = event_code(EventClass.PENULTIMATE)
+_INTERIOR = event_code(EventClass.INTERIOR)
+
+
+def five_class_counts(
+    senders,
+    lengths,
+    slots,
+    compromised_node: int,
+    position_aware: bool,
+    predecessor_only: bool,
+    counts,
+) -> None:
+    """Histogram one drawn chunk into the five class codes, in one pass.
+
+    ``counts`` is the preallocated per-code output (length
+    ``len(EVENT_ORDER)``, int64, caller-zeroed).  The branch ladder encodes
+    the staged classifier's mask overwrite order: a compromised sender wins
+    over everything, the position-aware slot-0 identification wins over
+    LAST/PENULTIMATE, which win over INTERIOR.
+    """
+    for i in range(senders.shape[0]):
+        slot = slots[i]
+        length = lengths[i]
+        if senders[i] == compromised_node:
+            code = _ORIGIN
+        elif slot >= length:
+            code = _SILENT
+        elif predecessor_only:
+            code = _INTERIOR
+        elif position_aware and slot == 0:
+            code = _ORIGIN
+        elif slot == length - 1:
+            code = _LAST
+        elif slot == length - 2:
+            code = _PENULTIMATE
+        else:
+            code = _INTERIOR
+        counts[code] += 1
+
+
+if HAVE_NUMBA:
+    _jit_five_class_counts = numba.njit(nogil=True)(five_class_counts)
+else:  # pragma: no cover - the kernel is never invoked without numba
+    _jit_five_class_counts = five_class_counts
+
+
+class FiveClassJitEngine(FiveClassEngine):
+    """The five-class engine with a compiled single-pass classification loop.
+
+    Covers exactly the five-class domain and, being registered after the
+    built-ins, preempts :class:`~repro.batch.engine.FiveClassEngine` whenever
+    numba is importable — swapping in the compiled kernel is a registration,
+    not a configuration change, and results stay bit-identical (see the
+    module determinism contract).  The staged stages are inherited unchanged,
+    so parity tests can force the engine through both tiers.
+    """
+
+    name = "five-class-jit"
+
+    def __init__(
+        self,
+        model,
+        strategy,
+        compromised,
+        use_numpy: bool | None = None,
+    ) -> None:
+        if not HAVE_NUMBA:
+            raise ConfigurationError(
+                "the five-class-jit engine requires numba; install the "
+                "project's [jit] extra (pip install 'repro-anon[jit]')"
+            )
+        super().__init__(model, strategy, compromised, use_numpy)
+
+    @classmethod
+    def covers(cls, model, strategy, compromised) -> bool:
+        return HAVE_NUMBA and FiveClassEngine.covers(model, strategy, compromised)
+
+    def fused_accumulate(
+        self, n_trials: int, generator: "np.random.Generator"
+    ) -> tuple[int, dict[object, tuple[int, float, bool]]]:
+        if not resolve_use_numpy(self.use_numpy):
+            return super().fused_accumulate(n_trials, generator)
+        import numpy as np
+
+        from repro.batch.fused import _length_decoder
+
+        senders = generator.integers(0, self.model.n_nodes, size=n_trials)
+        lengths = _length_decoder(self).decode(n_trials, generator)
+        slots = generator.integers(0, self.model.n_nodes - 1, size=n_trials)
+        counts = np.zeros(self._n_codes, dtype=np.int64)
+        _jit_five_class_counts(
+            senders,
+            lengths,
+            slots,
+            self._compromised_node,
+            self.model.adversary is AdversaryModel.POSITION_AWARE,
+            self.model.adversary is AdversaryModel.PREDECESSOR_ONLY,
+            counts,
+        )
+        entropy_by_code = self._entropy_by_code
+        identified_codes = self._identified_codes
+        classes: dict[object, tuple[int, float, bool]] = {
+            code: (int(count), entropy_by_code[code], code in identified_codes)
+            for code, count in enumerate(counts)
+            if count
+        }
+        return int(lengths.sum()), classes
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only on the CI jit leg
+    register_engine(FiveClassJitEngine.name, FiveClassJitEngine)

@@ -43,7 +43,13 @@ from repro.distributions.base import PathLengthDistribution
 from repro.exceptions import ConfigurationError
 from repro.simulation.results import IDENTIFIED_THRESHOLD
 
-__all__ = ["ORIGIN_KEY", "ClassScore", "ClassScoreTable", "count_class_keys"]
+__all__ = [
+    "ORIGIN_KEY",
+    "ClassScore",
+    "ClassScoreTable",
+    "count_class_keys",
+    "count_key_arrays",
+]
 
 #: Histogram key of the "sender is compromised" class.  A real length/mask key
 #: always has ``length >= 0``, so ``-1`` can never collide with one.
@@ -69,36 +75,8 @@ def count_class_keys(
     pure-Python and NumPy reductions produce identical histograms.
     """
     if resolve_use_numpy(use_numpy):
-        import numpy as np
-
         senders, lengths, masks = columns.as_numpy()
-        origin = (
-            np.isin(senders, np.fromiter(compromised, dtype=np.int64))
-            if compromised
-            else np.zeros(len(columns), dtype=bool)
-        )
-        keyed_lengths = np.where(origin, ORIGIN_KEY[0], lengths)
-        keyed_masks = np.where(origin, ORIGIN_KEY[1], masks)
-        max_length = int(lengths.max(initial=0))
-        if max_length <= _PACK_MAX_LENGTH:
-            # Hot path: pack (length, mask) into one int64 so the histogram is
-            # a single 1-D ``np.unique`` instead of a column-wise one.  The
-            # shift keeps the ORIGIN sentinel (-1, 0) distinct and ordered.
-            packed = (keyed_masks << _PACK_SHIFT) | (keyed_lengths + 1)
-            values, counts = np.unique(packed, return_counts=True)
-            return {
-                (int(value & _PACK_LENGTH_MASK) - 1, int(value >> _PACK_SHIFT)): int(
-                    count
-                )
-                for value, count in zip(values, counts)
-            }
-        pairs, counts = np.unique(
-            np.stack((keyed_lengths, keyed_masks)), axis=1, return_counts=True
-        )
-        return {
-            (int(length), int(mask)): int(count)
-            for length, mask, count in zip(pairs[0], pairs[1], counts)
-        }
+        return count_key_arrays(senders, lengths, masks, compromised)
     counted = Counter(
         ORIGIN_KEY if sender in compromised else (length, mask)
         for sender, length, mask in zip(
@@ -106,6 +84,49 @@ def count_class_keys(
         )
     )
     return dict(counted)
+
+
+def count_key_arrays(
+    senders,
+    lengths,
+    masks,
+    compromised: frozenset[int],
+) -> dict[tuple[int, int], int]:
+    """The NumPy reduction of :func:`count_class_keys`, on bare int64 arrays.
+
+    Shared by the columnar path above and the single-pass kernel of
+    :mod:`repro.batch.fused`, which holds the live draw arrays and never
+    builds a :class:`~repro.batch.columns.MultiTrialColumns` at all.
+    """
+    import numpy as np
+
+    origin = (
+        np.isin(senders, np.fromiter(compromised, dtype=np.int64))
+        if compromised
+        else np.zeros(len(senders), dtype=bool)
+    )
+    keyed_lengths = np.where(origin, ORIGIN_KEY[0], lengths)
+    keyed_masks = np.where(origin, ORIGIN_KEY[1], masks)
+    max_length = int(lengths.max(initial=0))
+    if max_length <= _PACK_MAX_LENGTH:
+        # Hot path: pack (length, mask) into one int64 so the histogram is
+        # a single 1-D ``np.unique`` instead of a column-wise one.  The
+        # shift keeps the ORIGIN sentinel (-1, 0) distinct and ordered.
+        packed = (keyed_masks << _PACK_SHIFT) | (keyed_lengths + 1)
+        values, counts = np.unique(packed, return_counts=True)
+        return {
+            (int(value & _PACK_LENGTH_MASK) - 1, int(value >> _PACK_SHIFT)): int(
+                count
+            )
+            for value, count in zip(values, counts)
+        }
+    pairs, counts = np.unique(
+        np.stack((keyed_lengths, keyed_masks)), axis=1, return_counts=True
+    )
+    return {
+        (int(length), int(mask)): int(count)
+        for length, mask, count in zip(pairs[0], pairs[1], counts)
+    }
 
 
 @dataclass(frozen=True)

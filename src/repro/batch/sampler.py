@@ -241,6 +241,23 @@ class MultiTrialSampler:
         import numpy as np
 
         lengths_np = np.frombuffer(lengths, dtype=np.int64)
+        masks_np = self._decode_masks_numpy(lengths_np, raw_columns, n_trials)
+        senders = int64_column()
+        senders.frombytes(senders_raw.astype(np.int64).tobytes())
+        masks = int64_column()
+        masks.frombytes(masks_np.tobytes())
+        return MultiTrialColumns(senders=senders, lengths=lengths, masks=masks)
+
+    @staticmethod
+    def _decode_masks_numpy(lengths_np, raw_columns, n_trials):
+        """Decode raw slot columns to position bitmasks, as a live int64 array.
+
+        The array half of :meth:`_decode_numpy`, shared with the single-pass
+        arrangement kernel of :mod:`repro.batch.fused` (which skips the
+        ``array('q')`` conversion entirely).
+        """
+        import numpy as np
+
         masks_np = np.zeros(n_trials, dtype=np.int64)
         slots = np.empty((len(raw_columns), n_trials), dtype=np.int64)
         for j, raw in enumerate(raw_columns):
@@ -256,8 +273,4 @@ class MultiTrialSampler:
             masks_np |= np.where(
                 on_path, np.int64(1) << np.minimum(values, MAX_MASK_LENGTH), 0
             )
-        senders = int64_column()
-        senders.frombytes(senders_raw.astype(np.int64).tobytes())
-        masks = int64_column()
-        masks.frombytes(masks_np.tobytes())
-        return MultiTrialColumns(senders=senders, lengths=lengths, masks=masks)
+        return masks_np

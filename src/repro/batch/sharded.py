@@ -160,11 +160,12 @@ def _run_shard(task: ShardTask) -> ShardResult:
             model=task.model, strategy=task.strategy, use_numpy=task.use_numpy
         )
     engine_name = getattr(kernel, "name", None) or kernel.engine.name
-    started = time.perf_counter()
+    # Elapsed-time *reporting* only — never feeds the accumulator bits.
+    started = time.perf_counter()  # repro: ignore[R001]
     accumulator = kernel.run_accumulate(task.n_trials, rng=task.seed)
     return ShardResult(
         accumulator=accumulator,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=time.perf_counter() - started,  # repro: ignore[R001]
         n_trials=task.n_trials,
         engine_name=engine_name,
     )

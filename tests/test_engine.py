@@ -79,6 +79,8 @@ class TestEngineSelectionTotality:
         assert sum(count for count, _, _ in accumulator.classes.values()) == 64
 
     def test_built_in_domains_map_to_the_expected_engines(self):
+        from repro.batch.jit import HAVE_NUMBA, FiveClassJitEngine
+
         simple = strategy_for(PathModel.SIMPLE)
         cycles = strategy_for(PathModel.CYCLE_ALLOWED)
 
@@ -86,7 +88,10 @@ class TestEngineSelectionTotality:
             return select_engine(model, strategy, model.compromised_nodes())
 
         core = SystemModel(n_nodes=N_NODES, n_compromised=1)
-        assert selected(core, simple) is FiveClassEngine
+        # The compiled tier preempts its numpy twin when numba is present
+        # (bit-identical results either way — see tests/test_jit.py).
+        five_class = FiveClassJitEngine if HAVE_NUMBA else FiveClassEngine
+        assert selected(core, simple) is five_class
         honest = SystemModel(
             n_nodes=N_NODES, n_compromised=1, receiver_compromised=False
         )
@@ -242,3 +247,62 @@ class TestFiveClassStillExact:
             4_000, rng=3
         )
         assert direct == dispatched
+
+
+class TestChunkTrialsValidation:
+    """``chunk_trials`` is validated wherever it can be set.
+
+    A chunk size of ``0`` (or anything that is not ``None``, ``"auto"``, or a
+    positive integer) would make ``run_accumulate`` loop forever without
+    shrinking the remaining trial budget — so it is rejected with a
+    ``ConfigurationError`` at engine construction, at estimator construction,
+    and again at run time for values assigned to an existing instance.
+    """
+
+    BAD_CHUNKS = [0, -5, 2.5, True, False, "autoo", "4096"]
+
+    def engine(self) -> FiveClassEngine:
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        return FiveClassEngine(
+            model=model,
+            strategy=strategy_for(PathModel.SIMPLE),
+            compromised=frozenset({0}),
+        )
+
+    @pytest.mark.parametrize("chunk", BAD_CHUNKS, ids=repr)
+    def test_construction_rejects_bad_chunk_trials(self, chunk):
+        class BadChunkEngine(FiveClassEngine):
+            chunk_trials = chunk
+
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        with pytest.raises(ConfigurationError, match="chunk_trials"):
+            BadChunkEngine(
+                model=model,
+                strategy=strategy_for(PathModel.SIMPLE),
+                compromised=frozenset({0}),
+            )
+
+    @pytest.mark.parametrize("chunk", BAD_CHUNKS, ids=repr)
+    def test_run_rejects_bad_chunk_trials_assigned_later(self, chunk):
+        engine = self.engine()
+        engine.chunk_trials = chunk
+        with pytest.raises(ConfigurationError, match="chunk_trials"):
+            engine.run_accumulate(100, rng=0)
+
+    @pytest.mark.parametrize("chunk", BAD_CHUNKS, ids=repr)
+    def test_estimator_rejects_bad_chunk_trials(self, chunk):
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        with pytest.raises(ConfigurationError, match="chunk_trials"):
+            BatchMonteCarlo(
+                model, strategy_for(PathModel.SIMPLE), chunk_trials=chunk
+            )
+
+    @pytest.mark.parametrize(
+        "chunk", [None, engine_module.AUTO_CHUNK, 1, 4_096], ids=repr
+    )
+    def test_valid_settings_are_returned_unchanged(self, chunk):
+        assert engine_module.validate_chunk_trials(chunk) == chunk
+
+    def test_n_trials_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="n_trials"):
+            self.engine().run_accumulate(0, rng=0)

@@ -1,0 +1,348 @@
+"""Tests for the fused kernel tier and the chunk-size autotuner.
+
+Two load-bearing contracts:
+
+* **parity** — every engine that overrides ``fused_accumulate`` must be
+  *bit-identical* to its staged ``sample_block → classify → score`` twin:
+  same accumulator (counts, entropies, flags, length sum) and the same
+  generator consumption, for every ``(seed, chunking)``.  This is what keeps
+  fused runs shard-mergeable with staged runs and the paper's numbers
+  reproducible across tiers.
+* **autotuning** — ``chunk_trials=AUTO_CHUNK`` walks the fixed warmup ladder
+  on the injectable telemetry clock and locks in the best-throughput rung
+  deterministically (full rungs only, ties to the earlier rung), surfacing
+  the decision as the ``engine_chunk_autotuned`` gauge.
+"""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.batch import BatchMonteCarlo, InverseCdfDecoder, ShardedBackend
+from repro.batch.engine import (
+    AUTO_CHUNK,
+    AUTOTUNE_LADDER,
+    BatchAccumulator,
+    TrialEngine,
+    select_engine,
+)
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.distributions import GeometricLength, UniformLength
+from repro.routing.strategies import PathSelectionStrategy
+from repro.telemetry import activate
+
+np = pytest.importorskip("numpy")
+
+N_NODES = 9
+
+
+def strategy_for(path_model: PathModel) -> PathSelectionStrategy:
+    return PathSelectionStrategy(
+        "G(0.4)",
+        GeometricLength(0.4, max_length=6),
+        path_model=path_model,
+    )
+
+
+def build_engine(
+    path_model: PathModel,
+    compromised: frozenset[int],
+    adversary: AdversaryModel = AdversaryModel.FULL_BAYES,
+    receiver_compromised: bool = True,
+) -> TrialEngine:
+    model = SystemModel(
+        n_nodes=N_NODES,
+        n_compromised=len(compromised),
+        adversary=adversary,
+        path_model=path_model,
+        receiver_compromised=receiver_compromised,
+    )
+    strategy = strategy_for(path_model)
+    factory = select_engine(model, strategy, compromised)
+    return factory(model, strategy, compromised)
+
+
+def force_staged(engine: TrialEngine) -> TrialEngine:
+    """Pin the engine's fused path back to the staged default pipeline."""
+    engine.fused_accumulate = types.MethodType(
+        TrialEngine.fused_accumulate, engine
+    )
+    return engine
+
+
+#: Every engine domain that overrides ``fused_accumulate``, as builder args.
+FUSED_DOMAINS = [
+    pytest.param(PathModel.SIMPLE, frozenset({2}), AdversaryModel.FULL_BAYES, True, id="five-class"),
+    pytest.param(PathModel.SIMPLE, frozenset({2}), AdversaryModel.POSITION_AWARE, True, id="five-class-pos"),
+    pytest.param(PathModel.SIMPLE, frozenset({2}), AdversaryModel.PREDECESSOR_ONLY, True, id="five-class-pred"),
+    pytest.param(PathModel.SIMPLE, frozenset(), AdversaryModel.FULL_BAYES, True, id="arrangement-c0"),
+    pytest.param(PathModel.SIMPLE, frozenset({1, 4}), AdversaryModel.FULL_BAYES, True, id="arrangement-c2"),
+    pytest.param(PathModel.SIMPLE, frozenset({1, 4}), AdversaryModel.FULL_BAYES, False, id="arrangement-honest"),
+    pytest.param(PathModel.CYCLE_ALLOWED, frozenset({2}), AdversaryModel.FULL_BAYES, True, id="cycle"),
+    pytest.param(PathModel.CYCLE_ALLOWED, frozenset({2}), AdversaryModel.POSITION_AWARE, True, id="cycle-pos"),
+    pytest.param(PathModel.CYCLE_ALLOWED, frozenset({2}), AdversaryModel.FULL_BAYES, False, id="cycle-honest"),
+    pytest.param(PathModel.CYCLE_ALLOWED, frozenset({1, 4}), AdversaryModel.FULL_BAYES, True, id="cycle-multi"),
+]
+
+
+class TestFusedParity:
+    @pytest.mark.parametrize("path_model, compromised, adversary, receiver", FUSED_DOMAINS)
+    def test_fused_overrides_staged_default(
+        self, path_model, compromised, adversary, receiver
+    ):
+        """The built-in engines actually take the fused path under numpy."""
+        engine = build_engine(path_model, compromised, adversary, receiver)
+        assert type(engine).fused_accumulate is not TrialEngine.fused_accumulate
+
+    @pytest.mark.parametrize("path_model, compromised, adversary, receiver", FUSED_DOMAINS)
+    @pytest.mark.parametrize("seed", [0, 91])
+    def test_chunk_results_and_draws_bit_identical(
+        self, path_model, compromised, adversary, receiver, seed
+    ):
+        """One fused chunk == one staged chunk, including generator state."""
+        engine = build_engine(path_model, compromised, adversary, receiver)
+        fused_gen = np.random.default_rng(seed)
+        staged_gen = np.random.default_rng(seed)
+        fused = engine.fused_accumulate(4_097, fused_gen)
+        staged = TrialEngine.fused_accumulate(engine, 4_097, staged_gen)
+        assert fused == staged
+        assert fused_gen.bit_generator.state == staged_gen.bit_generator.state
+
+    @pytest.mark.parametrize("path_model, compromised, adversary, receiver", FUSED_DOMAINS)
+    @pytest.mark.parametrize("seed, chunk", [(3, None), (3, 1_000), (17, 127)])
+    def test_accumulators_bit_identical_per_seed_and_chunk(
+        self, path_model, compromised, adversary, receiver, seed, chunk
+    ):
+        """Full runs agree bit for bit for every ``(seed, chunk)``."""
+        fused_engine = build_engine(path_model, compromised, adversary, receiver)
+        staged_engine = force_staged(
+            build_engine(path_model, compromised, adversary, receiver)
+        )
+        fused_engine.chunk_trials = chunk
+        staged_engine.chunk_trials = chunk
+        fused = fused_engine.run_accumulate(5_003, rng=seed)
+        staged = staged_engine.run_accumulate(5_003, rng=seed)
+        assert fused == staged
+
+    @pytest.mark.parametrize("seed", [11, 29])
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_sharded_determinism_of_fused_engines(self, seed, shards):
+        """Fused engines keep the ``(seed, shards)`` bit-stability contract."""
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        strategy = strategy_for(PathModel.SIMPLE)
+        backend = ShardedBackend(workers=1, shards=shards)
+        first = backend.estimate(model, strategy, n_trials=6_000, rng=seed)
+        second = backend.estimate(model, strategy, n_trials=6_000, rng=seed)
+        assert first.estimate.mean == second.estimate.mean
+        assert first.estimate.std_error == second.estimate.std_error
+        assert first.identification_rate == second.identification_rate
+
+    def test_pure_python_path_falls_back_to_staged(self):
+        """``use_numpy=False`` engines run the staged pipeline, same bits."""
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        strategy = strategy_for(PathModel.SIMPLE)
+        factory = select_engine(model, strategy, frozenset({0}))
+        pure = factory(model, strategy, frozenset({0}), use_numpy=False)
+        accel = factory(model, strategy, frozenset({0}), use_numpy=True)
+        assert pure.run_accumulate(2_000, rng=5) == accel.run_accumulate(
+            2_000, rng=5
+        )
+
+
+class TestInverseCdfDecoder:
+    @pytest.mark.parametrize(
+        "distribution",
+        [
+            GeometricLength(0.25, max_length=40),
+            GeometricLength(0.9, max_length=5),
+            UniformLength(1, 3),
+            UniformLength(4, 4),
+        ],
+        ids=lambda d: d.name,
+    )
+    def test_bit_identical_to_sample_batch(self, distribution):
+        """Same lengths and same generator consumption as the staged decode."""
+        fast_gen = np.random.default_rng(123)
+        slow_gen = np.random.default_rng(123)
+        decoder = InverseCdfDecoder(distribution)
+        fast = decoder.decode(40_000, fast_gen)
+        slow = np.frombuffer(
+            distribution.sample_batch(40_000, slow_gen), dtype=np.int64
+        )
+        assert np.array_equal(fast, slow)
+        assert fast_gen.bit_generator.state == slow_gen.bit_generator.state
+
+    def test_unresolved_buckets_exist_and_fall_back(self):
+        """The LUT leaves boundary cells to searchsorted (and they agree)."""
+        decoder = InverseCdfDecoder(GeometricLength(0.25, max_length=40))
+        assert int((decoder._table == decoder._sentinel).sum()) > 0
+
+
+class ScriptedClock:
+    """A fake telemetry clock: interval ``i`` lasts ``durations[i]`` seconds."""
+
+    def __init__(self, durations):
+        self._durations = list(durations)
+        self._now = 0.0
+        self._calls = 0
+
+    def __call__(self) -> float:
+        if self._calls % 2:  # chunk end: advance by the scripted duration
+            self._now += self._durations.pop(0) if self._durations else 1.0
+        self._calls += 1
+        return self._now
+
+
+def ladder_engine() -> TrialEngine:
+    engine = build_engine(PathModel.SIMPLE, frozenset({2}))
+    engine.chunk_trials = AUTO_CHUNK
+    return engine
+
+
+LADDER_TOTAL = sum(AUTOTUNE_LADDER)
+
+
+class TestChunkAutotuning:
+    def test_warmup_walks_the_ladder_and_locks_best_rung(self):
+        # Make the middle rung (16_384) the throughput winner by far.
+        durations = [1.0, 1.0, 0.001, 1.0, 1.0]
+        engine = ladder_engine()
+        with activate(clock=ScriptedClock(durations)) as telemetry:
+            engine.run_accumulate(LADDER_TOTAL, rng=0)
+            assert engine.autotuned_chunk == 16_384
+            gauge = telemetry.gauge("engine_chunk_autotuned", engine=engine.name)
+            assert gauge.value == 16_384.0
+
+    def test_throughput_ties_break_to_the_earlier_rung(self):
+        # Equal trials/second on every rung: the smallest chunk must win.
+        # Power-of-two durations keep ``size / duration`` exact, so the
+        # throughputs tie bit-for-bit instead of differing in the last ulp.
+        durations = [size / 2**20 for size in AUTOTUNE_LADDER]
+        engine = ladder_engine()
+        with activate(clock=ScriptedClock(durations)):
+            engine.run_accumulate(LADDER_TOTAL, rng=0)
+        assert engine.autotuned_chunk == AUTOTUNE_LADDER[0]
+
+    def test_zero_elapsed_rungs_count_as_infinite_throughput(self):
+        durations = [0.0] * len(AUTOTUNE_LADDER)
+        engine = ladder_engine()
+        with activate(clock=ScriptedClock(durations)):
+            engine.run_accumulate(LADDER_TOTAL, rng=0)
+        assert engine.autotuned_chunk == AUTOTUNE_LADDER[0]
+
+    def test_partial_rungs_do_not_advance_the_warmup(self):
+        engine = ladder_engine()
+        with activate(clock=ScriptedClock([1.0] * 8)):
+            # Smaller than the first rung: runs as one partial chunk.
+            engine.run_accumulate(AUTOTUNE_LADDER[0] - 1, rng=0)
+            assert engine._autotune_samples == []
+            assert engine.autotuned_chunk is None
+
+    def test_ladder_spans_run_accumulate_calls(self):
+        durations = [1.0, 1.0, 1.0, 0.001, 1.0]
+        engine = ladder_engine()
+        with activate(clock=ScriptedClock(durations)):
+            # First run covers the first three rungs exactly.
+            engine.run_accumulate(sum(AUTOTUNE_LADDER[:3]), rng=0)
+            assert engine.autotuned_chunk is None
+            assert len(engine._autotune_samples) == 3
+            # Second run finishes the ladder and locks the fourth rung in.
+            engine.run_accumulate(sum(AUTOTUNE_LADDER[3:]), rng=1)
+        assert engine.autotuned_chunk == AUTOTUNE_LADDER[3]
+
+    def test_autotuned_run_accumulates_the_full_budget(self):
+        engine = ladder_engine()
+        with activate(clock=ScriptedClock([1.0] * 16)):
+            accumulator = engine.run_accumulate(LADDER_TOTAL + 10_000, rng=0)
+        assert accumulator.n_trials == LADDER_TOTAL + 10_000
+        assert (
+            sum(count for count, _, _ in accumulator.classes.values())
+            == LADDER_TOTAL + 10_000
+        )
+
+    def test_autotuning_without_telemetry_still_tunes(self):
+        """With the null registry the ladder runs on the real clock."""
+        engine = ladder_engine()
+        engine.run_accumulate(LADDER_TOTAL, rng=0)
+        assert engine.autotuned_chunk in AUTOTUNE_LADDER
+
+    def test_estimator_threads_chunk_trials_through(self):
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        estimator = BatchMonteCarlo(
+            model, strategy_for(PathModel.SIMPLE), chunk_trials=AUTO_CHUNK
+        )
+        assert estimator.engine.chunk_trials == AUTO_CHUNK
+        fixed = BatchMonteCarlo(
+            model, strategy_for(PathModel.SIMPLE), chunk_trials=2_048
+        )
+        assert fixed.engine.chunk_trials == 2_048
+
+    def test_fixed_chunking_unaffected_by_autotune_state(self):
+        """A fixed-chunk accumulator's bits never depend on the clock."""
+        one = build_engine(PathModel.SIMPLE, frozenset({2}))
+        two = build_engine(PathModel.SIMPLE, frozenset({2}))
+        one.chunk_trials = 1_024
+        two.chunk_trials = 1_024
+        with activate(clock=ScriptedClock([0.5] * 32)):
+            fast = one.run_accumulate(10_000, rng=9)
+        slow = two.run_accumulate(10_000, rng=9)
+        assert fast == slow
+
+
+class TestAdaptiveAutoBlock:
+    def test_auto_block_runs_and_is_flagged_non_deterministic(self):
+        from repro.service.adaptive import AdaptiveScheduler
+
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        scheduler = AdaptiveScheduler(
+            backend="batch",
+            precision=None,
+            block_size=AUTO_CHUNK,
+            max_trials=LADDER_TOTAL + 5_000,
+        )
+        run = scheduler.run(model, strategy_for(PathModel.SIMPLE), rng=3)
+        assert run.n_trials == LADDER_TOTAL + 5_000
+        assert run.auto_block
+        assert not run.deterministic
+
+    def test_fixed_block_runs_stay_deterministic(self):
+        from repro.service.adaptive import AdaptiveScheduler
+
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        scheduler = AdaptiveScheduler(
+            backend="batch", precision=None, block_size=4_000, max_trials=8_000
+        )
+        run = scheduler.run(model, strategy_for(PathModel.SIMPLE), rng=3)
+        assert not run.auto_block
+        assert run.deterministic
+
+    def test_auto_block_requires_an_engine_exposing_backend(self):
+        from repro.exceptions import ConfigurationError
+        from repro.service.adaptive import AdaptiveScheduler
+
+        model = SystemModel(n_nodes=N_NODES, n_compromised=1)
+        scheduler = AdaptiveScheduler(
+            backend="sharded",
+            precision=None,
+            block_size=AUTO_CHUNK,
+            max_trials=10_000,
+            workers=1,
+        )
+        with pytest.raises(ConfigurationError, match="auto"):
+            scheduler.run(model, strategy_for(PathModel.SIMPLE), rng=3)
+
+
+class TestAccumulatorMergeAcrossTiers:
+    def test_fused_and_staged_chunks_merge_cleanly(self):
+        """Accumulators from both tiers share class entropies exactly."""
+        fused_engine = build_engine(PathModel.SIMPLE, frozenset({2}))
+        staged_engine = force_staged(build_engine(PathModel.SIMPLE, frozenset({2})))
+        merged = BatchAccumulator.merge(
+            [
+                fused_engine.run_accumulate(3_000, rng=1),
+                staged_engine.run_accumulate(3_000, rng=2),
+            ]
+        )
+        assert merged.n_trials == 6_000

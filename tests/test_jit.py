@@ -1,0 +1,170 @@
+"""Tests for the optional JIT engine tier (``repro.batch.jit``).
+
+The tier's whole contract is conditional: with numba absent the module must
+import cleanly, register nothing, and refuse construction with a clear
+``ConfigurationError`` — while its kernel, being plain Python, stays testable
+against the staged classifier.  With numba present (the CI jit leg), the
+compiled engine must preempt its numpy twin in the registry and stay
+bit-identical to it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import available_engines, select_engine
+from repro.batch.engine import FiveClassEngine, TrialEngine
+from repro.batch.jit import HAVE_NUMBA, FiveClassJitEngine, five_class_counts
+from repro.core.model import AdversaryModel, PathModel, SystemModel
+from repro.distributions import GeometricLength
+from repro.exceptions import ConfigurationError
+from repro.routing.strategies import PathSelectionStrategy
+
+np = pytest.importorskip("numpy")
+
+N_NODES = 9
+
+ADVERSARIES = [
+    AdversaryModel.FULL_BAYES,
+    AdversaryModel.POSITION_AWARE,
+    AdversaryModel.PREDECESSOR_ONLY,
+]
+
+
+def build(adversary: AdversaryModel = AdversaryModel.FULL_BAYES):
+    model = SystemModel(n_nodes=N_NODES, n_compromised=1, adversary=adversary)
+    strategy = PathSelectionStrategy(
+        "G(0.4)",
+        GeometricLength(0.4, max_length=6),
+        path_model=PathModel.SIMPLE,
+    )
+    return model, strategy, frozenset({2})
+
+
+class TestWithoutNumba:
+    """The contracts that must hold in the default (numba-free) environment.
+
+    These run everywhere: when numba *is* installed they still pass, because
+    they assert the conditional behaviour through ``HAVE_NUMBA`` itself.
+    """
+
+    def test_module_imports_and_reports_availability(self):
+        assert isinstance(HAVE_NUMBA, bool)
+
+    def test_registry_matches_availability(self):
+        assert ("five-class-jit" in available_engines()) == HAVE_NUMBA
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="needs numba to be absent")
+    def test_construction_without_numba_raises(self):
+        model, strategy, compromised = build()
+        with pytest.raises(ConfigurationError, match="jit"):
+            FiveClassJitEngine(model, strategy, compromised)
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="needs numba to be absent")
+    def test_covers_nothing_without_numba(self):
+        model, strategy, compromised = build()
+        assert not FiveClassJitEngine.covers(model, strategy, compromised)
+        assert select_engine(model, strategy, compromised) is FiveClassEngine
+
+
+class TestKernelLogic:
+    """``five_class_counts`` as plain Python vs the staged classifier."""
+
+    @pytest.mark.parametrize("adversary", ADVERSARIES, ids=lambda a: a.name)
+    def test_counts_match_the_staged_classifier(self, adversary):
+        model, strategy, compromised = build(adversary)
+        engine = FiveClassEngine(model, strategy, compromised)
+        n = 3_000
+        # Twin generators: the kernel inputs are drawn in the block sampler's
+        # order (senders, length uniforms, slots), so the staged block below
+        # sees the same columns.
+        generator = np.random.default_rng(17)
+        senders = generator.integers(0, N_NODES, size=n)
+        lengths = np.frombuffer(
+            engine.distribution.sample_batch(n, generator), dtype=np.int64
+        )
+        slots = generator.integers(0, N_NODES - 1, size=n)
+
+        counts = np.zeros(engine._n_codes, dtype=np.int64)
+        five_class_counts(
+            senders,
+            lengths,
+            slots,
+            engine._compromised_node,
+            adversary is AdversaryModel.POSITION_AWARE,
+            adversary is AdversaryModel.PREDECESSOR_ONLY,
+            counts,
+        )
+
+        block = engine.sample_block(n, np.random.default_rng(17))
+        staged = engine.classify(block)
+        kernel = {
+            code: (int(count), None)
+            for code, count in enumerate(counts)
+            if count
+        }
+        assert kernel == staged
+        assert int(counts.sum()) == n
+
+    def test_every_branch_of_the_ladder_is_reachable(self):
+        # One hand-built trial per class, FULL_BAYES semantics: a compromised
+        # sender, an off-path slot, the last slot, the penultimate slot, and
+        # an interior slot.  Each class code must end up with count one.
+        senders = np.array([5, 0, 0, 0, 0])  # 5 == the compromised node
+        lengths = np.array([3, 1, 3, 3, 4])
+        slots = np.array([0, 2, 2, 1, 0])  # trial 1: slot >= length → silent
+        counts = np.zeros(5, dtype=np.int64)
+        five_class_counts(senders, lengths, slots, 5, False, False, counts)
+        assert counts.tolist() == [1, 1, 1, 1, 1]
+
+    def test_position_aware_slot_zero_identifies_the_origin(self):
+        from repro.batch.jit import _ORIGIN
+
+        senders = np.array([0, 0])
+        lengths = np.array([4, 4])
+        slots = np.array([0, 1])
+        counts = np.zeros(5, dtype=np.int64)
+        five_class_counts(senders, lengths, slots, 5, True, False, counts)
+        assert counts[_ORIGIN] == 1
+        assert int(counts.sum()) == 2
+
+    def test_predecessor_only_collapses_on_path_trials_to_interior(self):
+        from repro.batch.jit import _INTERIOR
+
+        senders = np.array([0, 0, 0])
+        lengths = np.array([4, 4, 4])
+        slots = np.array([0, 2, 3])  # all on-path, any position
+        counts = np.zeros(5, dtype=np.int64)
+        five_class_counts(senders, lengths, slots, 5, False, True, counts)
+        assert counts[_INTERIOR] == 3
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="needs the [jit] extra")
+class TestWithNumba:
+    """Parity of the compiled tier — exercised on the CI jit leg."""
+
+    def test_jit_engine_preempts_the_numpy_twin(self):
+        model, strategy, compromised = build()
+        assert select_engine(model, strategy, compromised) is FiveClassJitEngine
+
+    @pytest.mark.parametrize("adversary", ADVERSARIES, ids=lambda a: a.name)
+    def test_bit_identical_to_the_fused_numpy_engine(self, adversary):
+        model, strategy, compromised = build(adversary)
+        jit_engine = FiveClassJitEngine(model, strategy, compromised)
+        numpy_engine = FiveClassEngine(model, strategy, compromised)
+        assert jit_engine.run_accumulate(10_000, rng=7) == (
+            numpy_engine.run_accumulate(10_000, rng=7)
+        )
+
+    def test_bit_identical_to_the_staged_pipeline(self):
+        import types
+
+        model, strategy, compromised = build()
+        jit_engine = FiveClassJitEngine(model, strategy, compromised)
+        staged = FiveClassEngine(model, strategy, compromised)
+        staged.fused_accumulate = types.MethodType(
+            TrialEngine.fused_accumulate, staged
+        )
+        assert jit_engine.run_accumulate(10_000, rng=11) == (
+            staged.run_accumulate(10_000, rng=11)
+        )
